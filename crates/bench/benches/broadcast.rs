@@ -1,0 +1,125 @@
+//! Criterion benches for E1–E5: single-message broadcast algorithms
+//! (Decay, FASTBC, Robust FASTBC, repetition baselines) on paths and
+//! random graphs, faultless and noisy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::{generators, NodeId};
+use noisy_radio_core::decay::Decay;
+use noisy_radio_core::fastbc::FastbcSchedule;
+use noisy_radio_core::repetition::RepeatedFastbcSchedule;
+use noisy_radio_core::robust_fastbc::RobustFastbcSchedule;
+use radio_model::FaultModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+const MAX: u64 = 100_000_000;
+
+fn bench_e1_decay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_decay_faultless");
+    for n in [64usize, 256] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let run = Decay::new()
+                    .run(&g, NodeId::new(0), FaultModel::Faultless, seed, MAX)
+                    .expect("valid");
+                black_box(run.rounds_used())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_e2_fastbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_fastbc_faultless");
+    for n in [64usize, 256] {
+        let g = generators::path(n);
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(sched.run(FaultModel::Faultless, seed, MAX).expect("valid").rounds_used())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_e3_decay_noisy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_decay_noisy");
+    let g = generators::path(128);
+    for p in [0.3f64, 0.5] {
+        let fault = FaultModel::receiver(p).expect("valid p");
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    Decay::new()
+                        .run(&g, NodeId::new(0), fault, seed, MAX)
+                        .expect("valid")
+                        .rounds_used(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_e4_fastbc_noisy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_fastbc_degradation");
+    let g = generators::path(128);
+    let sched = FastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
+    let fault = FaultModel::receiver(0.5).expect("valid p");
+    group.bench_function("fastbc_noisy_path128", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(sched.run(fault, seed, MAX).expect("valid").rounds_used())
+        });
+    });
+    let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 3).expect("valid");
+    group.bench_function("fastbc_rep3_noisy_path128", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(rep.run(fault, seed, MAX).expect("valid").rounds_used())
+        });
+    });
+    group.finish();
+}
+
+fn bench_e5_robust_fastbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_robust_fastbc");
+    for n in [128usize, 512] {
+        let g = generators::path(n);
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
+        let fault = FaultModel::receiver(0.3).expect("valid p");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(sched.run(fault, seed, MAX).expect("valid").rounds_used())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_e1_decay, bench_e2_fastbc, bench_e3_decay_noisy, bench_e4_fastbc_noisy,
+              bench_e5_robust_fastbc
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches for E8–E10: throughput-gap schedules on the star
+//! and the worst-case topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::wct::{Wct, WctParams};
+use noisy_radio_core::schedules::star::{star_coding, star_routing};
+use noisy_radio_core::schedules::wct::{max_fraction_receiving_probe, wct_coding, wct_routing};
+use radio_model::FaultModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+const MAX: u64 = 100_000_000;
+
+fn bench_e8_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_star_gap");
+    let fault = FaultModel::receiver(0.5).expect("valid p");
+    for leaves in [256usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("routing", leaves),
+            &leaves,
+            |b, &leaves| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(
+                        star_routing(leaves, 16, fault, seed, MAX)
+                            .expect("valid")
+                            .rounds
+                            .expect("finishes"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coding", leaves),
+            &leaves,
+            |b, &leaves| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(
+                        star_coding(leaves, 16, fault, seed, MAX)
+                            .expect("valid")
+                            .rounds_used(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e9_wct_probe(c: &mut Criterion) {
+    let wct = Wct::generate(WctParams {
+        senders: 64,
+        clusters_per_class: 8,
+        cluster_size: 8,
+        seed: 42,
+    })
+    .expect("valid");
+    c.bench_function("e9_wct_collision_probe", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(max_fraction_receiving_probe(&wct, 3, seed))
+        });
+    });
+}
+
+fn bench_e10_wct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_wct_gap");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let wct = Wct::generate(WctParams {
+        senders: 16,
+        clusters_per_class: 6,
+        cluster_size: 16,
+        seed: 4242,
+    })
+    .expect("valid");
+    let fault = FaultModel::receiver(0.5).expect("valid p");
+    group.bench_function("coding_k6", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(wct_coding(&wct, 6, fault, seed, MAX).expect("valid").rounds)
+        });
+    });
+    group.bench_function("routing_k6", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(wct_routing(&wct, 6, fault, seed, MAX).expect("valid").rounds)
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_e8_star, bench_e9_wct_probe, bench_e10_wct
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for E6–E7: RLNC multi-message broadcast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::{generators, NodeId};
+use noisy_radio_core::multi_message::{DecayRlnc, RobustFastbcRlnc};
+use radio_model::FaultModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+const MAX: u64 = 100_000_000;
+
+fn bench_e6_decay_rlnc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_decay_rlnc");
+    let g = generators::gnp_connected(64, 0.08, 7).expect("valid");
+    let fault = FaultModel::receiver(0.3).expect("valid p");
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let out = DecayRlnc { phase_len: None, payload_len: 0 }
+                    .run(&g, NodeId::new(0), k, fault, seed, MAX)
+                    .expect("valid");
+                black_box(out.run.rounds_used())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_e7_rfastbc_rlnc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_rfastbc_rlnc");
+    let g = generators::path(64);
+    let fault = FaultModel::receiver(0.3).expect("valid p");
+    for k in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let out = RobustFastbcRlnc { params: Default::default(), payload_len: 0 }
+                    .run(&g, NodeId::new(0), k, fault, seed, MAX)
+                    .expect("valid");
+                black_box(out.run.rounds_used())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_e6_decay_rlnc, bench_e7_rfastbc_rlnc
+}
+criterion_main!(benches);

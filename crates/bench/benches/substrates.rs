@@ -1,0 +1,103 @@
+//! Criterion benches for the substrates: GBST construction (F1),
+//! Reed–Solomon, RLNC, and the raw simulator round loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbst::Gbst;
+use netgraph::{generators, NodeId};
+use radio_coding::rlnc::RlncNode;
+use radio_coding::rs::ReedSolomon;
+use radio_coding::{Field, Gf256};
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_f1_gbst_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_gbst_build");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::gnp_connected(n, 8.0 / n as f64, 3).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Gbst::build(&g, NodeId::new(0)).expect("connected")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rs_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_roundtrip");
+    for k in [16usize, 64] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data: Vec<Vec<Gf256>> =
+            (0..k).map(|_| (0..32).map(|_| Gf256::random(&mut rng)).collect()).collect();
+        let rs = ReedSolomon::<Gf256>::new(k).expect("valid");
+        group.bench_with_input(BenchmarkId::new("encode_decode", k), &k, |b, &k| {
+            b.iter(|| {
+                let packets: Vec<_> = (100..100 + k)
+                    .map(|j| (j, rs.packet(&data, j).expect("valid")))
+                    .collect();
+                black_box(rs.decode(&packets).expect("decodes"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rlnc_absorb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc_absorb");
+    for k in [32usize, 128] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let msgs: Vec<Vec<Gf256>> = (0..k).map(|_| vec![Gf256::random(&mut rng)]).collect();
+        let src = RlncNode::source(k, 1, &msgs);
+        group.bench_with_input(BenchmarkId::new("fill_rank", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut node = RlncNode::new(k, 1);
+                while !node.can_decode() {
+                    node.absorb(src.random_combination(&mut rng).expect("has rank"));
+                }
+                black_box(node.rank())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Raw engine throughput: all nodes broadcast every round on a grid.
+fn bench_simulator_round(c: &mut Criterion) {
+    #[derive(Clone)]
+    struct Chatty;
+    impl NodeBehavior<u32> for Chatty {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<u32> {
+            Action::Broadcast(7)
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, _p: u32) {}
+    }
+    let mut group = c.benchmark_group("simulator_rounds");
+    for n in [1024usize, 4096] {
+        let g = generators::grid(32, n / 32);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let behaviors = vec![Chatty; g.node_count()];
+                let mut sim =
+                    Simulator::new(&g, FaultModel::Faultless, behaviors, 1).expect("valid");
+                sim.run(100);
+                black_box(sim.stats().broadcasts)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_f1_gbst_build, bench_rs_roundtrip, bench_rlnc_absorb, bench_simulator_round
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for E11 (fault transformations) and E12 (single
+//! link).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::{generators, NodeId};
+use noisy_radio_core::schedules::single_link::{
+    single_link_adaptive_routing, single_link_coding, single_link_nonadaptive_routing,
+};
+use noisy_radio_core::transform::{
+    BaseSchedule, CodingFaultTransform, SenderFaultRoutingTransform,
+};
+use radio_model::FaultModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e11_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_transformations");
+    let g = generators::star(16);
+    let base = BaseSchedule::star(16, 4);
+    group.bench_function("routing_transform_star_p03", |b| {
+        let t = SenderFaultRoutingTransform { group_size: 64, eta: 0.5 };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let run = t.run(&g, &base, NodeId::new(0), 0.3, seed).expect("valid");
+            black_box((run.total_rounds, run.success))
+        });
+    });
+    let path = generators::path(8);
+    let pbase = BaseSchedule::path_pipelined(8, 4);
+    let trace = pbase.validate_faultless(&path, NodeId::new(0)).expect("valid");
+    group.bench_function("coding_transform_path_p03", |b| {
+        let t = CodingFaultTransform { group_size: 64, eta: 0.3 };
+        let fault = FaultModel::receiver(0.3).expect("valid p");
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let run = t.run(&path, &pbase, &trace, fault, seed).expect("valid");
+            black_box((run.total_rounds, run.success))
+        });
+    });
+    group.finish();
+}
+
+fn bench_e12_single_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_single_link");
+    let fault = FaultModel::receiver(0.5).expect("valid p");
+    for k in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("nonadaptive", k), &k, |b, &k| {
+            let reps = 3 * (k as f64).log2().ceil() as u64;
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(single_link_nonadaptive_routing(k, reps, fault, seed).expect("valid"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("coding", k), &k, |b, &k| {
+            let total = (k as f64 * 2.6) as u64;
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(single_link_coding(k, total, fault, seed).expect("valid"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", k), &k, |b, &k| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    single_link_adaptive_routing(k, fault, seed, 100_000_000)
+                        .expect("valid")
+                        .rounds_used(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_e11_transforms, bench_e12_single_link
+}
+criterion_main!(benches);

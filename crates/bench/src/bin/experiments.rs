@@ -1,0 +1,43 @@
+//! Runs the experiment suite and prints the reports (text by default,
+//! `--markdown` for EXPERIMENTS.md fragments).
+//!
+//! ```text
+//! experiments [--quick|--full] [--markdown] [IDS...]
+//! ```
+//!
+//! `IDS` filters by experiment id (e.g. `E8 E10`); default runs all.
+
+use noisy_radio_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let filter: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_uppercase())
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let mut failures = 0;
+    for report in experiments::run_all(scale) {
+        if !filter.is_empty() && !filter.iter().any(|f| f == report.id) {
+            continue;
+        }
+        if markdown {
+            print!("{}", report.render_markdown());
+        } else {
+            print!("{}", report.render());
+            println!();
+        }
+        if !report.all_ok() {
+            failures += 1;
+        }
+    }
+    eprintln!("(completed in {:.1?}; scale: {scale:?})", t0.elapsed());
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) had failed shape checks");
+        std::process::exit(1);
+    }
+}

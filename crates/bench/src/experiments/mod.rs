@@ -1,0 +1,44 @@
+//! The experiment drivers, indexed as in `DESIGN.md` §4.
+
+mod ablations;
+mod gaps;
+mod multi;
+mod single_link;
+mod single_message;
+mod structure;
+mod transforms;
+
+pub use ablations::{a1_block_size, a2_failure_probability, a3_streaming_rlnc};
+pub use gaps::{e10_wct_gap, e8_star_gap, e9_wct_collision};
+pub use multi::{e6_decay_rlnc, e7_rfastbc_rlnc};
+pub use single_link::e12_single_link;
+pub use single_message::{
+    e1_decay_faultless, e2_fastbc_faultless, e3_decay_noisy, e4_fastbc_degradation,
+    e5_robust_fastbc,
+};
+pub use structure::f1_gbst_structure;
+pub use transforms::e11_transformations;
+
+use crate::{ExperimentReport, Scale};
+
+/// Runs every experiment at the given scale, in index order.
+pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
+    vec![
+        e1_decay_faultless(scale),
+        e2_fastbc_faultless(scale),
+        e3_decay_noisy(scale),
+        e4_fastbc_degradation(scale),
+        e5_robust_fastbc(scale),
+        e6_decay_rlnc(scale),
+        e7_rfastbc_rlnc(scale),
+        e8_star_gap(scale),
+        e9_wct_collision(scale),
+        e10_wct_gap(scale),
+        e11_transformations(scale),
+        e12_single_link(scale),
+        f1_gbst_structure(scale),
+        a1_block_size(scale),
+        a2_failure_probability(scale),
+        a3_streaming_rlnc(scale),
+    ]
+}

@@ -1,0 +1,102 @@
+//! E11: faultless → sender-fault transformations (Lemmas 25–26,
+//! Theorems 27–28).
+
+use netgraph::{generators, NodeId};
+use noisy_radio_core::transform::{
+    BaseSchedule, CodingFaultTransform, SenderFaultRoutingTransform,
+};
+use radio_model::FaultModel;
+use radio_throughput::Table;
+
+use crate::{ExperimentReport, Scale};
+
+/// E11 — Lemmas 25/26: transformed schedules retain `τ(1−p)` of the
+/// faultless throughput. Sweep `p` on two base schedules (star,
+/// pipelined path); the measured ratio `τ'/τ` should track
+/// `(1−p)/(1+η)` (routing) and `(1−p)(1−η)` (coding).
+pub fn e11_transformations(scale: Scale) -> ExperimentReport {
+    let ps = [0.1, 0.3, 0.5];
+    let eta = 0.5;
+    let x = scale.pick(64, 128);
+    let k = scale.pick(4, 8);
+    let path_n = scale.pick(8, 16);
+    let mut table = Table::new(&[
+        "base schedule",
+        "p",
+        "success",
+        "τ base",
+        "τ transformed",
+        "ratio",
+        "predicted",
+    ]);
+    let mut all_success = true;
+    let mut max_err = 0.0f64;
+
+    // Routing transform on the star and the pipelined path.
+    for &p in &ps {
+        for (name, graph, base) in [
+            ("star/routing", generators::star(16), BaseSchedule::star(16, k)),
+            (
+                "path/routing",
+                generators::path(path_n),
+                BaseSchedule::path_pipelined(path_n, k),
+            ),
+        ] {
+            let t = SenderFaultRoutingTransform { group_size: x, eta };
+            let run = t.run(&graph, &base, NodeId::new(0), p, 11).expect("valid transform");
+            all_success &= run.success;
+            let tau_base = k as f64 / base.round_count() as f64;
+            let ratio = run.throughput() / tau_base;
+            let predicted = (1.0 - p) / (1.0 + eta);
+            max_err = max_err.max((ratio - predicted).abs() / predicted);
+            table.row_owned(vec![
+                name.into(),
+                format!("{p:.1}"),
+                run.success.to_string(),
+                format!("{tau_base:.3}"),
+                format!("{:.3}", run.throughput()),
+                format!("{ratio:.3}"),
+                format!("{predicted:.3}"),
+            ]);
+        }
+        // Coding transform on the pipelined path, both fault kinds.
+        let graph = generators::path(path_n);
+        let base = BaseSchedule::path_pipelined(path_n, k);
+        let trace = base.validate_faultless(&graph, NodeId::new(0)).expect("valid base");
+        assert!(trace.complete, "base schedule must be complete");
+        for (name, fault) in [
+            ("path/coding (snd)", FaultModel::sender(p).expect("valid p")),
+            ("path/coding (rcv)", FaultModel::receiver(p).expect("valid p")),
+        ] {
+            let t = CodingFaultTransform { group_size: x, eta: 0.3 };
+            let run = t.run(&graph, &base, &trace, fault, 13).expect("valid transform");
+            all_success &= run.success;
+            let tau_base = k as f64 / base.round_count() as f64;
+            let ratio = run.throughput() / tau_base;
+            let predicted = (1.0 - p) * (1.0 - 0.3);
+            max_err = max_err.max((ratio - predicted).abs() / predicted);
+            table.row_owned(vec![
+                name.into(),
+                format!("{p:.1}"),
+                run.success.to_string(),
+                format!("{tau_base:.3}"),
+                format!("{:.3}", run.throughput()),
+                format!("{ratio:.3}"),
+                format!("{predicted:.3}"),
+            ]);
+        }
+    }
+    let mut report = ExperimentReport {
+        id: "E11",
+        claim: "Lemmas 25–26: faultless schedules transform to τ(1−p) under sender faults \
+                (coding also under receiver faults) — hence Theorems 27–28",
+        table,
+        findings: Vec::new(),
+    };
+    report.check(all_success, "every transformed schedule delivered all grouped messages");
+    report.check(
+        max_err < 0.25,
+        format!("throughput ratios track the predicted (1−p) factors within {:.0}%", max_err * 100.0),
+    );
+    report
+}

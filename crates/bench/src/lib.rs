@@ -1,0 +1,37 @@
+//! Experiment drivers regenerating every quantitative claim of
+//! *Broadcasting in Noisy Radio Networks* (see `DESIGN.md` §4 for the
+//! experiment index E1–E12/F1 and `EXPERIMENTS.md` for recorded
+//! results).
+//!
+//! Each driver runs a parameter sweep on the simulator and returns an
+//! [`ExperimentReport`] with the measured table and the shape checks
+//! the paper's theorems predict. The `experiments` binary prints all
+//! reports; the Criterion benches in `benches/` time miniaturized
+//! versions of the same code paths.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+mod report;
+
+pub use report::ExperimentReport;
+
+/// Scale knob for experiment drivers: `Quick` keeps every sweep small
+/// enough for CI; `Full` uses the sizes recorded in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized sweeps (seconds).
+    Quick,
+    /// Report-sized sweeps (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks `quick` or `full` by variant.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

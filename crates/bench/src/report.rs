@@ -1,0 +1,55 @@
+use radio_throughput::Table;
+
+/// A rendered experiment: identifier, headline, measurement table,
+/// and the shape checks against the paper's claims.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id (`E1`..`E12`, `F1`).
+    pub id: &'static str,
+    /// What the paper claims (theorem/lemma reference).
+    pub claim: &'static str,
+    /// The measured table.
+    pub table: Table,
+    /// Key findings: one line per checked shape, prefixed `[ok]` /
+    /// `[!!]`.
+    pub findings: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Adds a finding line with an `[ok]`/`[!!]` prefix.
+    pub fn check(&mut self, ok: bool, text: impl Into<String>) {
+        let prefix = if ok { "[ok]" } else { "[!!]" };
+        self.findings.push(format!("{prefix} {}", text.into()));
+    }
+
+    /// Whether every finding passed.
+    pub fn all_ok(&self) -> bool {
+        self.findings.iter().all(|f| f.starts_with("[ok]"))
+    }
+
+    /// Renders the full report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n\n", self.id, self.claim));
+        out.push_str(&self.table.render());
+        out.push('\n');
+        for f in &self.findings {
+            out.push_str(f);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as Markdown (for `EXPERIMENTS.md`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.claim));
+        out.push_str(&self.table.render_markdown());
+        out.push('\n');
+        for f in &self.findings {
+            out.push_str(&format!("- {}\n", f.replace("[ok]", "✅").replace("[!!]", "❌")));
+        }
+        out.push('\n');
+        out
+    }
+}

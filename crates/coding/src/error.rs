@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from encoding or decoding operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodingError {
+    /// Fewer packets supplied than the code dimension `k`.
+    NotEnoughPackets {
+        /// Packets supplied.
+        got: usize,
+        /// Code dimension.
+        need: usize,
+    },
+    /// A packet index exceeds the field's evaluation-point capacity.
+    PacketIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Largest representable index (exclusive).
+        capacity: usize,
+    },
+    /// Two supplied packets carry the same index.
+    DuplicatePacketIndex {
+        /// The repeated index.
+        index: usize,
+    },
+    /// Packet payload lengths disagree.
+    PayloadLengthMismatch {
+        /// First length seen.
+        expected: usize,
+        /// The mismatching length.
+        got: usize,
+    },
+    /// A zero dimension (`k == 0`) was requested.
+    ZeroDimension,
+    /// The supplied packets are linearly dependent and cannot decode.
+    SingularSystem,
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::NotEnoughPackets { got, need } => {
+                write!(f, "got {got} packets, need at least {need}")
+            }
+            CodingError::PacketIndexOutOfRange { index, capacity } => {
+                write!(f, "packet index {index} out of range (capacity {capacity})")
+            }
+            CodingError::DuplicatePacketIndex { index } => {
+                write!(f, "duplicate packet index {index}")
+            }
+            CodingError::PayloadLengthMismatch { expected, got } => {
+                write!(f, "payload length {got} does not match expected {expected}")
+            }
+            CodingError::ZeroDimension => write!(f, "code dimension k must be >= 1"),
+            CodingError::SingularSystem => write!(f, "packets are linearly dependent"),
+        }
+    }
+}
+
+impl Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(CodingError::NotEnoughPackets { got: 1, need: 3 }.to_string().contains("1"));
+        assert!(CodingError::PacketIndexOutOfRange { index: 300, capacity: 255 }
+            .to_string()
+            .contains("300"));
+        assert!(CodingError::DuplicatePacketIndex { index: 5 }.to_string().contains("5"));
+        assert!(CodingError::PayloadLengthMismatch { expected: 4, got: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(!CodingError::ZeroDimension.to_string().is_empty());
+        assert!(!CodingError::SingularSystem.to_string().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+use std::fmt;
+use std::sync::OnceLock;
+
+use rand::Rng;
+
+use crate::Field;
+
+/// Primitive polynomial x¹⁶ + x¹² + x³ + x + 1 (0x1100B).
+const POLY: u32 = 0x1100B;
+
+struct Tables {
+    exp: Vec<u16>, // length 2 * 65535
+    log: Vec<u16>, // length 65536
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * 65535];
+        let mut log = vec![0u16; 65536];
+        let mut x: u32 = 1;
+        for i in 0..65535 {
+            exp[i] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 65535..2 * 65535 {
+            exp[i] = exp[i - 65535];
+        }
+        debug_assert_eq!(x, 1, "0x1100B must be primitive");
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2¹⁶) with the primitive polynomial
+/// x¹⁶ + x¹² + x³ + x + 1.
+///
+/// Used when a coding schedule needs more than 255 distinct packets
+/// (the paper's schedules generate `poly(nk)` Reed–Solomon packets;
+/// 2¹⁶ − 1 evaluation points cover every experiment in this
+/// workspace).
+///
+/// # Example
+///
+/// ```
+/// use radio_coding::{Field, Gf65536};
+///
+/// let a = Gf65536::new(0x1234);
+/// assert_eq!(a.mul(a.inv()), Gf65536::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf65536(u16);
+
+impl Gf65536 {
+    /// Wraps a raw value as a field element.
+    pub const fn new(v: u16) -> Self {
+        Gf65536(v)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf65536(0x{:04X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04X}", self.0)
+    }
+}
+
+impl Field for Gf65536 {
+    const ZERO: Self = Gf65536(0);
+    const ONE: Self = Gf65536(1);
+    const ORDER: usize = 65536;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Gf65536(self.0 ^ rhs.0)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.add(rhs)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf65536(0);
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf65536(t.exp[l])
+    }
+
+    #[inline]
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero in GF(65536)");
+        let t = tables();
+        Gf65536(t.exp[65535 - t.log[self.0 as usize] as usize])
+    }
+
+    fn from_index(i: usize) -> Self {
+        assert!(i < Self::ORDER, "index {i} out of range for GF(65536)");
+        Gf65536(i as u16)
+    }
+
+    fn to_index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf65536(rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        for v in [0u16, 1, 2, 0xFF, 0x100, 0xFFFF] {
+            let x = Gf65536::new(v);
+            assert_eq!(x.mul(Gf65536::ONE), x);
+            assert_eq!(x.mul(Gf65536::ZERO), Gf65536::ZERO);
+            assert_eq!(x.add(x), Gf65536::ZERO);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_sampled() {
+        for v in (1..=0xFFFFu32).step_by(251) {
+            let x = Gf65536::new(v as u16);
+            assert_eq!(x.mul(x.inv()), Gf65536::ONE, "failed for {v:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_panics() {
+        let _ = Gf65536::ZERO.inv();
+    }
+
+    #[test]
+    fn algebraic_laws_sampled() {
+        let vals: Vec<Gf65536> = (0..=0xFFFF).step_by(9973).map(|v| Gf65536::new(v as u16)).collect();
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a.mul(b), b.mul(a));
+                for &c in &vals {
+                    assert_eq!(a.mul(b.mul(c)), a.mul(b).mul(c));
+                    assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_little() {
+        let g = Gf65536::new(2);
+        assert_eq!(g.pow(65535), Gf65536::ONE);
+        assert_ne!(g.pow(255), Gf65536::ONE);
+        assert_ne!(g.pow(257), Gf65536::ONE);
+        assert_ne!(g.pow(65535 / 3), Gf65536::ONE);
+        assert_ne!(g.pow(65535 / 5), Gf65536::ONE);
+        assert_ne!(g.pow(65535 / 17), Gf65536::ONE);
+        assert_ne!(g.pow(65535 / 257), Gf65536::ONE);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in (0..65536).step_by(1009) {
+            assert_eq!(Gf65536::from_index(i).to_index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range() {
+        let _ = Gf65536::from_index(65536);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Gf65536::new(0xBEEF).to_string(), "BEEF");
+        assert_eq!(format!("{:?}", Gf65536::new(0xBEEF)), "Gf65536(0xBEEF)");
+    }
+}

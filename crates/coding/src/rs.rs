@@ -1,0 +1,282 @@
+//! Reed–Solomon erasure coding.
+//!
+//! From `k` source messages (vectors of field symbols), generates up
+//! to `|F| - 1` coded packets such that **any** `k` distinct packets
+//! reconstruct the originals. The paper uses exactly this black box
+//! for its coding schedules (§5: "Given k input packets, Reed–Solomon
+//! coding constructs poly(nk) coded packets such that any k of the
+//! coded packets is sufficient to reconstruct the original k
+//! packets").
+//!
+//! Encoding evaluates the message polynomial at distinct nonzero
+//! points (packet `j` is evaluated at `F::from_index(j + 1)`); decoding
+//! solves the corresponding Vandermonde system, which is invertible
+//! for any `k` distinct points.
+
+use crate::matrix::Matrix;
+use crate::{CodingError, Field};
+
+/// A Reed–Solomon code of dimension `k` over field `F`.
+///
+/// See the [crate-level example](crate) for a round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReedSolomon<F> {
+    k: usize,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: Field> ReedSolomon<F> {
+    /// Creates a code of dimension `k` (number of source messages).
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::ZeroDimension`] if `k == 0`, or
+    /// [`CodingError::PacketIndexOutOfRange`] if `k` exceeds the
+    /// packet capacity `|F| - 1`.
+    pub fn new(k: usize) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::ZeroDimension);
+        }
+        if k > Self::capacity() {
+            return Err(CodingError::PacketIndexOutOfRange {
+                index: k,
+                capacity: Self::capacity(),
+            });
+        }
+        Ok(ReedSolomon { k, _marker: std::marker::PhantomData })
+    }
+
+    /// The code dimension `k`.
+    pub fn dimension(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct packets this field supports (`|F| - 1`
+    /// nonzero evaluation points).
+    pub fn capacity() -> usize {
+        F::ORDER - 1
+    }
+
+    /// Produces coded packet `j` from the `k` source messages
+    /// (`data[i]` is message `i`; all messages must share a length).
+    ///
+    /// Packet `j` is `Σ_i data[i] · x_j^i` with `x_j = from_index(j+1)`,
+    /// applied symbol-wise.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::NotEnoughPackets`] if `data.len() != k`;
+    /// * [`CodingError::PacketIndexOutOfRange`] if `j >= capacity()`;
+    /// * [`CodingError::PayloadLengthMismatch`] on ragged messages.
+    pub fn packet(&self, data: &[Vec<F>], j: usize) -> Result<Vec<F>, CodingError> {
+        if data.len() != self.k {
+            return Err(CodingError::NotEnoughPackets { got: data.len(), need: self.k });
+        }
+        if j >= Self::capacity() {
+            return Err(CodingError::PacketIndexOutOfRange { index: j, capacity: Self::capacity() });
+        }
+        let len = data[0].len();
+        for msg in data {
+            if msg.len() != len {
+                return Err(CodingError::PayloadLengthMismatch { expected: len, got: msg.len() });
+            }
+        }
+        let x = F::from_index(j + 1);
+        let mut out = vec![F::ZERO; len];
+        // Horner's rule over messages (highest power first).
+        for msg in data.iter().rev() {
+            for (o, &m) in out.iter_mut().zip(msg.iter()) {
+                *o = o.mul(x).add(m);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the `k` source messages from any `k` (or more)
+    /// distinct coded packets, supplied as `(packet_index, payload)`.
+    ///
+    /// Only the first `k` packets (after deduplication checks) are
+    /// used.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::NotEnoughPackets`] with fewer than `k` packets;
+    /// * [`CodingError::DuplicatePacketIndex`] on duplicates;
+    /// * [`CodingError::PacketIndexOutOfRange`] on a bad index;
+    /// * [`CodingError::PayloadLengthMismatch`] on ragged payloads.
+    pub fn decode(&self, packets: &[(usize, Vec<F>)]) -> Result<Vec<Vec<F>>, CodingError> {
+        if packets.len() < self.k {
+            return Err(CodingError::NotEnoughPackets { got: packets.len(), need: self.k });
+        }
+        let used = &packets[..self.k];
+        let len = used[0].1.len();
+        let mut seen = std::collections::HashSet::with_capacity(self.k);
+        for &(j, ref payload) in used {
+            if j >= Self::capacity() {
+                return Err(CodingError::PacketIndexOutOfRange {
+                    index: j,
+                    capacity: Self::capacity(),
+                });
+            }
+            if !seen.insert(j) {
+                return Err(CodingError::DuplicatePacketIndex { index: j });
+            }
+            if payload.len() != len {
+                return Err(CodingError::PayloadLengthMismatch {
+                    expected: len,
+                    got: payload.len(),
+                });
+            }
+        }
+        // Vandermonde system: V · messages = packets, solved per symbol
+        // position. Solve once with an augmented multi-RHS by inverting
+        // the k×k Vandermonde via per-column solves.
+        let points: Vec<usize> = used.iter().map(|&(j, _)| j + 1).collect();
+        let v = Matrix::<F>::vandermonde(&points, self.k);
+        let mut messages = vec![vec![F::ZERO; len]; self.k];
+        for pos in 0..len {
+            let b: Vec<F> = used.iter().map(|(_, p)| p[pos]).collect();
+            let x = v.solve(&b)?;
+            for (i, &val) in x.iter().enumerate() {
+                messages[i][pos] = val;
+            }
+        }
+        Ok(messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf256, Gf65536};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data<F: Field>(k: usize, len: usize, seed: u64) -> Vec<Vec<F>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..k).map(|_| (0..len).map(|_| F::random(&mut rng)).collect()).collect()
+    }
+
+    #[test]
+    fn roundtrip_first_k_packets() {
+        let data = random_data::<Gf256>(5, 8, 1);
+        let rs = ReedSolomon::<Gf256>::new(5).unwrap();
+        let packets: Vec<_> = (0..5).map(|j| (j, rs.packet(&data, j).unwrap())).collect();
+        assert_eq!(rs.decode(&packets).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_k_subset() {
+        let data = random_data::<Gf256>(6, 4, 2);
+        let rs = ReedSolomon::<Gf256>::new(6).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut indices: Vec<usize> = (0..ReedSolomon::<Gf256>::capacity()).collect();
+            // Random 6-subset.
+            for i in 0..6 {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            let packets: Vec<_> =
+                indices[..6].iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+            assert_eq!(rs.decode(&packets).unwrap(), data, "subset {:?}", &indices[..6]);
+        }
+    }
+
+    #[test]
+    fn extra_packets_ignored() {
+        let data = random_data::<Gf256>(3, 2, 4);
+        let rs = ReedSolomon::<Gf256>::new(3).unwrap();
+        let packets: Vec<_> = (0..10).map(|j| (j, rs.packet(&data, j).unwrap())).collect();
+        assert_eq!(rs.decode(&packets).unwrap(), data);
+    }
+
+    #[test]
+    fn gf65536_roundtrip_many_packets() {
+        let data = random_data::<Gf65536>(4, 3, 5);
+        let rs = ReedSolomon::<Gf65536>::new(4).unwrap();
+        // Use high packet indices beyond GF(256)'s capacity.
+        let idx = [300usize, 5000, 40000, 65000];
+        let packets: Vec<_> = idx.iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+        assert_eq!(rs.decode(&packets).unwrap(), data);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert_eq!(ReedSolomon::<Gf256>::new(0).unwrap_err(), CodingError::ZeroDimension);
+    }
+
+    #[test]
+    fn dimension_beyond_capacity_rejected() {
+        assert!(ReedSolomon::<Gf256>::new(256).is_err());
+        assert!(ReedSolomon::<Gf256>::new(255).is_ok());
+    }
+
+    #[test]
+    fn too_few_packets_error() {
+        let data = random_data::<Gf256>(3, 2, 6);
+        let rs = ReedSolomon::<Gf256>::new(3).unwrap();
+        let packets: Vec<_> = (0..2).map(|j| (j, rs.packet(&data, j).unwrap())).collect();
+        assert_eq!(
+            rs.decode(&packets).unwrap_err(),
+            CodingError::NotEnoughPackets { got: 2, need: 3 }
+        );
+    }
+
+    #[test]
+    fn duplicate_index_error() {
+        let data = random_data::<Gf256>(2, 2, 7);
+        let rs = ReedSolomon::<Gf256>::new(2).unwrap();
+        let p0 = rs.packet(&data, 0).unwrap();
+        let err = rs.decode(&[(0, p0.clone()), (0, p0)]).unwrap_err();
+        assert_eq!(err, CodingError::DuplicatePacketIndex { index: 0 });
+    }
+
+    #[test]
+    fn packet_index_out_of_range() {
+        let data = random_data::<Gf256>(2, 2, 8);
+        let rs = ReedSolomon::<Gf256>::new(2).unwrap();
+        assert!(rs.packet(&data, 255).is_err());
+        assert!(rs.packet(&data, 254).is_ok());
+    }
+
+    #[test]
+    fn ragged_messages_rejected() {
+        let data = vec![vec![Gf256::new(1)], vec![Gf256::new(2), Gf256::new(3)]];
+        let rs = ReedSolomon::<Gf256>::new(2).unwrap();
+        assert!(matches!(
+            rs.packet(&data, 0).unwrap_err(),
+            CodingError::PayloadLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_message_count_rejected() {
+        let data = random_data::<Gf256>(3, 2, 9);
+        let rs = ReedSolomon::<Gf256>::new(4).unwrap();
+        assert!(matches!(rs.packet(&data, 0).unwrap_err(), CodingError::NotEnoughPackets { .. }));
+    }
+
+    #[test]
+    fn corrupted_payload_length_on_decode() {
+        let data = random_data::<Gf256>(2, 3, 10);
+        let rs = ReedSolomon::<Gf256>::new(2).unwrap();
+        let p0 = rs.packet(&data, 0).unwrap();
+        let mut p1 = rs.packet(&data, 1).unwrap();
+        p1.pop();
+        assert!(matches!(
+            rs.decode(&[(0, p0), (1, p1)]).unwrap_err(),
+            CodingError::PayloadLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let data = random_data::<Gf256>(1, 5, 11);
+        let rs = ReedSolomon::<Gf256>::new(1).unwrap();
+        let p = rs.packet(&data, 77).unwrap();
+        // With k = 1 every packet equals the message.
+        assert_eq!(p, data[0]);
+        assert_eq!(rs.decode(&[(77, p)]).unwrap(), data);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the coding substrate.
+
+use proptest::prelude::*;
+use radio_coding::rlnc::{CodedPacket, RlncNode};
+use radio_coding::rs::ReedSolomon;
+use radio_coding::{Field, Gf256, Gf65536};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_gf256() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn arb_gf65536() -> impl Strategy<Value = Gf65536> {
+    any::<u16>().prop_map(Gf65536::new)
+}
+
+proptest! {
+    // ---- Field axioms, GF(256) ----
+
+    #[test]
+    fn gf256_add_commutative(a in arb_gf256(), b in arb_gf256()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+    }
+
+    #[test]
+    fn gf256_mul_commutative(a in arb_gf256(), b in arb_gf256()) {
+        prop_assert_eq!(a.mul(b), b.mul(a));
+    }
+
+    #[test]
+    fn gf256_mul_associative(a in arb_gf256(), b in arb_gf256(), c in arb_gf256()) {
+        prop_assert_eq!(a.mul(b.mul(c)), a.mul(b).mul(c));
+    }
+
+    #[test]
+    fn gf256_distributive(a in arb_gf256(), b in arb_gf256(), c in arb_gf256()) {
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn gf256_additive_inverse(a in arb_gf256()) {
+        prop_assert_eq!(a.add(a), Gf256::ZERO);
+    }
+
+    #[test]
+    fn gf256_div_is_mul_inverse(a in arb_gf256(), b in arb_gf256()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a.div(b).mul(b), a);
+    }
+
+    #[test]
+    fn gf256_pow_adds_exponents(a in arb_gf256(), e1 in 0u64..40, e2 in 0u64..40) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.pow(e1).mul(a.pow(e2)), a.pow(e1 + e2));
+    }
+
+    // ---- Field axioms, GF(65536) ----
+
+    #[test]
+    fn gf65536_mul_commutative(a in arb_gf65536(), b in arb_gf65536()) {
+        prop_assert_eq!(a.mul(b), b.mul(a));
+    }
+
+    #[test]
+    fn gf65536_distributive(a in arb_gf65536(), b in arb_gf65536(), c in arb_gf65536()) {
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn gf65536_inverse(a in arb_gf65536()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(a.inv()), Gf65536::ONE);
+    }
+
+    // ---- Reed–Solomon ----
+
+    #[test]
+    fn rs_any_k_subset_decodes(
+        k in 1usize..8,
+        len in 1usize..5,
+        seed in any::<u64>(),
+        subset_seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<Vec<Gf256>> =
+            (0..k).map(|_| (0..len).map(|_| Gf256::random(&mut rng)).collect()).collect();
+        let rs = ReedSolomon::<Gf256>::new(k).unwrap();
+        // Pick k distinct packet indices pseudo-randomly.
+        let mut idx: Vec<usize> = (0..ReedSolomon::<Gf256>::capacity()).collect();
+        let mut sub_rng = SmallRng::seed_from_u64(subset_seed);
+        for i in 0..k {
+            let j = i + (rand::Rng::gen_range(&mut sub_rng, 0..(idx.len() - i)));
+            idx.swap(i, j);
+        }
+        let packets: Vec<_> =
+            idx[..k].iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+        prop_assert_eq!(rs.decode(&packets).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_encoding_is_linear(
+        len in 1usize..4,
+        seed in any::<u64>(),
+        j in 0usize..200,
+        c in arb_gf256(),
+    ) {
+        // packet_j(a + c*b) == packet_j(a) + c * packet_j(b)
+        let k = 3;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a: Vec<Vec<Gf256>> =
+            (0..k).map(|_| (0..len).map(|_| Gf256::random(&mut rng)).collect()).collect();
+        let b: Vec<Vec<Gf256>> =
+            (0..k).map(|_| (0..len).map(|_| Gf256::random(&mut rng)).collect()).collect();
+        let sum: Vec<Vec<Gf256>> = a
+            .iter()
+            .zip(&b)
+            .map(|(ra, rb)| ra.iter().zip(rb).map(|(&x, &y)| x.add(c.mul(y))).collect())
+            .collect();
+        let rs = ReedSolomon::<Gf256>::new(k).unwrap();
+        let pa = rs.packet(&a, j).unwrap();
+        let pb = rs.packet(&b, j).unwrap();
+        let psum = rs.packet(&sum, j).unwrap();
+        let expect: Vec<Gf256> =
+            pa.iter().zip(&pb).map(|(&x, &y)| x.add(c.mul(y))).collect();
+        prop_assert_eq!(psum, expect);
+    }
+
+    // ---- RLNC ----
+
+    #[test]
+    fn rlnc_rank_never_exceeds_k_and_absorb_reports_innovation(
+        k in 1usize..6,
+        seed in any::<u64>(),
+        packets in 1usize..20,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let msgs: Vec<Vec<Gf256>> =
+            (0..k).map(|_| vec![Gf256::random(&mut rng)]).collect();
+        let src = RlncNode::source(k, 1, &msgs);
+        let mut node = RlncNode::new(k, 1);
+        for _ in 0..packets {
+            let before = node.rank();
+            let p = src.random_combination(&mut rng).unwrap();
+            let fresh = node.absorb(p);
+            let after = node.rank();
+            prop_assert_eq!(after, before + usize::from(fresh));
+            prop_assert!(after <= k);
+        }
+        if node.can_decode() {
+            prop_assert_eq!(node.decode().unwrap(), msgs);
+        }
+    }
+
+    #[test]
+    fn rlnc_decoded_payloads_match_sources(k in 1usize..6, len in 0usize..4, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let msgs: Vec<Vec<Gf256>> =
+            (0..k).map(|_| (0..len).map(|_| Gf256::random(&mut rng)).collect()).collect();
+        let src = RlncNode::source(k, len, &msgs);
+        let mut node = RlncNode::new(k, len);
+        let mut guard = 0;
+        while !node.can_decode() {
+            node.absorb(src.random_combination(&mut rng).unwrap());
+            guard += 1;
+            prop_assert!(guard < 200, "failed to reach full rank");
+        }
+        prop_assert_eq!(node.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn rlnc_unit_packets_build_identity(k in 1usize..8) {
+        let mut node = RlncNode::<Gf256>::new(k, 0);
+        for i in 0..k {
+            prop_assert!(node.absorb(CodedPacket::unit(k, i, vec![])));
+        }
+        prop_assert!(node.can_decode());
+    }
+}

@@ -1,0 +1,301 @@
+//! The Decay broadcast algorithm (Bar-Yehuda, Goldreich, Itai 1992;
+//! paper §3.4.1).
+//!
+//! Rounds are grouped into phases of `L = ⌈log₂ n⌉ + 1` rounds. In the
+//! `i`-th round of a phase (`i = 1..=L`) every *informed* node
+//! broadcasts the message independently with probability `2^{-i}`.
+//! Whatever the number of informed neighbors a node has, some round of
+//! the phase has a broadcast probability near the inverse of that
+//! count, so an uninformed node with an informed neighbor becomes
+//! informed with constant probability per phase (Lemma 5).
+//!
+//! Decay needs no topology knowledge and — the paper's Lemma 9 — keeps
+//! its guarantees under both sender and receiver faults, slowed only
+//! by the `1/(1-p)` fault factor:
+//! `O((log n / (1-p)) · (D + log n + log 1/δ))` rounds.
+
+use netgraph::{Graph, NodeId};
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+
+use crate::{BroadcastRun, CoreError};
+
+/// Configuration for [`Decay`].
+///
+/// The only knob is the phase length; `None` (default) derives
+/// `⌈log₂ n⌉ + 1` from the graph at run time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Decay {
+    /// Phase length override; `None` derives `⌈log₂ n⌉ + 1`.
+    pub phase_len: Option<u32>,
+}
+
+impl Decay {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an explicit phase length (must be ≥ 1).
+    pub fn with_phase_len(mut self, phase_len: u32) -> Self {
+        self.phase_len = Some(phase_len);
+        self
+    }
+
+    /// The phase length used for an `n`-node graph.
+    pub fn effective_phase_len(&self, n: usize) -> u32 {
+        self.phase_len.unwrap_or_else(|| default_phase_len(n))
+    }
+
+    /// Runs single-message Decay from `source` until every node is
+    /// informed or `max_rounds` elapse.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if an explicit phase length is 0;
+    /// * [`CoreError::Model`] for simulator configuration errors.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<BroadcastRun, CoreError> {
+        let n = graph.node_count();
+        if source.index() >= n {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("source {source} out of bounds for {n} nodes"),
+            });
+        }
+        let phase_len = self.effective_phase_len(n);
+        if phase_len == 0 {
+            return Err(CoreError::InvalidParameter { reason: "phase length must be ≥ 1".into() });
+        }
+        let behaviors: Vec<DecayNode> = (0..n)
+            .map(|i| DecayNode { informed: i == source.index(), phase_len })
+            .collect();
+        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
+        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    }
+
+    /// Runs Decay for exactly `budget` rounds and reports whether the
+    /// broadcast finished — the *fixed-length, failure-probability*
+    /// form in which Lemmas 6 and 9 are stated (`δ` is the probability
+    /// this returns `false` for a `Θ((log n/(1−p))(D + log n + log 1/δ))`
+    /// budget).
+    ///
+    /// # Errors
+    ///
+    /// As [`Decay::run`].
+    pub fn run_fixed(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        fault: FaultModel,
+        seed: u64,
+        budget: u64,
+    ) -> Result<bool, CoreError> {
+        Ok(self.run(graph, source, fault, seed, budget)?.completed())
+    }
+
+    /// Monte-Carlo estimate of the failure probability `δ` of the
+    /// fixed-length schedule with the given round `budget`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Decay::run`].
+    pub fn failure_rate(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        fault: FaultModel,
+        budget: u64,
+        trials: u64,
+        seed0: u64,
+    ) -> Result<f64, CoreError> {
+        let mut failures = 0u64;
+        for t in 0..trials {
+            if !self.run_fixed(graph, source, fault, seed0 + t, budget)? {
+                failures += 1;
+            }
+        }
+        Ok(failures as f64 / trials as f64)
+    }
+}
+
+/// Derives the canonical phase length `⌈log₂ n⌉ + 1`.
+pub fn default_phase_len(n: usize) -> u32 {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()) + 1
+}
+
+/// Per-node Decay state machine. Exposed so other algorithms (FASTBC's
+/// slow rounds) and the multi-message variants can reuse the step rule.
+#[derive(Debug, Clone)]
+pub struct DecayNode {
+    /// Whether this node holds the message.
+    pub informed: bool,
+    /// Phase length `L`.
+    pub phase_len: u32,
+}
+
+impl DecayNode {
+    /// The Decay broadcast probability for (0-based) `step` within the
+    /// phase structure: `2^{-((step mod L) + 1)}`.
+    pub fn broadcast_probability(phase_len: u32, step: u64) -> f64 {
+        let i = (step % u64::from(phase_len)) + 1;
+        0.5f64.powi(i as i32)
+    }
+}
+
+impl NodeBehavior<()> for DecayNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
+        if !self.informed {
+            return Action::Listen;
+        }
+        let p = Self::broadcast_probability(self.phase_len, ctx.round);
+        if rand::Rng::gen_bool(ctx.rng, p) {
+            Action::Broadcast(())
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
+        self.informed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    #[test]
+    fn default_phase_len_values() {
+        assert_eq!(default_phase_len(2), 2);
+        assert_eq!(default_phase_len(8), 4);
+        assert_eq!(default_phase_len(9), 5);
+        assert_eq!(default_phase_len(1024), 11);
+        // Degenerate sizes clamp to n = 2.
+        assert_eq!(default_phase_len(0), 2);
+        assert_eq!(default_phase_len(1), 2);
+    }
+
+    #[test]
+    fn broadcast_probability_cycles() {
+        assert_eq!(DecayNode::broadcast_probability(3, 0), 0.5);
+        assert_eq!(DecayNode::broadcast_probability(3, 1), 0.25);
+        assert_eq!(DecayNode::broadcast_probability(3, 2), 0.125);
+        assert_eq!(DecayNode::broadcast_probability(3, 3), 0.5);
+    }
+
+    #[test]
+    fn faultless_path_completes() {
+        let g = generators::path(32);
+        let run =
+            Decay::new().run(&g, NodeId::new(0), FaultModel::Faultless, 1, 100_000).unwrap();
+        assert!(run.completed());
+        assert!(run.rounds_used() > 31, "path needs at least D rounds");
+    }
+
+    #[test]
+    fn receiver_faults_completes_slower() {
+        let g = generators::path(32);
+        let base = Decay::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 7, 1_000_000)
+            .unwrap()
+            .rounds_used();
+        // Average several noisy runs to dodge variance.
+        let mut total = 0;
+        for seed in 0..5 {
+            total += Decay::new()
+                .run(&g, NodeId::new(0), FaultModel::receiver(0.6).unwrap(), seed, 1_000_000)
+                .unwrap()
+                .rounds_used();
+        }
+        let noisy = total / 5;
+        assert!(
+            noisy > base,
+            "receiver faults should slow Decay (faultless {base}, noisy {noisy})"
+        );
+    }
+
+    #[test]
+    fn sender_faults_complete() {
+        let g = generators::gnp_connected(64, 0.08, 3).unwrap();
+        let run = Decay::new()
+            .run(&g, NodeId::new(0), FaultModel::sender(0.5).unwrap(), 11, 1_000_000)
+            .unwrap();
+        assert!(run.completed(), "Decay must finish under sender faults (Lemma 9)");
+    }
+
+    #[test]
+    fn star_completes_within_phases() {
+        let g = generators::star(127);
+        let run =
+            Decay::new().run(&g, NodeId::new(0), FaultModel::Faultless, 5, 10_000).unwrap();
+        // One hop: all leaves hear the center's first solo broadcast.
+        // Decay's first broadcast at probability 1/2 happens within a
+        // couple of phases.
+        assert!(run.rounds_used() <= 64, "rounds {}", run.rounds_used());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        let g = generators::path(64);
+        let run = Decay::new().run(&g, NodeId::new(0), FaultModel::Faultless, 1, 3).unwrap();
+        assert!(!run.completed());
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let g = generators::path(4);
+        assert!(matches!(
+            Decay::new().run(&g, NodeId::new(9), FaultModel::Faultless, 0, 10),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_phase_len_rejected() {
+        let g = generators::path(4);
+        assert!(matches!(
+            Decay::new().with_phase_len(0).run(&g, NodeId::new(0), FaultModel::Faultless, 0, 10),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn determinism() {
+        let g = generators::gnp_connected(40, 0.1, 2).unwrap();
+        let fault = FaultModel::receiver(0.3).unwrap();
+        let a = Decay::new().run(&g, NodeId::new(0), fault, 13, 100_000).unwrap();
+        let b = Decay::new().run(&g, NodeId::new(0), fault, 13, 100_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_rate_decreases_with_budget() {
+        // Lemma 9's δ-dependence: a larger budget lowers the failure
+        // probability; a generous budget drives it to ~0.
+        let g = generators::path(48);
+        let fault = FaultModel::receiver(0.5).unwrap();
+        let decay = Decay::new();
+        let tight = decay.failure_rate(&g, NodeId::new(0), fault, 300, 30, 7).unwrap();
+        let loose = decay.failure_rate(&g, NodeId::new(0), fault, 3_000, 30, 7).unwrap();
+        assert!(loose <= tight, "budget 3000 failed more ({loose}) than 300 ({tight})");
+        assert_eq!(loose, 0.0, "a 10× budget should essentially never fail");
+        assert!(tight > 0.0, "a starved budget should fail sometimes");
+    }
+
+    #[test]
+    fn run_fixed_matches_run() {
+        let g = generators::path(16);
+        let fault = FaultModel::receiver(0.3).unwrap();
+        let rounds =
+            Decay::new().run(&g, NodeId::new(0), fault, 5, 1_000_000).unwrap().rounds_used();
+        assert!(Decay::new().run_fixed(&g, NodeId::new(0), fault, 5, rounds).unwrap());
+        assert!(!Decay::new().run_fixed(&g, NodeId::new(0), fault, 5, rounds - 1).unwrap());
+    }
+}

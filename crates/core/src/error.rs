@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring or running the broadcast algorithms.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The underlying simulator rejected the configuration.
+    Model(radio_model::ModelError),
+    /// GBST construction failed (disconnected graph, bad source).
+    Gbst(gbst::GbstError),
+    /// A coding operation failed.
+    Coding(radio_coding::CodingError),
+    /// An algorithm parameter is out of its valid range.
+    InvalidParameter {
+        /// Which parameter and why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "simulator error: {e}"),
+            CoreError::Gbst(e) => write!(f, "GBST error: {e}"),
+            CoreError::Coding(e) => write!(f, "coding error: {e}"),
+            CoreError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Gbst(e) => Some(e),
+            CoreError::Coding(e) => Some(e),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<radio_model::ModelError> for CoreError {
+    fn from(e: radio_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<gbst::GbstError> for CoreError {
+    fn from(e: gbst::GbstError) -> Self {
+        CoreError::Gbst(e)
+    }
+}
+
+impl From<radio_coding::CodingError> for CoreError {
+    fn from(e: radio_coding::CodingError) -> Self {
+        CoreError::Coding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(radio_model::ModelError::InvalidFaultProbability { p: 2.0 });
+        assert!(e.to_string().contains("simulator error"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::InvalidParameter { reason: "k too large".into() };
+        assert!(e.to_string().contains("k too large"));
+        assert!(Error::source(&e).is_none());
+    }
+}

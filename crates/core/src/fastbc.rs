@@ -1,0 +1,400 @@
+//! The FASTBC algorithm (Gąsieniec, Peleg, Xin 2007; paper §3.4.2).
+//!
+//! FASTBC assumes the topology is known, pre-agrees on a
+//! [gathering-broadcasting spanning tree](gbst) and alternates:
+//!
+//! * **fast rounds** (even rounds `2t`): the fast node at level `l`
+//!   with rank `r` broadcasts iff `t ≡ l − 6r (mod 6·r_max)`. By the
+//!   GBST properties these broadcasts never collide at fast children,
+//!   so a message rides an uninterrupted *wave* down each fast stretch
+//!   — one level per fast round;
+//! * **slow rounds** (odd rounds `2t+1`): a standard Decay step pushes
+//!   messages across the `O(log n)` non-fast edges of any root path.
+//!
+//! Faultless, this gives `D + O(log n (log n + log 1/δ))` rounds
+//! (Lemma 8). Under random faults the wave logic is *fragile*: one
+//! dropped hop forfeits the wave, and the stretch owner waits
+//! `Θ(6·r_max) = Θ(log n)` fast rounds before the schedule lets it
+//! transmit again, giving the `Θ((p/(1−p))·D·log n + D/(1−p))`
+//! degradation of Lemma 10 that motivates
+//! [Robust FASTBC](crate::robust_fastbc).
+
+use gbst::Gbst;
+use netgraph::{Graph, NodeId};
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, RoundTrace, Simulator};
+
+use crate::decay::{default_phase_len, DecayNode};
+use crate::{BroadcastRun, CoreError};
+
+/// Tunables for [`FastbcSchedule`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastbcParams {
+    /// Decay phase length for slow rounds; `None` derives
+    /// `⌈log₂ n⌉ + 1`.
+    pub phase_len: Option<u32>,
+    /// Number of rank slots `R` in the fast-round modulus `6R`;
+    /// `None` uses the GBST's `r_max`. The paper's analysis (and
+    /// Lemma 10's `Θ(log n)` retransmission wait) assumes
+    /// `R = Θ(log n)`; pass `Some(⌈log₂ n⌉)` to reproduce that regime
+    /// on low-rank topologies such as bare paths.
+    pub rank_slots: Option<u32>,
+}
+
+/// A compiled FASTBC schedule: the GBST plus per-node timing data.
+///
+/// Compile once with [`FastbcSchedule::new`], then [`run`] many
+/// noisy/faultless trials against it.
+///
+/// [`run`]: FastbcSchedule::run
+///
+/// # Example
+///
+/// ```
+/// use netgraph::{generators, NodeId};
+/// use noisy_radio_core::fastbc::FastbcSchedule;
+/// use radio_model::FaultModel;
+///
+/// let g = generators::path(64);
+/// let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+/// let run = sched.run(FaultModel::Faultless, 1, 100_000).unwrap();
+/// assert!(run.completed());
+/// ```
+#[derive(Debug)]
+pub struct FastbcSchedule<'g> {
+    graph: &'g Graph,
+    gbst: Gbst,
+    phase_len: u32,
+    /// Fast-round modulus `6R`.
+    modulus: u64,
+}
+
+impl<'g> FastbcSchedule<'g> {
+    /// Compiles a FASTBC schedule with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Gbst`] if the graph is disconnected or the source
+    /// is invalid.
+    pub fn new(graph: &'g Graph, source: NodeId) -> Result<Self, CoreError> {
+        Self::with_params(graph, source, FastbcParams::default())
+    }
+
+    /// Compiles a FASTBC schedule with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Gbst`] on construction failure, or
+    /// [`CoreError::InvalidParameter`] for zero parameters.
+    pub fn with_params(
+        graph: &'g Graph,
+        source: NodeId,
+        params: FastbcParams,
+    ) -> Result<Self, CoreError> {
+        let gbst = Gbst::build(graph, source)?;
+        let n = graph.node_count();
+        let phase_len = params.phase_len.unwrap_or_else(|| default_phase_len(n));
+        if phase_len == 0 {
+            return Err(CoreError::InvalidParameter { reason: "phase length must be ≥ 1".into() });
+        }
+        let rank_slots = params.rank_slots.unwrap_or_else(|| gbst.max_rank());
+        if rank_slots == 0 {
+            return Err(CoreError::InvalidParameter { reason: "rank slots must be ≥ 1".into() });
+        }
+        if rank_slots < gbst.max_rank() {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "rank slots {rank_slots} below GBST max rank {}",
+                    gbst.max_rank()
+                ),
+            });
+        }
+        Ok(FastbcSchedule { graph, gbst, phase_len, modulus: 6 * u64::from(rank_slots) })
+    }
+
+    /// The underlying GBST.
+    pub fn gbst(&self) -> &Gbst {
+        &self.gbst
+    }
+
+    /// The fast-round modulus `6R`.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// The slow-round Decay phase length.
+    pub fn phase_len(&self) -> u32 {
+        self.phase_len
+    }
+
+    /// Whether the fast node `v` is scheduled to transmit in fast
+    /// round `t` (i.e. real round `2t`): `t ≡ level − 6·rank (mod 6R)`.
+    pub fn fast_slot_matches(&self, v: NodeId, t: u64) -> bool {
+        let l = i64::from(self.gbst.level(v));
+        let r = i64::from(self.gbst.rank(v));
+        let m = self.modulus as i64;
+        (t as i64 - (l - 6 * r)).rem_euclid(m) == 0
+    }
+
+    fn behaviors(&self) -> Vec<FastbcNode> {
+        let n = self.graph.node_count();
+        (0..n)
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                FastbcNode {
+                    informed: v == self.gbst.source(),
+                    phase_len: self.phase_len,
+                    fast: self.gbst.is_fast(v).then(|| FastTiming {
+                        level: self.gbst.level(v),
+                        rank: self.gbst.rank(v),
+                        modulus: self.modulus,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the schedule until every node is informed or `max_rounds`
+    /// elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run(
+        &self,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<BroadcastRun, CoreError> {
+        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
+        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    }
+
+    /// Runs like [`FastbcSchedule::run`] but hands every round's
+    /// [`RoundTrace`] to `inspect` — used by the invariant tests that
+    /// assert fast-round collision-freedom.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run_traced(
+        &self,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+        mut inspect: impl FnMut(u64, &RoundTrace),
+    ) -> Result<BroadcastRun, CoreError> {
+        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let mut trace = RoundTrace::default();
+        let mut rounds = None;
+        for used in 0..=max_rounds {
+            if sim.behaviors().iter().all(|b| b.informed) {
+                rounds = Some(used);
+                break;
+            }
+            if used == max_rounds {
+                break;
+            }
+            let r = sim.round();
+            sim.step_traced(&mut trace);
+            inspect(r, &trace);
+        }
+        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    }
+}
+
+/// Fast-round timing of a fast node.
+#[derive(Debug, Clone, Copy)]
+struct FastTiming {
+    level: u32,
+    rank: u32,
+    modulus: u64,
+}
+
+impl FastTiming {
+    fn matches(&self, t: u64) -> bool {
+        let l = i64::from(self.level);
+        let r = i64::from(self.rank);
+        (t as i64 - (l - 6 * r)).rem_euclid(self.modulus as i64) == 0
+    }
+}
+
+/// Per-node FASTBC behavior: fast-wave slots on even rounds, Decay on
+/// odd rounds.
+#[derive(Debug, Clone)]
+struct FastbcNode {
+    informed: bool,
+    phase_len: u32,
+    fast: Option<FastTiming>,
+}
+
+impl NodeBehavior<()> for FastbcNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
+        if !self.informed {
+            return Action::Listen;
+        }
+        if ctx.round.is_multiple_of(2) {
+            // Fast transmission round 2t.
+            let t = ctx.round / 2;
+            match self.fast {
+                Some(timing) if timing.matches(t) => Action::Broadcast(()),
+                _ => Action::Listen,
+            }
+        } else {
+            // Slow transmission round 2t + 1: Decay step t.
+            let t = (ctx.round - 1) / 2;
+            let p = DecayNode::broadcast_probability(self.phase_len, t);
+            if rand::Rng::gen_bool(ctx.rng, p) {
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
+        self.informed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    #[test]
+    fn faultless_path_is_diameter_linear() {
+        let g = generators::path(200);
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let run = sched.run(FaultModel::Faultless, 1, 100_000).unwrap();
+        let rounds = run.rounds_used();
+        // The wave advances one level per fast round (2 real rounds)
+        // once started; budget 2D + startup + slack. (The final hop's
+        // reception lands inside round 2(D-1), hence the -1.)
+        assert!(rounds >= 2 * 198, "wave cannot beat 2 rounds/hop: {rounds}");
+        assert!(rounds <= 2 * 199 + 200, "rounds {rounds} not diameter-linear");
+    }
+
+    #[test]
+    fn faultless_tree_completes() {
+        let g = generators::balanced_tree(3, 5).unwrap();
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let run = sched.run(FaultModel::Faultless, 3, 100_000).unwrap();
+        assert!(run.completed());
+    }
+
+    #[test]
+    fn random_graph_completes_with_faults() {
+        let g = generators::gnp_connected(128, 0.04, 5).unwrap();
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        for fault in [
+            FaultModel::Faultless,
+            FaultModel::sender(0.3).unwrap(),
+            FaultModel::receiver(0.3).unwrap(),
+        ] {
+            let run = sched.run(fault, 7, 1_000_000).unwrap();
+            assert!(run.completed(), "did not complete under {fault}");
+        }
+    }
+
+    #[test]
+    fn faults_degrade_fastbc_on_paths() {
+        // Lemma 10's shape: with rank_slots = ceil(log2 n), the noisy
+        // run pays ~6·log n fast rounds per dropped hop.
+        let g = generators::path(256);
+        let params =
+            FastbcParams { phase_len: None, rank_slots: Some(8 /* log2 256 */) };
+        let sched = FastbcSchedule::with_params(&g, NodeId::new(0), params).unwrap();
+        let clean = sched.run(FaultModel::Faultless, 1, 1_000_000).unwrap().rounds_used();
+        let mut noisy_total = 0;
+        for seed in 0..3 {
+            noisy_total += sched
+                .run(FaultModel::receiver(0.5).unwrap(), seed, 10_000_000)
+                .unwrap()
+                .rounds_used();
+        }
+        let noisy = noisy_total / 3;
+        assert!(
+            noisy as f64 > 2.5 * clean as f64,
+            "faults should blow up FASTBC: clean {clean}, noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn fast_rounds_never_collide_at_fast_children() {
+        // The GBST non-interference invariant, observed end-to-end:
+        // in faultless fast rounds every broadcasting fast node's fast
+        // child receives its packet.
+        let g = generators::gnp_connected(96, 0.06, 11).unwrap();
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let gbst = sched.gbst();
+        let run = sched
+            .run_traced(FaultModel::Faultless, 5, 100_000, |round, trace| {
+                if round % 2 != 0 {
+                    return;
+                }
+                for &u in &trace.broadcasters {
+                    let c = gbst
+                        .fast_child(u)
+                        .expect("even-round broadcasters are fast nodes");
+                    let delivered = trace.deliveries.iter().any(|&(s, d)| s == u && d == c);
+                    let child_broadcasting = trace.broadcasters.contains(&c);
+                    assert!(
+                        delivered || child_broadcasting,
+                        "round {round}: fast child {c} of {u} missed the wave"
+                    );
+                }
+            })
+            .unwrap();
+        assert!(run.completed());
+    }
+
+    #[test]
+    fn rank_slots_below_max_rank_rejected() {
+        let g = generators::balanced_tree(2, 4).unwrap();
+        let err = FastbcSchedule::with_params(
+            &g,
+            NodeId::new(0),
+            FastbcParams { phase_len: None, rank_slots: Some(1) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        let g = generators::path(8);
+        assert!(FastbcSchedule::with_params(
+            &g,
+            NodeId::new(0),
+            FastbcParams { phase_len: Some(0), rank_slots: None }
+        )
+        .is_err());
+        assert!(FastbcSchedule::with_params(
+            &g,
+            NodeId::new(0),
+            FastbcParams { phase_len: None, rank_slots: Some(0) }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(3, [(NodeId::new(0), NodeId::new(1))]).unwrap();
+        assert!(matches!(
+            FastbcSchedule::new(&g, NodeId::new(0)),
+            Err(CoreError::Gbst(gbst::GbstError::Disconnected { .. }))
+        ));
+    }
+
+    #[test]
+    fn fast_slot_matches_is_periodic() {
+        let g = generators::path(16);
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let v = NodeId::new(3); // level 3, rank 1, modulus 6
+        let hits: Vec<u64> = (0..24).filter(|&t| sched.fast_slot_matches(v, t)).collect();
+        assert_eq!(hits, vec![3, 9, 15, 21]); // 3 - 6 ≡ 3 (mod 6)
+    }
+
+    use netgraph::Graph;
+}

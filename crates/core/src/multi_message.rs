@@ -1,0 +1,465 @@
+//! Multi-message broadcast via random linear network coding
+//! (paper §4.2, Lemmas 12–13).
+//!
+//! A fault-robust single-message schedule is lifted to `k` messages in
+//! a black-box way: whenever the schedule gives a node a broadcast
+//! slot, the node transmits a **uniformly random linear combination**
+//! of everything it has received (the source holds all `k` messages
+//! from the start). A node has all messages once it accumulates `k`
+//! independent combinations (see [`radio_coding::rlnc`]).
+//!
+//! * [`DecayRlnc`] — Decay slots; `O(D log n + k log n + log² n)`
+//!   rounds under faults, i.e. throughput `Ω(1/log n)` (Lemma 12);
+//! * [`RobustFastbcRlnc`] — Robust FASTBC slots;
+//!   `O(D + k log n log log n + log² n log log n)` rounds, throughput
+//!   `Ω(1/(log n log log n))` (Lemma 13).
+//!
+//! Both behaviors are *oblivious* in the sense required by the paper's
+//! black-box lemma: the broadcast pattern never depends on receptions
+//! (a node with nothing to send simply emits silence in its slot).
+
+use netgraph::{Graph, NodeId};
+use radio_coding::rlnc::{CodedPacket, RlncNode};
+use radio_coding::{Field, Gf256};
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+
+use crate::decay::{default_phase_len, DecayNode};
+use crate::robust_fastbc::{RobustFastbcParams, RobustFastbcSchedule};
+use crate::{BroadcastRun, CoreError};
+
+/// Outcome of a multi-message run: the broadcast result plus the
+/// decoded payload check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiMessageRun {
+    /// Rounds/stats of the run.
+    pub run: BroadcastRun,
+    /// Whether every node's decoded messages matched the source's
+    /// (always checked when the run completes; `false` only flags a
+    /// coding bug, never a channel fault).
+    pub decoded_ok: bool,
+}
+
+fn random_messages(k: usize, payload_len: usize, seed: u64) -> Vec<Vec<Gf256>> {
+    let mut rng = radio_model::fork_rng(seed, 0xC0DE);
+    (0..k).map(|_| (0..payload_len).map(|_| Gf256::random(&mut rng)).collect()).collect()
+}
+
+fn check_k(k: usize) -> Result<(), CoreError> {
+    if k == 0 || k > 255 {
+        return Err(CoreError::InvalidParameter {
+            reason: format!("k = {k} outside supported range 1..=255 (GF(256) coefficients)"),
+        });
+    }
+    Ok(())
+}
+
+/// Decay-slotted RLNC multi-message broadcast (Lemma 12).
+///
+/// # Example
+///
+/// ```
+/// use netgraph::{generators, NodeId};
+/// use noisy_radio_core::multi_message::DecayRlnc;
+/// use radio_model::FaultModel;
+///
+/// let g = generators::path(8);
+/// let out = DecayRlnc::default()
+///     .run(&g, NodeId::new(0), 4, FaultModel::receiver(0.2).unwrap(), 7, 200_000)
+///     .unwrap();
+/// assert!(out.run.completed());
+/// assert!(out.decoded_ok);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecayRlnc {
+    /// Decay phase length; `None` derives `⌈log₂ n⌉ + 1`.
+    pub phase_len: Option<u32>,
+    /// Payload symbols per message (0 = track coefficients only,
+    /// fastest; > 0 = carry and verify real payloads).
+    pub payload_len: usize,
+}
+
+impl DecayRlnc {
+    /// Runs `k`-message broadcast from `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `k` is outside `1..=255` or
+    /// the source is out of bounds; [`CoreError::Model`] from the
+    /// simulator.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        k: usize,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<MultiMessageRun, CoreError> {
+        check_k(k)?;
+        let n = graph.node_count();
+        if source.index() >= n {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("source {source} out of bounds for {n} nodes"),
+            });
+        }
+        let phase_len = self.phase_len.unwrap_or_else(|| default_phase_len(n));
+        let messages = random_messages(k, self.payload_len, seed);
+        let behaviors: Vec<RlncDecayNode> = (0..n)
+            .map(|i| RlncDecayNode {
+                state: if i == source.index() {
+                    RlncNode::source(k, self.payload_len, &messages)
+                } else {
+                    RlncNode::new(k, self.payload_len)
+                },
+                phase_len,
+            })
+            .collect();
+        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
+        let stats = *sim.stats();
+        let decoded_ok = rounds.is_some()
+            && sim
+                .behaviors()
+                .iter()
+                .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
+        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+    }
+}
+
+impl DecayRlnc {
+    /// Multi-source gossip: message `i` starts at `owners[i]`
+    /// (`k = owners.len()`), everyone gossips random combinations
+    /// under Decay timing, and the run completes when every node can
+    /// decode all `k` messages.
+    ///
+    /// This generalizes Lemma 12 beyond the paper's single-source
+    /// `k`-broadcast: RLNC is source-oblivious (Haeupler's projection
+    /// analysis never uses a common source), so the same schedule
+    /// solves all-to-all gossip at the same throughput.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] on bad `k` or an out-of-bounds
+    /// owner; [`CoreError::Model`] from the simulator.
+    pub fn run_gossip(
+        &self,
+        graph: &Graph,
+        owners: &[NodeId],
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<MultiMessageRun, CoreError> {
+        let k = owners.len();
+        check_k(k)?;
+        let n = graph.node_count();
+        if let Some(&bad) = owners.iter().find(|o| o.index() >= n) {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("owner {bad} out of bounds for {n} nodes"),
+            });
+        }
+        let phase_len = self.phase_len.unwrap_or_else(|| default_phase_len(n));
+        let messages = random_messages(k, self.payload_len, seed);
+        let mut behaviors: Vec<RlncDecayNode> = (0..n)
+            .map(|_| RlncDecayNode { state: RlncNode::new(k, self.payload_len), phase_len })
+            .collect();
+        for (i, &owner) in owners.iter().enumerate() {
+            behaviors[owner.index()].state.absorb(
+                radio_coding::rlnc::CodedPacket::unit(k, i, messages[i].clone()),
+            );
+        }
+        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
+        let stats = *sim.stats();
+        let decoded_ok = rounds.is_some()
+            && sim
+                .behaviors()
+                .iter()
+                .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
+        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+    }
+}
+
+/// Per-node behavior: Decay timing, RLNC payload.
+#[derive(Debug, Clone)]
+struct RlncDecayNode {
+    state: RlncNode<Gf256>,
+    phase_len: u32,
+}
+
+impl NodeBehavior<CodedPacket<Gf256>> for RlncDecayNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<CodedPacket<Gf256>> {
+        let p = DecayNode::broadcast_probability(self.phase_len, ctx.round);
+        if rand::Rng::gen_bool(ctx.rng, p) {
+            match self.state.random_combination(ctx.rng) {
+                Some(packet) => Action::Broadcast(packet),
+                None => Action::Listen,
+            }
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: CodedPacket<Gf256>) {
+        self.state.absorb(packet);
+    }
+}
+
+/// Robust-FASTBC-slotted RLNC multi-message broadcast (Lemma 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustFastbcRlnc {
+    /// Robust FASTBC parameters (block size, window, phase length).
+    pub params: RobustFastbcParams,
+    /// Payload symbols per message (see [`DecayRlnc::payload_len`]).
+    pub payload_len: usize,
+}
+
+impl RobustFastbcRlnc {
+    /// Runs `k`-message broadcast from `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] on bad `k`;
+    /// [`CoreError::Gbst`] if the GBST cannot be built;
+    /// [`CoreError::Model`] from the simulator.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        k: usize,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<MultiMessageRun, CoreError> {
+        check_k(k)?;
+        let sched = RobustFastbcSchedule::with_params(graph, source, self.params)?;
+        let gbst = sched.gbst();
+        let n = graph.node_count();
+        let messages = random_messages(k, self.payload_len, seed);
+        let phase_len = sched.phase_len();
+        let behaviors: Vec<RlncRobustNode> = (0..n)
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                RlncRobustNode {
+                    state: if v == source {
+                        RlncNode::source(k, self.payload_len, &messages)
+                    } else {
+                        RlncNode::new(k, self.payload_len)
+                    },
+                    phase_len,
+                    slot: gbst.is_fast(v).then(|| BlockSlot {
+                        level: gbst.level(v),
+                        rank: gbst.rank(v),
+                        block_size: sched.block_size(),
+                        window: sched.window_multiplier(),
+                        modulus: sched.modulus(),
+                    }),
+                }
+            })
+            .collect();
+        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
+        let stats = *sim.stats();
+        let decoded_ok = rounds.is_some()
+            && sim
+                .behaviors()
+                .iter()
+                .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
+        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+    }
+}
+
+/// The block-pipelined slot predicate of Robust FASTBC, carried
+/// per node (identical to §4.1's formal schedule).
+#[derive(Debug, Clone, Copy)]
+struct BlockSlot {
+    level: u32,
+    rank: u32,
+    block_size: u32,
+    window: u32,
+    modulus: u64,
+}
+
+impl BlockSlot {
+    fn matches(&self, round: u64) -> bool {
+        let t = round / 2;
+        let superround = t / u64::from(self.window * self.block_size);
+        let block = i64::from(self.level / self.block_size);
+        let r = i64::from(self.rank);
+        let m = self.modulus as i64;
+        let active = (superround as i64 - (block - 6 * r)).rem_euclid(m) == 0;
+        active && u64::from(self.level) % 3 == round % 3
+    }
+}
+
+/// Per-node behavior: Robust FASTBC timing, RLNC payload.
+#[derive(Debug, Clone)]
+struct RlncRobustNode {
+    state: RlncNode<Gf256>,
+    phase_len: u32,
+    slot: Option<BlockSlot>,
+}
+
+impl NodeBehavior<CodedPacket<Gf256>> for RlncRobustNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<CodedPacket<Gf256>> {
+        let wants_slot = if ctx.round.is_multiple_of(2) {
+            matches!(self.slot, Some(slot) if slot.matches(ctx.round))
+        } else {
+            let t = (ctx.round - 1) / 2;
+            let p = DecayNode::broadcast_probability(self.phase_len, t);
+            rand::Rng::gen_bool(ctx.rng, p)
+        };
+        if wants_slot {
+            match self.state.random_combination(ctx.rng) {
+                Some(packet) => Action::Broadcast(packet),
+                None => Action::Listen,
+            }
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: CodedPacket<Gf256>) {
+        self.state.absorb(packet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    #[test]
+    fn decay_rlnc_small_path() {
+        let g = generators::path(6);
+        let out = DecayRlnc { phase_len: None, payload_len: 2 }
+            .run(&g, NodeId::new(0), 3, FaultModel::Faultless, 1, 100_000)
+            .unwrap();
+        assert!(out.run.completed());
+        assert!(out.decoded_ok);
+    }
+
+    #[test]
+    fn decay_rlnc_star_with_receiver_faults() {
+        let g = generators::star(32);
+        let out = DecayRlnc { phase_len: None, payload_len: 1 }
+            .run(&g, NodeId::new(0), 16, FaultModel::receiver(0.5).unwrap(), 3, 1_000_000)
+            .unwrap();
+        assert!(out.run.completed(), "Lemma 12: coding throughput Ω(1/log n) on the star");
+        assert!(out.decoded_ok);
+    }
+
+    #[test]
+    fn decay_rlnc_gnp_sender_faults() {
+        let g = generators::gnp_connected(48, 0.1, 5).unwrap();
+        let out = DecayRlnc { phase_len: None, payload_len: 0 }
+            .run(&g, NodeId::new(0), 8, FaultModel::sender(0.3).unwrap(), 7, 1_000_000)
+            .unwrap();
+        assert!(out.run.completed());
+        assert!(out.decoded_ok, "payload-free runs still decode (empty payloads)");
+    }
+
+    #[test]
+    fn robust_fastbc_rlnc_path() {
+        let g = generators::path(48);
+        let out = RobustFastbcRlnc { params: Default::default(), payload_len: 1 }
+            .run(&g, NodeId::new(0), 6, FaultModel::receiver(0.3).unwrap(), 11, 2_000_000)
+            .unwrap();
+        assert!(out.run.completed(), "Lemma 13 variant must complete under faults");
+        assert!(out.decoded_ok);
+    }
+
+    #[test]
+    fn robust_fastbc_rlnc_tree_faultless() {
+        let g = generators::balanced_tree(2, 5).unwrap();
+        let out = RobustFastbcRlnc { params: Default::default(), payload_len: 2 }
+            .run(&g, NodeId::new(0), 5, FaultModel::Faultless, 13, 2_000_000)
+            .unwrap();
+        assert!(out.run.completed());
+        assert!(out.decoded_ok);
+    }
+
+    #[test]
+    fn k_bounds_enforced() {
+        let g = generators::path(4);
+        for k in [0usize, 256] {
+            assert!(matches!(
+                DecayRlnc::default().run(&g, NodeId::new(0), k, FaultModel::Faultless, 0, 10),
+                Err(CoreError::InvalidParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let g = generators::path(4);
+        assert!(matches!(
+            DecayRlnc::default().run(&g, NodeId::new(9), 2, FaultModel::Faultless, 0, 10),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn gossip_from_scattered_sources_completes() {
+        let g = generators::grid(6, 6);
+        // Messages owned by the four corners and the center.
+        let owners = vec![
+            NodeId::new(0),
+            NodeId::new(5),
+            NodeId::new(30),
+            NodeId::new(35),
+            NodeId::new(14),
+        ];
+        let out = DecayRlnc { phase_len: None, payload_len: 2 }
+            .run_gossip(&g, &owners, FaultModel::receiver(0.3).unwrap(), 5, 1_000_000)
+            .unwrap();
+        assert!(out.run.completed());
+        assert!(out.decoded_ok);
+    }
+
+    #[test]
+    fn gossip_with_repeated_owner_is_single_source_broadcast() {
+        let g = generators::path(12);
+        let owners = vec![NodeId::new(0); 4];
+        let out = DecayRlnc { phase_len: None, payload_len: 1 }
+            .run_gossip(&g, &owners, FaultModel::Faultless, 7, 1_000_000)
+            .unwrap();
+        assert!(out.run.completed());
+        assert!(out.decoded_ok);
+    }
+
+    #[test]
+    fn gossip_rejects_bad_owner() {
+        let g = generators::path(4);
+        assert!(matches!(
+            DecayRlnc::default().run_gossip(
+                &g,
+                &[NodeId::new(9)],
+                FaultModel::Faultless,
+                0,
+                10
+            ),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn rounds_scale_roughly_linearly_in_k() {
+        // Lemma 12 shape: k log n + D log n; doubling k from a
+        // k-dominant regime should not much more than double rounds.
+        let g = generators::star(64);
+        let run = |k: usize| {
+            DecayRlnc { phase_len: None, payload_len: 0 }
+                .run(&g, NodeId::new(0), k, FaultModel::receiver(0.5).unwrap(), 21, 4_000_000)
+                .unwrap()
+                .run
+                .rounds_used()
+        };
+        let r32 = run(32);
+        let r64 = run(64);
+        let ratio = r64 as f64 / r32 as f64;
+        assert!(
+            (1.2..3.4).contains(&ratio),
+            "rounds should scale ~linearly in k: {r32} -> {r64} (ratio {ratio})"
+        );
+    }
+}

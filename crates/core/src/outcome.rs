@@ -1,0 +1,48 @@
+use radio_model::SimStats;
+
+/// The result of one broadcast execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastRun {
+    /// Rounds until the broadcast goal was reached, or `None` if the
+    /// round budget ran out first.
+    pub rounds: Option<u64>,
+    /// Aggregate channel statistics for the run.
+    pub stats: SimStats,
+}
+
+impl BroadcastRun {
+    /// Whether the broadcast completed within its round budget.
+    pub fn completed(&self) -> bool {
+        self.rounds.is_some()
+    }
+
+    /// Rounds used, panicking if the run did not complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the broadcast did not complete.
+    pub fn rounds_used(&self) -> u64 {
+        self.rounds.expect("broadcast did not complete within its round budget")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let done = BroadcastRun { rounds: Some(7), stats: SimStats::default() };
+        assert!(done.completed());
+        assert_eq!(done.rounds_used(), 7);
+        let not = BroadcastRun { rounds: None, stats: SimStats::default() };
+        assert!(!not.completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not complete")]
+    fn rounds_used_panics_when_incomplete() {
+        let not = BroadcastRun { rounds: None, stats: SimStats::default() };
+        let _ = not.rounds_used();
+    }
+}

@@ -1,0 +1,432 @@
+//! Robust FASTBC — the paper's main algorithm (§4.1, Theorem 11).
+//!
+//! FASTBC's wave is fragile because each hop gets exactly one
+//! transmission slot per `6·r_max` fast rounds. Robust FASTBC replaces
+//! the single-shot wave with *block pipelining*:
+//!
+//! * fast stretches are partitioned into **blocks** of
+//!   `S = Θ(log log n)` consecutive levels;
+//! * block `B = ⌊l/S⌋` of rank `r` is **active** during superround
+//!   `u = ⌊t/(2cS)⌋` iff `B − 6r ≡ u (mod 6·r_max)`; while active,
+//!   every fast node of the block at level `l` broadcasts in even
+//!   rounds with `l ≡ t (mod 3)` — a mod-3 pipeline that retries each
+//!   hop `Θ(c)` times inside the `cS`-fast-round window;
+//! * consecutive superrounds activate consecutive blocks, so a message
+//!   that crosses its block within the window rides seamlessly into
+//!   the next block; a message that gets stuck waits one activation
+//!   cycle (`6·r_max` superrounds).
+//!
+//! A hop now fails only if `Θ(c)` independent transmissions all fault,
+//! so the per-block failure probability is `1/polylog(n)` and the
+//! total time is `O(D + log n · log log n (log n + log 1/δ))` under
+//! sender or receiver faults (Theorem 11) — diameter-*linear*, unlike
+//! faulty FASTBC's `Θ(p·D·log n)` (Lemma 10).
+//!
+//! Odd rounds run a standard Decay step, exactly as in FASTBC, to move
+//! messages across non-fast edges and into stretch heads.
+
+use gbst::Gbst;
+use netgraph::{Graph, NodeId};
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, RoundTrace, Simulator};
+
+use crate::decay::{default_phase_len, DecayNode};
+use crate::{BroadcastRun, CoreError};
+
+/// Tunables for [`RobustFastbcSchedule`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustFastbcParams {
+    /// Decay phase length for slow rounds; `None` derives
+    /// `⌈log₂ n⌉ + 1`.
+    pub phase_len: Option<u32>,
+    /// Block size `S`; `None` derives `max(2, ⌈log₂ log₂ n⌉ + 1)`.
+    pub block_size: Option<u32>,
+    /// Window multiplier `c` (block active for `c·S` fast rounds);
+    /// `None` uses 6. Must be ≥ 3 so an un-faulted message can cross
+    /// a whole block within one window.
+    pub window_multiplier: Option<u32>,
+    /// Rank slots `R` for the modulus `6R`; `None` uses the GBST
+    /// `r_max` (see [`crate::fastbc::FastbcParams::rank_slots`]).
+    pub rank_slots: Option<u32>,
+}
+
+/// A compiled Robust FASTBC schedule.
+///
+/// # Example
+///
+/// ```
+/// use netgraph::{generators, NodeId};
+/// use noisy_radio_core::robust_fastbc::RobustFastbcSchedule;
+/// use radio_model::FaultModel;
+///
+/// let g = generators::path(64);
+/// let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+/// let run = sched.run(FaultModel::receiver(0.3).unwrap(), 1, 1_000_000).unwrap();
+/// assert!(run.completed(), "Theorem 11: robust under faults");
+/// ```
+#[derive(Debug)]
+pub struct RobustFastbcSchedule<'g> {
+    graph: &'g Graph,
+    gbst: Gbst,
+    phase_len: u32,
+    block_size: u32,
+    window: u32,
+    /// Superround modulus `6R`.
+    modulus: u64,
+}
+
+/// Derives the canonical block size `max(2, ⌈log₂ log₂ n⌉ + 1)`.
+pub fn default_block_size(n: usize) -> u32 {
+    let log_n = f64::from(default_phase_len(n));
+    (log_n.log2().ceil() as u32 + 1).max(2)
+}
+
+impl<'g> RobustFastbcSchedule<'g> {
+    /// Compiles a Robust FASTBC schedule with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Gbst`] if the graph is disconnected or the source
+    /// is invalid.
+    pub fn new(graph: &'g Graph, source: NodeId) -> Result<Self, CoreError> {
+        Self::with_params(graph, source, RobustFastbcParams::default())
+    }
+
+    /// Compiles with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Gbst`] on construction failure, or
+    /// [`CoreError::InvalidParameter`] for out-of-range parameters.
+    pub fn with_params(
+        graph: &'g Graph,
+        source: NodeId,
+        params: RobustFastbcParams,
+    ) -> Result<Self, CoreError> {
+        let gbst = Gbst::build(graph, source)?;
+        let n = graph.node_count();
+        let phase_len = params.phase_len.unwrap_or_else(|| default_phase_len(n));
+        let block_size = params.block_size.unwrap_or_else(|| default_block_size(n));
+        let window = params.window_multiplier.unwrap_or(6);
+        if phase_len == 0 || block_size == 0 {
+            return Err(CoreError::InvalidParameter {
+                reason: "phase length and block size must be ≥ 1".into(),
+            });
+        }
+        if window < 3 {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("window multiplier {window} must be ≥ 3"),
+            });
+        }
+        let rank_slots = params.rank_slots.unwrap_or_else(|| gbst.max_rank());
+        if rank_slots < gbst.max_rank() {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "rank slots {rank_slots} below GBST max rank {}",
+                    gbst.max_rank()
+                ),
+            });
+        }
+        Ok(RobustFastbcSchedule {
+            graph,
+            gbst,
+            phase_len,
+            block_size,
+            window,
+            modulus: 6 * u64::from(rank_slots),
+        })
+    }
+
+    /// The underlying GBST.
+    pub fn gbst(&self) -> &Gbst {
+        &self.gbst
+    }
+
+    /// The block size `S`.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// The window multiplier `c`.
+    pub fn window_multiplier(&self) -> u32 {
+        self.window
+    }
+
+    /// The superround modulus `6R`.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// The slow-round Decay phase length.
+    pub fn phase_len(&self) -> u32 {
+        self.phase_len
+    }
+
+    /// Whether fast node `v` is scheduled to broadcast in (even) real
+    /// round `t`: block-active and `level ≡ t (mod 3)`.
+    pub fn fast_slot_matches(&self, v: NodeId, t: u64) -> bool {
+        debug_assert_eq!(t % 2, 0);
+        let timing = BlockTiming {
+            level: self.gbst.level(v),
+            rank: self.gbst.rank(v),
+            block_size: self.block_size,
+            window: self.window,
+            modulus: self.modulus,
+        };
+        timing.matches(t)
+    }
+
+    fn behaviors(&self) -> Vec<RobustFastbcNode> {
+        let n = self.graph.node_count();
+        (0..n)
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                RobustFastbcNode {
+                    informed: v == self.gbst.source(),
+                    phase_len: self.phase_len,
+                    fast: self.gbst.is_fast(v).then(|| BlockTiming {
+                        level: self.gbst.level(v),
+                        rank: self.gbst.rank(v),
+                        block_size: self.block_size,
+                        window: self.window,
+                        modulus: self.modulus,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the schedule until every node is informed or `max_rounds`
+    /// elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run(
+        &self,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<BroadcastRun, CoreError> {
+        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
+        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    }
+
+    /// Traced variant of [`RobustFastbcSchedule::run`] for invariant
+    /// tests.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run_traced(
+        &self,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+        mut inspect: impl FnMut(u64, &RoundTrace),
+    ) -> Result<BroadcastRun, CoreError> {
+        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let mut trace = RoundTrace::default();
+        let mut rounds = None;
+        for used in 0..=max_rounds {
+            if sim.behaviors().iter().all(|b| b.informed) {
+                rounds = Some(used);
+                break;
+            }
+            if used == max_rounds {
+                break;
+            }
+            let r = sim.round();
+            sim.step_traced(&mut trace);
+            inspect(r, &trace);
+        }
+        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    }
+}
+
+/// Block-pipelined fast-round timing (§4.1's formal description):
+/// broadcast at even round `t` iff
+/// `⌊l/S⌋ − 6r ≡ ⌊(t/2)/(cS)⌋ (mod 6·r_max)` and `l ≡ t (mod 3)`.
+#[derive(Debug, Clone, Copy)]
+struct BlockTiming {
+    level: u32,
+    rank: u32,
+    block_size: u32,
+    window: u32,
+    modulus: u64,
+}
+
+impl BlockTiming {
+    fn matches(&self, round: u64) -> bool {
+        let t = round / 2; // fast-round index
+        let superround = t / u64::from(self.window * self.block_size);
+        let block = i64::from(self.level / self.block_size);
+        let r = i64::from(self.rank);
+        let m = self.modulus as i64;
+        let active = (superround as i64 - (block - 6 * r)).rem_euclid(m) == 0;
+        active && u64::from(self.level) % 3 == round % 3
+    }
+}
+
+/// Per-node Robust FASTBC behavior.
+#[derive(Debug, Clone)]
+struct RobustFastbcNode {
+    informed: bool,
+    phase_len: u32,
+    fast: Option<BlockTiming>,
+}
+
+impl NodeBehavior<()> for RobustFastbcNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
+        if !self.informed {
+            return Action::Listen;
+        }
+        if ctx.round.is_multiple_of(2) {
+            match self.fast {
+                Some(timing) if timing.matches(ctx.round) => Action::Broadcast(()),
+                _ => Action::Listen,
+            }
+        } else {
+            let t = (ctx.round - 1) / 2;
+            let p = DecayNode::broadcast_probability(self.phase_len, t);
+            if rand::Rng::gen_bool(ctx.rng, p) {
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
+        self.informed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    #[test]
+    fn default_block_sizes() {
+        assert_eq!(default_block_size(16), 4); // log2(16)+1 = 5, ceil(log2 5)+1 = 4
+        assert!(default_block_size(1 << 20) >= 4);
+        assert!(default_block_size(2) >= 2);
+    }
+
+    #[test]
+    fn faultless_path_completes_diameter_linearly() {
+        let g = generators::path(256);
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let run = sched.run(FaultModel::Faultless, 1, 1_000_000).unwrap();
+        let rounds = run.rounds_used();
+        // Mod-3 pipeline: ≥ 6 real rounds per hop while the wave is
+        // hot, plus activation waits.
+        assert!(rounds >= 255, "rounds {rounds}");
+        assert!(rounds <= 40 * 255, "rounds {rounds} far from diameter-linear");
+    }
+
+    #[test]
+    fn noisy_path_stays_diameter_linear() {
+        // The Theorem 11 headline: under receiver faults the per-hop
+        // cost stays O(1) (amortized), unlike FASTBC's Θ(p log n).
+        let g = generators::path(256);
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let clean = sched.run(FaultModel::Faultless, 1, 10_000_000).unwrap().rounds_used();
+        let mut noisy_total = 0;
+        for seed in 0..3 {
+            noisy_total += sched
+                .run(FaultModel::receiver(0.5).unwrap(), seed, 10_000_000)
+                .unwrap()
+                .rounds_used();
+        }
+        let noisy = noisy_total / 3;
+        assert!(
+            (noisy as f64) < 4.0 * clean as f64,
+            "robust wave should degrade by O(1) only: clean {clean}, noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn sender_faults_complete_on_trees() {
+        let g = generators::balanced_tree(2, 6).unwrap();
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let run = sched.run(FaultModel::sender(0.4).unwrap(), 9, 1_000_000).unwrap();
+        assert!(run.completed());
+    }
+
+    #[test]
+    fn random_graphs_complete_under_faults() {
+        let g = generators::gnp_connected(128, 0.05, 17).unwrap();
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        for fault in [FaultModel::sender(0.3).unwrap(), FaultModel::receiver(0.3).unwrap()] {
+            let run = sched.run(fault, 23, 1_000_000).unwrap();
+            assert!(run.completed(), "did not complete under {fault}");
+        }
+    }
+
+    #[test]
+    fn fast_rounds_never_collide_at_fast_children() {
+        // Same invariant as FASTBC but for the block-pipelined slots
+        // (§4.1: "no two broadcasting nodes ever interfere").
+        let g = generators::gnp_connected(96, 0.06, 31).unwrap();
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let gbst = sched.gbst();
+        let run = sched
+            .run_traced(FaultModel::Faultless, 2, 200_000, |round, trace| {
+                if round % 2 != 0 {
+                    return;
+                }
+                for &u in &trace.broadcasters {
+                    let c = gbst.fast_child(u).expect("even-round broadcasters are fast");
+                    let delivered = trace.deliveries.iter().any(|&(s, d)| s == u && d == c);
+                    let child_broadcasting = trace.broadcasters.contains(&c);
+                    assert!(
+                        delivered || child_broadcasting,
+                        "round {round}: block wave collided at fast child {c} of {u}"
+                    );
+                }
+            })
+            .unwrap();
+        assert!(run.completed());
+    }
+
+    #[test]
+    fn window_multiplier_below_3_rejected() {
+        let g = generators::path(8);
+        let err = RobustFastbcSchedule::with_params(
+            &g,
+            NodeId::new(0),
+            RobustFastbcParams { window_multiplier: Some(2), ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn block_slots_respect_mod3() {
+        let g = generators::path(64);
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        for v in [NodeId::new(5), NodeId::new(12)] {
+            for t in (0..600u64).step_by(2) {
+                if sched.fast_slot_matches(v, t) {
+                    assert_eq!(
+                        u64::from(sched.gbst().level(v)) % 3,
+                        t % 3,
+                        "node {v} broadcast off its mod-3 slot"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let g = generators::gnp_connected(60, 0.08, 3).unwrap();
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
+        let fault = FaultModel::receiver(0.4).unwrap();
+        let a = sched.run(fault, 5, 1_000_000).unwrap();
+        let b = sched.run(fault, 5, 1_000_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

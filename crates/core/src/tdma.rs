@@ -1,0 +1,181 @@
+//! TDMA round-robin broadcast — the trivial collision-free baseline.
+//!
+//! Each node owns one slot of an `n`-slot frame and broadcasts the
+//! message (if it has it) only in its own slot. No two nodes ever
+//! transmit together, so there are no collisions at all; the price is
+//! a factor-`n` slowdown: `O(n·D)` rounds faultless, `O(n·D/(1−p))`
+//! noisy.
+//!
+//! The paper does not analyze TDMA (it is folklore), but it is the
+//! natural "no cleverness" baseline against which Decay's `O(D log n)`
+//! and FASTBC's `D + polylog` show their value — included here for
+//! the E1/E5-style comparisons and as the simplest possible sanity
+//! check of the simulator's semantics.
+//!
+//! One amusing subtlety: the `O(n·D)` bound is tight only when slot
+//! order fights the broadcast direction. If slot ids happen to ascend
+//! along the path the message travels (e.g. broadcasting from node 0
+//! of an ascending-labeled path), consecutive slots forward the
+//! message hop by hop within a *single* frame — TDMA accidentally
+//! becomes a perfect pipeline and finishes in `O(n)` rounds. The unit
+//! tests pin down both regimes.
+
+use netgraph::{Graph, NodeId};
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+
+use crate::{BroadcastRun, CoreError};
+
+/// Configuration for TDMA broadcast (no knobs; the frame length is
+/// the node count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tdma;
+
+impl Tdma {
+    /// Creates the TDMA runner.
+    pub fn new() -> Self {
+        Tdma
+    }
+
+    /// Runs single-message TDMA broadcast from `source` until every
+    /// node is informed or `max_rounds` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a bad source;
+    /// [`CoreError::Model`] from the simulator.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        fault: FaultModel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<BroadcastRun, CoreError> {
+        let n = graph.node_count();
+        if source.index() >= n {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("source {source} out of bounds for {n} nodes"),
+            });
+        }
+        let behaviors: Vec<TdmaNode> = (0..n)
+            .map(|i| TdmaNode {
+                informed: i == source.index(),
+                slot: i as u64,
+                frame: n as u64,
+            })
+            .collect();
+        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
+        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
+        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    }
+}
+
+/// Per-node TDMA behavior: broadcast in your own slot iff informed.
+#[derive(Debug, Clone)]
+struct TdmaNode {
+    informed: bool,
+    slot: u64,
+    frame: u64,
+}
+
+impl NodeBehavior<()> for TdmaNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
+        if self.informed && ctx.round % self.frame == self.slot {
+            Action::Broadcast(())
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
+        self.informed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+    use radio_model::RoundTrace;
+
+    #[test]
+    fn completes_on_paths_and_scales_with_n_times_d() {
+        let g = generators::path(32);
+        let run =
+            Tdma::new().run(&g, NodeId::new(0), FaultModel::Faultless, 1, 1_000_000).unwrap();
+        let rounds = run.rounds_used();
+        // Each hop takes ≤ one frame of 32 rounds; 31 hops.
+        assert!(rounds <= 32 * 32, "rounds {rounds}");
+        assert!(rounds >= 31, "rounds {rounds} below diameter");
+        assert_eq!(run.stats.collisions, 0, "TDMA can never collide");
+    }
+
+    #[test]
+    fn never_collides_even_on_dense_graphs() {
+        let g = generators::complete(24);
+        let run =
+            Tdma::new().run(&g, NodeId::new(0), FaultModel::Faultless, 2, 10_000).unwrap();
+        assert!(run.completed());
+        assert_eq!(run.stats.collisions, 0);
+    }
+
+    #[test]
+    fn tolerates_faults() {
+        let g = generators::gnp_connected(40, 0.1, 3).unwrap();
+        for fault in [FaultModel::sender(0.5).unwrap(), FaultModel::receiver(0.5).unwrap()] {
+            let run = Tdma::new().run(&g, NodeId::new(0), fault, 4, 10_000_000).unwrap();
+            assert!(run.completed(), "TDMA stalled under {fault}");
+        }
+    }
+
+    #[test]
+    fn aligned_slot_order_pipelines_in_one_frame() {
+        // Broadcasting from node 0 of an ascending path: slot i fires
+        // right after node i was informed, so the whole path is swept
+        // in about one frame (O(n), not O(n·D)).
+        let g = generators::path(128);
+        let tdma = Tdma::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 5, 100_000_000)
+            .unwrap()
+            .rounds_used();
+        assert!(tdma <= 2 * 128, "aligned TDMA should sweep in ~1 frame, took {tdma}");
+    }
+
+    #[test]
+    fn decay_beats_tdma_against_the_slot_order() {
+        // Broadcasting from the far end: every hop must wait a whole
+        // frame for its slot to come around again — the true O(n·D)
+        // regime, where Decay's O(D log n) wins big.
+        let g = generators::path(128);
+        let tdma = Tdma::new()
+            .run(&g, NodeId::new(127), FaultModel::Faultless, 5, 100_000_000)
+            .unwrap()
+            .rounds_used();
+        let decay = crate::decay::Decay::new()
+            .run(&g, NodeId::new(127), FaultModel::Faultless, 5, 100_000_000)
+            .unwrap()
+            .rounds_used();
+        assert!(decay * 4 < tdma, "Decay {decay} vs TDMA {tdma}");
+        assert!(tdma >= 126 * 128, "reverse path must pay ~a frame per hop, took {tdma}");
+    }
+
+    #[test]
+    fn exactly_one_broadcaster_per_round() {
+        let g = generators::grid(5, 5);
+        let behaviors: Vec<TdmaNode> = (0..25)
+            .map(|i| TdmaNode { informed: true, slot: i as u64, frame: 25 })
+            .collect();
+        let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 1).unwrap();
+        let mut trace = RoundTrace::default();
+        for _ in 0..50 {
+            sim.step_traced(&mut trace);
+            assert_eq!(trace.broadcasters.len(), 1);
+        }
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let g = generators::path(4);
+        assert!(Tdma::new().run(&g, NodeId::new(7), FaultModel::Faultless, 0, 10).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Graphviz export of a GBST over its graph — renders the paper's
+//! Figure 1 styling: black for graph edges, bold for tree edges,
+//! dashed green for fast edges, node labels `level/rank`.
+
+use std::fmt::Write as _;
+
+use netgraph::Graph;
+
+use crate::Gbst;
+
+/// Renders the GBST over `graph` in DOT format.
+///
+/// Tree edges are bold; fast edges are additionally dashed green (the
+/// paper's Figure 1 conventions). Node labels are `id (level, rank)`;
+/// fast nodes are filled.
+///
+/// # Example
+///
+/// ```
+/// use netgraph::{generators, NodeId};
+/// use gbst::{dot, Gbst};
+///
+/// let g = generators::path(4);
+/// let t = Gbst::build(&g, NodeId::new(0)).unwrap();
+/// let text = dot::to_dot(&t, &g);
+/// assert!(text.contains("color=green")); // the path is one fast stretch
+/// ```
+pub fn to_dot(tree: &Gbst, graph: &Graph) -> String {
+    let mut out = String::from("graph {\n  node [shape=circle];\n");
+    for v in graph.nodes() {
+        let fast = tree.is_fast(v);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{} ({},{})\"{}];",
+            v.raw(),
+            v.raw(),
+            tree.level(v),
+            tree.rank(v),
+            if fast { " style=filled fillcolor=lightgreen" } else { "" }
+        );
+    }
+    for (u, v) in graph.edges() {
+        let tree_edge = tree.parent(v) == Some(u) || tree.parent(u) == Some(v);
+        let fast_edge = tree.fast_child(u) == Some(v) || tree.fast_child(v) == Some(u);
+        let attrs = if fast_edge {
+            " [style=dashed color=green penwidth=2]"
+        } else if tree_edge {
+            " [penwidth=2]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -- {}{};", u.raw(), v.raw(), attrs);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{generators, NodeId};
+
+    #[test]
+    fn star_dot_has_tree_edges_but_no_fast_edges() {
+        let g = generators::star(3);
+        let t = Gbst::build(&g, NodeId::new(0)).unwrap();
+        let text = to_dot(&t, &g);
+        assert!(text.contains("penwidth=2"));
+        assert!(!text.contains("color=green"), "stars have no fast edges");
+    }
+
+    #[test]
+    fn path_dot_marks_every_edge_fast() {
+        let g = generators::path(5);
+        let t = Gbst::build(&g, NodeId::new(0)).unwrap();
+        let text = to_dot(&t, &g);
+        assert_eq!(text.matches(" color=green").count(), 4, "4 fast edges on P5");
+        assert_eq!(text.matches("fillcolor=lightgreen").count(), 4, "4 fast nodes on P5");
+    }
+
+    #[test]
+    fn labels_carry_level_and_rank() {
+        let g = generators::path(3);
+        let t = Gbst::build(&g, NodeId::new(0)).unwrap();
+        let text = to_dot(&t, &g);
+        assert!(text.contains("label=\"2 (2,1)\""));
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use netgraph::NodeId;
+
+/// Errors from GBST construction and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GbstError {
+    /// The source node id is out of bounds.
+    SourceOutOfBounds {
+        /// The offending source.
+        source: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// Some nodes are unreachable from the source; a spanning tree
+    /// does not exist.
+    Disconnected {
+        /// How many nodes are unreachable.
+        unreachable: usize,
+    },
+    /// Validation failed: a structural invariant does not hold.
+    InvariantViolated {
+        /// Which invariant, with details.
+        description: String,
+    },
+}
+
+impl fmt::Display for GbstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbstError::SourceOutOfBounds { source, node_count } => {
+                write!(f, "source {source} out of bounds for graph of {node_count} nodes")
+            }
+            GbstError::Disconnected { unreachable } => {
+                write!(f, "{unreachable} nodes unreachable from the source")
+            }
+            GbstError::InvariantViolated { description } => {
+                write!(f, "GBST invariant violated: {description}")
+            }
+        }
+    }
+}
+
+impl Error for GbstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GbstError::SourceOutOfBounds { source: NodeId::new(7), node_count: 3 };
+        assert!(e.to_string().contains("v7"));
+        let e = GbstError::Disconnected { unreachable: 4 };
+        assert!(e.to_string().contains('4'));
+        let e = GbstError::InvariantViolated { description: "bad rank".into() };
+        assert!(e.to_string().contains("bad rank"));
+    }
+}

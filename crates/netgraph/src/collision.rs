@@ -1,0 +1,284 @@
+//! The collision network of Ghaffari, Haeupler and Khabbazian
+//! ("A bound on the throughput of radio networks", arXiv:1302.0264),
+//! reference \[19\] of the paper.
+//!
+//! A bipartite radius-2 network: a source `s` adjacent to `m` sender
+//! nodes, and `Θ̃(√n)` receiver nodes partitioned into `⌈log₂ m⌉`
+//! *degree classes*; a class-`i` receiver is adjacent to each sender
+//! independently with probability `2^{-i}`.
+//!
+//! The defining property (paper Lemma 18 relies on it): whatever set
+//! `B` of senders broadcasts in a round, only an `O(1/log n)` fraction
+//! of the receivers has exactly one broadcasting neighbor — for any
+//! `|B| = b`, a class-`i` receiver hears a collision-free packet with
+//! probability `≈ (b·2^{-i})·e^{-b·2^{-i}}`, which is constant only
+//! for the single class with `2^i ≈ b` and decays geometrically for
+//! all others, so the total fraction is `Θ(1)/Θ(log m)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Parameters for [`CollisionNetwork::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollisionParams {
+    /// Number of sender nodes `m` (the paper uses `Θ(√n)`).
+    pub senders: usize,
+    /// Receivers in each of the `⌈log₂ m⌉` degree classes.
+    pub receivers_per_class: usize,
+    /// RNG seed for the probabilistic receiver–sender edges.
+    pub seed: u64,
+}
+
+/// A generated collision network with its role decomposition.
+///
+/// Node layout: node 0 is the source, nodes `1..=m` are senders, the
+/// remaining nodes are receivers grouped by class.
+///
+/// # Example
+///
+/// ```
+/// use netgraph::collision::{CollisionNetwork, CollisionParams};
+///
+/// let net = CollisionNetwork::generate(CollisionParams {
+///     senders: 32,
+///     receivers_per_class: 16,
+///     seed: 7,
+/// }).unwrap();
+/// assert_eq!(net.senders().len(), 32);
+/// assert_eq!(net.class_count(), 5); // log2(32)
+/// // Broadcasting every sender reaches only degree-class ~log m:
+/// let all: Vec<_> = net.senders().to_vec();
+/// let frac = net.fraction_receiving(&all);
+/// assert!(frac < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollisionNetwork {
+    graph: Graph,
+    source: NodeId,
+    senders: Vec<NodeId>,
+    receivers: Vec<NodeId>,
+    /// Degree class (1-based exponent `i`) of `receivers[j]`.
+    class_of: Vec<u32>,
+}
+
+impl CollisionNetwork {
+    /// Generates a collision network.
+    ///
+    /// Every receiver is guaranteed at least one sender neighbor (a
+    /// uniformly random one is added if the probabilistic construction
+    /// leaves it isolated), so the network is always connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DegenerateTopology`] if `senders < 2` or
+    /// `receivers_per_class == 0`.
+    pub fn generate(params: CollisionParams) -> Result<Self, GraphError> {
+        let CollisionParams { senders: m, receivers_per_class, seed } = params;
+        if m < 2 {
+            return Err(GraphError::DegenerateTopology {
+                reason: format!("collision network needs >= 2 senders, got {m}"),
+            });
+        }
+        if receivers_per_class == 0 {
+            return Err(GraphError::DegenerateTopology {
+                reason: "collision network needs >= 1 receiver per class".into(),
+            });
+        }
+        let classes = (usize::BITS - (m - 1).leading_zeros()) as usize; // ceil(log2 m)
+        let receiver_count = classes * receivers_per_class;
+        let n = 1 + m + receiver_count;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+
+        let source = NodeId::new(0);
+        let senders: Vec<NodeId> = (1..=m).map(NodeId::from_index).collect();
+        for &s in &senders {
+            b.add_edge(source, s).expect("source-sender edges are always valid");
+        }
+
+        let mut receivers = Vec::with_capacity(receiver_count);
+        let mut class_of = Vec::with_capacity(receiver_count);
+        let mut next = 1 + m;
+        for class in 1..=classes {
+            let p = 0.5f64.powi(class as i32);
+            for _ in 0..receivers_per_class {
+                let r = NodeId::from_index(next);
+                next += 1;
+                let mut degree = 0usize;
+                for &s in &senders {
+                    if rng.gen_bool(p) {
+                        b.add_edge(r, s).expect("receiver-sender edges are always valid");
+                        degree += 1;
+                    }
+                }
+                if degree == 0 {
+                    let s = senders[rng.gen_range(0..m)];
+                    b.add_edge(r, s).expect("receiver-sender edges are always valid");
+                }
+                receivers.push(r);
+                class_of.push(class as u32);
+            }
+        }
+
+        Ok(CollisionNetwork { graph: b.build(), source, senders, receivers, class_of })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The source node (node 0).
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The sender nodes.
+    pub fn senders(&self) -> &[NodeId] {
+        &self.senders
+    }
+
+    /// The receiver nodes, grouped by ascending degree class.
+    pub fn receivers(&self) -> &[NodeId] {
+        &self.receivers
+    }
+
+    /// Number of degree classes `⌈log₂ m⌉`.
+    pub fn class_count(&self) -> usize {
+        self.class_of.last().map_or(0, |&c| c as usize)
+    }
+
+    /// Degree class (the exponent `i`, 1-based) of the `j`-th receiver.
+    pub fn receiver_class(&self, j: usize) -> u32 {
+        self.class_of[j]
+    }
+
+    /// Fraction of receivers that hear a collision-free packet when
+    /// exactly the given senders broadcast (the quantity bounded by
+    /// Lemma 18 / reference \[19\]).
+    pub fn fraction_receiving(&self, broadcasters: &[NodeId]) -> f64 {
+        if self.receivers.is_empty() {
+            return 0.0;
+        }
+        let mut is_b = vec![false; self.graph.node_count()];
+        for &s in broadcasters {
+            is_b[s.index()] = true;
+        }
+        let hit = self
+            .receivers
+            .iter()
+            .filter(|&&r| {
+                self.graph.neighbors(r).iter().filter(|&&u| is_b[u.index()]).count() == 1
+            })
+            .count();
+        hit as f64 / self.receivers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn net() -> CollisionNetwork {
+        CollisionNetwork::generate(CollisionParams {
+            senders: 64,
+            receivers_per_class: 32,
+            seed: 42,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn layout_and_counts() {
+        let net = net();
+        assert_eq!(net.class_count(), 6);
+        assert_eq!(net.receivers().len(), 6 * 32);
+        assert_eq!(net.graph().node_count(), 1 + 64 + 6 * 32);
+        assert_eq!(net.source(), NodeId::new(0));
+    }
+
+    #[test]
+    fn connected_radius_two() {
+        let net = net();
+        assert!(metrics::is_connected(net.graph()));
+        let ecc = metrics::eccentricity(net.graph(), net.source()).unwrap();
+        assert_eq!(ecc, 2);
+    }
+
+    #[test]
+    fn receiver_degrees_scale_with_class() {
+        let net = net();
+        // Expected degree of class i is 64 / 2^i; check the trend on
+        // class means (with generous slack — 32 samples per class).
+        let mut mean = vec![0.0f64; net.class_count() + 1];
+        let mut cnt = vec![0usize; net.class_count() + 1];
+        for (j, &r) in net.receivers().iter().enumerate() {
+            let c = net.receiver_class(j) as usize;
+            mean[c] += net.graph().degree(r) as f64;
+            cnt[c] += 1;
+        }
+        for c in 1..=net.class_count() {
+            mean[c] /= cnt[c] as f64;
+        }
+        assert!(mean[1] > mean[3], "class 1 mean {} <= class 3 mean {}", mean[1], mean[3]);
+        assert!(mean[2] > mean[4], "class 2 mean {} <= class 4 mean {}", mean[2], mean[4]);
+    }
+
+    #[test]
+    fn every_receiver_has_a_sender() {
+        let net = net();
+        for &r in net.receivers() {
+            assert!(net.graph().degree(r) >= 1);
+        }
+    }
+
+    #[test]
+    fn fraction_receiving_bounds() {
+        let net = net();
+        // Exactly one broadcaster: receivers adjacent to it all receive.
+        let one = [net.senders()[0]];
+        let f1 = net.fraction_receiving(&one);
+        assert!(f1 > 0.0 && f1 <= 1.0);
+        // No broadcaster: nobody receives.
+        assert_eq!(net.fraction_receiving(&[]), 0.0);
+    }
+
+    #[test]
+    fn no_broadcast_set_reaches_most_receivers() {
+        // The operative Lemma 18 bound: across broadcast set sizes,
+        // the receiving fraction stays far below 1.
+        let net = net();
+        for size in [1usize, 2, 4, 8, 16, 32, 64] {
+            let set: Vec<_> = net.senders()[..size].to_vec();
+            let f = net.fraction_receiving(&set);
+            assert!(f <= 0.55, "broadcast set of {size} reached fraction {f}");
+        }
+    }
+
+    #[test]
+    fn degenerate_params_rejected() {
+        assert!(CollisionNetwork::generate(CollisionParams {
+            senders: 1,
+            receivers_per_class: 4,
+            seed: 0
+        })
+        .is_err());
+        assert!(CollisionNetwork::generate(CollisionParams {
+            senders: 8,
+            receivers_per_class: 0,
+            seed: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let p = CollisionParams { senders: 16, receivers_per_class: 8, seed: 5 };
+        let a = CollisionNetwork::generate(p).unwrap();
+        let b = CollisionNetwork::generate(p).unwrap();
+        assert_eq!(a.graph(), b.graph());
+    }
+}

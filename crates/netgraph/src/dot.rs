@@ -1,0 +1,78 @@
+//! Graphviz DOT export for graphs.
+//!
+//! Useful for eyeballing generated topologies and for rendering
+//! Figure-1/Figure-2-style illustrations (see [`gbst`]'s companion
+//! export for ranked trees).
+//!
+//! [`gbst`]: https://docs.rs/gbst
+
+use std::fmt::Write as _;
+
+use crate::{Graph, NodeId};
+
+/// Renders the graph in Graphviz DOT format (undirected, `graph {}`).
+///
+/// `label` produces each node's label; return `None` to use the bare
+/// node id.
+///
+/// # Example
+///
+/// ```
+/// use netgraph::{generators, dot};
+///
+/// let g = generators::path(3);
+/// let text = dot::to_dot(&g, |_| None);
+/// assert!(text.starts_with("graph {"));
+/// assert!(text.contains("0 -- 1"));
+/// ```
+pub fn to_dot(graph: &Graph, mut label: impl FnMut(NodeId) -> Option<String>) -> String {
+    let mut out = String::from("graph {\n");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in graph.nodes() {
+        match label(v) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", v.raw(), l);
+            }
+            None => {
+                let _ = writeln!(out, "  {};", v.raw());
+            }
+        }
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.raw(), v.raw());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_dot_contains_all_edges() {
+        let g = generators::path(4);
+        let text = to_dot(&g, |_| None);
+        for (u, v) in g.edges() {
+            assert!(text.contains(&format!("{} -- {};", u.raw(), v.raw())));
+        }
+        assert_eq!(text.matches(" -- ").count(), g.edge_count());
+    }
+
+    #[test]
+    fn labels_rendered() {
+        let g = generators::path(2);
+        let text = to_dot(&g, |v| Some(format!("node-{}", v.raw())));
+        assert!(text.contains("0 [label=\"node-0\"];"));
+        assert!(text.contains("1 [label=\"node-1\"];"));
+    }
+
+    #[test]
+    fn empty_graph_valid() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let text = to_dot(&g, |_| None);
+        assert!(text.starts_with("graph {"));
+        assert!(text.ends_with("}\n"));
+    }
+}

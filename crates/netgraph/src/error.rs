@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while building or validating graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referred to a node outside `0..node_count`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph under construction.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was added; the radio model has no use for
+    /// self-loops and the broadcast algorithms assume simple graphs.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: NodeId,
+    },
+    /// A generator was asked for an empty or otherwise degenerate
+    /// topology (for example a path of 0 nodes).
+    DegenerateTopology {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for graph of {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at {node}"),
+            GraphError::DegenerateTopology { reason } => {
+                write!(f, "degenerate topology: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 5 };
+        assert_eq!(e.to_string(), "node v9 out of bounds for graph of 5 nodes");
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert_eq!(e.to_string(), "self-loop at v2");
+        let e = GraphError::DegenerateTopology { reason: "empty".into() };
+        assert_eq!(e.to_string(), "degenerate topology: empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

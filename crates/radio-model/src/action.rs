@@ -1,0 +1,59 @@
+/// A node's choice in a single round: stay silent and listen, or
+/// broadcast a packet to all neighbors.
+///
+/// Broadcasting nodes do not receive in the same round (the model is
+/// half-duplex: "a node u receives a packet … if exactly one of its
+/// neighbors broadcasts in r **and u remains silent**").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action<P> {
+    /// Listen this round.
+    Listen,
+    /// Broadcast the given packet to all neighbors.
+    Broadcast(P),
+}
+
+impl<P> Action<P> {
+    /// Whether this action broadcasts.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, Action::Broadcast(_))
+    }
+
+    /// The broadcast payload, if any.
+    pub fn payload(&self) -> Option<&P> {
+        match self {
+            Action::Listen => None,
+            Action::Broadcast(p) => Some(p),
+        }
+    }
+
+    /// Maps the payload type.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Action<Q> {
+        match self {
+            Action::Listen => Action::Listen,
+            Action::Broadcast(p) => Action::Broadcast(f(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        let a: Action<u8> = Action::Broadcast(3);
+        assert!(a.is_broadcast());
+        assert_eq!(a.payload(), Some(&3));
+        let l: Action<u8> = Action::Listen;
+        assert!(!l.is_broadcast());
+        assert_eq!(l.payload(), None);
+    }
+
+    #[test]
+    fn map_payload() {
+        let a: Action<u8> = Action::Broadcast(3);
+        assert_eq!(a.map(|x| x as u32 * 2), Action::Broadcast(6));
+        let l: Action<u8> = Action::Listen;
+        assert_eq!(l.map(|x| x as u32), Action::Listen);
+    }
+}

@@ -1,0 +1,551 @@
+//! The behavior-driven simulation engine.
+
+use netgraph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::fork_rng;
+use crate::{Action, FaultModel, ModelError};
+
+/// Per-round context handed to a [`NodeBehavior`].
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The node this behavior instance controls.
+    pub node: NodeId,
+    /// The current round (0-based).
+    pub round: u64,
+    /// The node's private RNG stream (deterministic per master seed).
+    pub rng: &'a mut SmallRng,
+    /// The node's degree in the network.
+    pub degree: usize,
+}
+
+/// A distributed per-node protocol: decides an action each round and
+/// consumes delivered packets.
+///
+/// The engine calls [`NodeBehavior::act`] for every node at the start
+/// of a round (before any delivery of that round), resolves the radio
+/// semantics, then calls [`NodeBehavior::receive`] on each successful
+/// delivery. State updated in `receive` is visible from the *next*
+/// round's `act`, matching the synchronous model.
+pub trait NodeBehavior<P> {
+    /// Decide this round's action. Must not depend on this round's
+    /// receptions (the engine enforces this by calling `act` first).
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<P>;
+
+    /// Called when a packet is successfully received this round
+    /// (exactly one broadcasting neighbor, no fault, node listening).
+    fn receive(&mut self, ctx: &mut Ctx<'_>, packet: P);
+}
+
+/// Aggregate statistics over an entire simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total broadcast actions.
+    pub broadcasts: u64,
+    /// Successful packet deliveries.
+    pub deliveries: u64,
+    /// Listener-rounds that saw ≥ 2 broadcasting neighbors.
+    pub collisions: u64,
+    /// Broadcasts replaced by noise (sender-fault model).
+    pub sender_faults: u64,
+    /// Deliveries replaced by noise (receiver-fault model).
+    pub receiver_faults: u64,
+}
+
+/// What happened in one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RoundReport {
+    /// The executed round index.
+    pub round: u64,
+    /// Nodes that broadcast.
+    pub broadcasters: u64,
+    /// Successful deliveries.
+    pub deliveries: u64,
+    /// Listeners that observed a collision.
+    pub collisions: u64,
+    /// Sender faults drawn this round.
+    pub sender_faults: u64,
+    /// Receiver faults drawn this round.
+    pub receiver_faults: u64,
+}
+
+/// A detailed trace of one round, for invariant checking in tests:
+/// who broadcast, and which (sender → receiver) deliveries succeeded.
+#[derive(Debug, Clone, Default)]
+pub struct RoundTrace {
+    /// Nodes that broadcast this round (sorted by id).
+    pub broadcasters: Vec<NodeId>,
+    /// Successful deliveries as `(sender, receiver)` pairs.
+    pub deliveries: Vec<(NodeId, NodeId)>,
+    /// Listeners that had ≥ 2 broadcasting neighbors.
+    pub collided_listeners: Vec<NodeId>,
+}
+
+/// The radio-network simulator driving one [`NodeBehavior`] per node.
+///
+/// See the [crate-level documentation](crate) for the model semantics
+/// and an example.
+pub struct Simulator<'g, P, B> {
+    graph: &'g Graph,
+    fault: FaultModel,
+    behaviors: Vec<B>,
+    node_rngs: Vec<SmallRng>,
+    fault_rng: SmallRng,
+    round: u64,
+    stats: SimStats,
+    // Reusable per-round buffers.
+    actions: Vec<Action<P>>,
+}
+
+impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("graph", &self.graph)
+            .field("fault", &self.fault)
+            .field("round", &self.round)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
+    /// Creates a simulator over `graph` with one behavior per node.
+    ///
+    /// `seed` drives all randomness: per-node behavior RNGs and the
+    /// fault process are independently forked from it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NodeCountMismatch`] if `behaviors.len()` differs
+    ///   from the node count;
+    /// * [`ModelError::InvalidFaultProbability`] if the fault model is
+    ///   invalid.
+    pub fn new(
+        graph: &'g Graph,
+        fault: FaultModel,
+        behaviors: Vec<B>,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        fault.validate()?;
+        let n = graph.node_count();
+        if behaviors.len() != n {
+            return Err(ModelError::NodeCountMismatch { supplied: behaviors.len(), expected: n });
+        }
+        let node_rngs = (0..n as u64).map(|i| fork_rng(seed, i)).collect();
+        let fault_rng = fork_rng(seed, u64::MAX / 2);
+        Ok(Simulator {
+            graph,
+            fault,
+            behaviors,
+            node_rngs,
+            fault_rng,
+            round: 0,
+            stats: SimStats::default(),
+            actions: Vec::with_capacity(n),
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The fault model in force.
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault
+    }
+
+    /// The next round to execute (0-based; equals rounds executed).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The behavior of node `v`.
+    pub fn behavior(&self, v: NodeId) -> &B {
+        &self.behaviors[v.index()]
+    }
+
+    /// All behaviors, indexed by node id.
+    pub fn behaviors(&self) -> &[B] {
+        &self.behaviors
+    }
+
+    /// Consumes the simulator, returning the behaviors.
+    pub fn into_behaviors(self) -> Vec<B> {
+        self.behaviors
+    }
+
+    /// Executes one round.
+    pub fn step(&mut self) -> RoundReport {
+        self.step_inner(None)
+    }
+
+    /// Executes one round and records a detailed [`RoundTrace`]
+    /// (used by invariant tests; slower than [`Simulator::step`]).
+    pub fn step_traced(&mut self, trace: &mut RoundTrace) -> RoundReport {
+        trace.broadcasters.clear();
+        trace.deliveries.clear();
+        trace.collided_listeners.clear();
+        self.step_inner(Some(trace))
+    }
+
+    fn step_inner(&mut self, mut trace: Option<&mut RoundTrace>) -> RoundReport {
+        let n = self.graph.node_count();
+        let round = self.round;
+        let mut report = RoundReport { round, ..RoundReport::default() };
+
+        // Phase 1: collect actions.
+        self.actions.clear();
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            let mut ctx = Ctx {
+                node,
+                round,
+                rng: &mut self.node_rngs[i],
+                degree: self.graph.degree(node),
+            };
+            self.actions.push(self.behaviors[i].act(&mut ctx));
+        }
+
+        // Phase 2: sample sender faults (one draw per broadcaster) and
+        // mark broadcasters. A faulted sender still occupies the channel.
+        let p = self.fault.fault_probability();
+        let mut is_broadcasting = vec![false; n];
+        let mut sender_ok = vec![true; n];
+        for (i, action) in self.actions.iter().enumerate() {
+            if action.is_broadcast() {
+                is_broadcasting[i] = true;
+                report.broadcasters += 1;
+                if self.fault.is_sender() && self.fault_rng.gen_bool(p) {
+                    sender_ok[i] = false;
+                    report.sender_faults += 1;
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.broadcasters.push(NodeId::from_index(i));
+                }
+            }
+        }
+
+        // Phase 3: resolve receptions for listeners.
+        for i in 0..n {
+            if is_broadcasting[i] {
+                continue; // broadcasters do not receive
+            }
+            let node = NodeId::from_index(i);
+            let mut sender: Option<NodeId> = None;
+            let mut count = 0usize;
+            for &u in self.graph.neighbors(node) {
+                if is_broadcasting[u.index()] {
+                    count += 1;
+                    if count > 1 {
+                        break;
+                    }
+                    sender = Some(u);
+                }
+            }
+            match count {
+                0 => {}
+                1 => {
+                    let s = sender.expect("count == 1 implies a sender");
+                    if !sender_ok[s.index()] {
+                        continue; // sender transmitted noise
+                    }
+                    if self.fault.is_receiver() && self.fault_rng.gen_bool(p) {
+                        report.receiver_faults += 1;
+                        continue;
+                    }
+                    let packet = self.actions[s.index()]
+                        .payload()
+                        .expect("broadcasting sender has a payload")
+                        .clone();
+                    let mut ctx = Ctx {
+                        node,
+                        round,
+                        rng: &mut self.node_rngs[i],
+                        degree: self.graph.degree(node),
+                    };
+                    self.behaviors[i].receive(&mut ctx, packet);
+                    report.deliveries += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.deliveries.push((s, node));
+                    }
+                }
+                _ => {
+                    report.collisions += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.collided_listeners.push(node);
+                    }
+                }
+            }
+        }
+
+        self.round += 1;
+        self.stats.rounds += 1;
+        self.stats.broadcasts += report.broadcasters;
+        self.stats.deliveries += report.deliveries;
+        self.stats.collisions += report.collisions;
+        self.stats.sender_faults += report.sender_faults;
+        self.stats.receiver_faults += report.receiver_faults;
+        report
+    }
+
+    /// Runs exactly `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) -> &SimStats {
+        for _ in 0..rounds {
+            self.step();
+        }
+        &self.stats
+    }
+
+    /// Runs until `done(behaviors)` returns true (checked before every
+    /// round) or `max_rounds` rounds have executed.
+    ///
+    /// Returns the number of rounds executed when `done` fired, or
+    /// `None` if the bound was exhausted first.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut done: impl FnMut(&[B]) -> bool,
+    ) -> Option<u64> {
+        let start = self.round;
+        loop {
+            if done(&self.behaviors) {
+                return Some(self.round - start);
+            }
+            if self.round - start >= max_rounds {
+                return None;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    /// Flood protocol used across engine tests: informed nodes always
+    /// broadcast `()`; reception informs.
+    struct AlwaysFlood {
+        informed: bool,
+    }
+
+    impl NodeBehavior<()> for AlwaysFlood {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+            if self.informed {
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
+            self.informed = true;
+        }
+    }
+
+    fn flood_behaviors(n: usize, informed: &[usize]) -> Vec<AlwaysFlood> {
+        (0..n).map(|i| AlwaysFlood { informed: informed.contains(&i) }).collect()
+    }
+
+    #[test]
+    fn single_broadcaster_delivers_to_all_neighbors() {
+        let g = generators::star(5);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(6, &[0]), 1).unwrap();
+        let r = sim.step();
+        assert_eq!(r.broadcasters, 1);
+        assert_eq!(r.deliveries, 5);
+        assert_eq!(r.collisions, 0);
+        assert!(sim.behaviors().iter().all(|b| b.informed));
+    }
+
+    #[test]
+    fn two_broadcasters_collide_at_common_neighbor() {
+        // Path 0 - 1 - 2 with both endpoints informed: middle node
+        // hears a collision and never receives.
+        let g = generators::path(3);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(3, &[0, 2]), 1).unwrap();
+        let r = sim.step();
+        assert_eq!(r.broadcasters, 2);
+        assert_eq!(r.deliveries, 0);
+        assert_eq!(r.collisions, 1);
+        assert!(!sim.behavior(NodeId::new(1)).informed);
+    }
+
+    #[test]
+    fn broadcaster_does_not_receive() {
+        // Two adjacent informed nodes broadcast at each other: no
+        // deliveries (half-duplex), no collisions.
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0, 1]), 1).unwrap();
+        let r = sim.step();
+        assert_eq!(r.deliveries, 0);
+        assert_eq!(r.collisions, 0);
+    }
+
+    #[test]
+    fn flood_crosses_path_one_hop_per_round() {
+        let g = generators::path(5);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(5, &[0]), 1).unwrap();
+        let used = sim
+            .run_until(100, |bs| bs.iter().all(|b| b.informed))
+            .expect("faultless flood must finish");
+        // On a path, flooding from an endpoint takes exactly D rounds:
+        // each round the frontier advances one hop (the frontier node's
+        // neighbors behind it are also broadcasting, but the node ahead
+        // has a unique broadcasting neighbor... actually nodes behind
+        // the frontier collide; the frontier still advances because the
+        // next node's only *broadcasting* neighbor is the frontier).
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn receiver_faults_delay_but_do_not_block() {
+        let g = generators::path(2);
+        let fault = FaultModel::receiver(0.9).unwrap();
+        let mut sim = Simulator::new(&g, fault, flood_behaviors(2, &[0]), 3).unwrap();
+        let used = sim.run_until(10_000, |bs| bs[1].informed).expect("must eventually deliver");
+        assert!(used >= 1);
+        assert!(sim.stats().receiver_faults > 0, "with p=0.9 some faults should occur");
+    }
+
+    #[test]
+    fn sender_faults_recorded_and_consistent() {
+        let g = generators::star(8);
+        let fault = FaultModel::sender(0.5).unwrap();
+        let mut sim = Simulator::new(&g, fault, flood_behaviors(9, &[0]), 5).unwrap();
+        // One broadcaster: each round either all 8 leaves receive
+        // (sender ok) or none (sender fault) — sender faults are a
+        // single draw shared by all receivers.
+        for _ in 0..20 {
+            let r = sim.step();
+            assert!(
+                r.deliveries == 0 || r.deliveries.is_multiple_of(8),
+                "partial delivery {} under sender fault",
+                r.deliveries
+            );
+        }
+        assert!(sim.stats().sender_faults > 0);
+    }
+
+    #[test]
+    fn faultless_star_informs_everyone_in_one_round() {
+        let g = generators::star(100);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(101, &[0]), 9).unwrap();
+        let used = sim.run_until(10, |bs| bs.iter().all(|b| b.informed)).unwrap();
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let g = generators::gnp_connected(30, 0.1, 4).unwrap();
+        let run = |seed| {
+            let mut sim = Simulator::new(
+                &g,
+                FaultModel::receiver(0.4).unwrap(),
+                flood_behaviors(30, &[0]),
+                seed,
+            )
+            .unwrap();
+            sim.run(50);
+            (sim.stats().deliveries, sim.stats().receiver_faults, sim.stats().collisions)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn behavior_count_mismatch_rejected() {
+        let g = generators::path(3);
+        let err = Simulator::<(), _>::new(&g, FaultModel::Faultless, flood_behaviors(2, &[]), 0)
+            .unwrap_err();
+        assert_eq!(err, ModelError::NodeCountMismatch { supplied: 2, expected: 3 });
+    }
+
+    #[test]
+    fn invalid_fault_rejected() {
+        let g = generators::path(2);
+        let err = Simulator::<(), _>::new(
+            &g,
+            FaultModel::SenderFaults { p: 1.0 },
+            flood_behaviors(2, &[]),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::InvalidFaultProbability { p: 1.0 });
+    }
+
+    #[test]
+    fn traced_step_matches_report() {
+        let g = generators::star(4);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(5, &[0]), 2).unwrap();
+        let mut trace = RoundTrace::default();
+        let r = sim.step_traced(&mut trace);
+        assert_eq!(trace.broadcasters, vec![NodeId::new(0)]);
+        assert_eq!(trace.deliveries.len() as u64, r.deliveries);
+        assert!(trace.collided_listeners.is_empty());
+        for &(s, _) in &trace.deliveries {
+            assert_eq!(s, NodeId::new(0));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_over_rounds() {
+        let g = generators::star(3);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(4, &[0]), 2).unwrap();
+        sim.run(5);
+        assert_eq!(sim.stats().rounds, 5);
+        assert_eq!(sim.round(), 5);
+        // After round 1 everyone is informed; later rounds all collide
+        // at every listener... actually all nodes broadcast, nobody
+        // listens. Deliveries only in round 1.
+        assert_eq!(sim.stats().deliveries, 3);
+    }
+
+    #[test]
+    fn run_until_checks_before_first_round() {
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0, 1]), 0).unwrap();
+        let used = sim.run_until(10, |bs| bs.iter().all(|b| b.informed)).unwrap();
+        assert_eq!(used, 0, "done predicate already true at entry");
+        assert_eq!(sim.round(), 0);
+    }
+
+    #[test]
+    fn run_until_returns_none_when_budget_exhausted() {
+        let g = generators::path(2);
+        // Nobody informed: nothing ever happens.
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[]), 0).unwrap();
+        assert_eq!(sim.run_until(5, |bs| bs.iter().all(|b| b.informed)), None);
+        assert_eq!(sim.round(), 5);
+    }
+
+    #[test]
+    fn into_behaviors_returns_state() {
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0]), 0).unwrap();
+        sim.step();
+        let bs = sim.into_behaviors();
+        assert!(bs[1].informed);
+    }
+}

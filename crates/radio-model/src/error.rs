@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or driving the simulator.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A fault probability outside `[0, 1)`.
+    InvalidFaultProbability {
+        /// The offending probability.
+        p: f64,
+    },
+    /// The number of supplied per-node values does not match the
+    /// graph's node count.
+    NodeCountMismatch {
+        /// Values supplied.
+        supplied: usize,
+        /// Nodes in the graph.
+        expected: usize,
+    },
+    /// A controller returned an action vector of the wrong length.
+    ActionCountMismatch {
+        /// Actions supplied.
+        supplied: usize,
+        /// Nodes in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidFaultProbability { p } => {
+                write!(f, "fault probability {p} outside [0, 1)")
+            }
+            ModelError::NodeCountMismatch { supplied, expected } => {
+                write!(f, "supplied {supplied} per-node values for a graph of {expected} nodes")
+            }
+            ModelError::ActionCountMismatch { supplied, expected } => {
+                write!(f, "controller returned {supplied} actions for a graph of {expected} nodes")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::InvalidFaultProbability { p: 1.0 }.to_string(),
+            "fault probability 1 outside [0, 1)"
+        );
+        assert_eq!(
+            ModelError::NodeCountMismatch { supplied: 2, expected: 3 }.to_string(),
+            "supplied 2 per-node values for a graph of 3 nodes"
+        );
+        assert_eq!(
+            ModelError::ActionCountMismatch { supplied: 5, expected: 4 }.to_string(),
+            "controller returned 5 actions for a graph of 4 nodes"
+        );
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<ModelError>();
+    }
+}

@@ -1,0 +1,142 @@
+use std::fmt;
+
+use crate::ModelError;
+
+/// The fault regime of a noisy radio network (paper §3.1).
+///
+/// The fault probability `p` must lie in `[0, 1)`; construct through
+/// [`FaultModel::sender`] / [`FaultModel::receiver`] to get validation,
+/// or use the enum variants directly when `p` is statically known to
+/// be valid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum FaultModel {
+    /// The classic (faultless) radio network model of Chlamtac–Kutten.
+    #[default]
+    Faultless,
+    /// Every broadcasting node transmits noise with probability `p`
+    /// each round, independently. The noisy transmission still
+    /// occupies the channel and can collide.
+    SenderFaults {
+        /// Per-round, per-sender fault probability in `[0, 1)`.
+        p: f64,
+    },
+    /// Every listening node with exactly one broadcasting neighbor
+    /// receives noise with probability `p`, independently.
+    ReceiverFaults {
+        /// Per-round, per-receiver fault probability in `[0, 1)`.
+        p: f64,
+    },
+}
+
+impl FaultModel {
+    /// Validated constructor for [`FaultModel::SenderFaults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFaultProbability`] unless
+    /// `p ∈ [0, 1)`.
+    pub fn sender(p: f64) -> Result<Self, ModelError> {
+        Self::check(p)?;
+        Ok(FaultModel::SenderFaults { p })
+    }
+
+    /// Validated constructor for [`FaultModel::ReceiverFaults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFaultProbability`] unless
+    /// `p ∈ [0, 1)`.
+    pub fn receiver(p: f64) -> Result<Self, ModelError> {
+        Self::check(p)?;
+        Ok(FaultModel::ReceiverFaults { p })
+    }
+
+    fn check(p: f64) -> Result<(), ModelError> {
+        if !(0.0..1.0).contains(&p) || p.is_nan() {
+            return Err(ModelError::InvalidFaultProbability { p });
+        }
+        Ok(())
+    }
+
+    /// The fault probability `p` (0 for the faultless model).
+    pub fn fault_probability(&self) -> f64 {
+        match *self {
+            FaultModel::Faultless => 0.0,
+            FaultModel::SenderFaults { p } | FaultModel::ReceiverFaults { p } => p,
+        }
+    }
+
+    /// Whether this model has sender-side faults.
+    pub fn is_sender(&self) -> bool {
+        matches!(self, FaultModel::SenderFaults { .. })
+    }
+
+    /// Whether this model has receiver-side faults.
+    pub fn is_receiver(&self) -> bool {
+        matches!(self, FaultModel::ReceiverFaults { .. })
+    }
+
+    /// Validates the fault probability of an already-constructed value
+    /// (useful when a model arrives through configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFaultProbability`] unless
+    /// `p ∈ [0, 1)`.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            FaultModel::Faultless => Ok(()),
+            FaultModel::SenderFaults { p } | FaultModel::ReceiverFaults { p } => Self::check(p),
+        }
+    }
+}
+
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::Faultless => write!(f, "faultless"),
+            FaultModel::SenderFaults { p } => write!(f, "sender faults (p = {p})"),
+            FaultModel::ReceiverFaults { p } => write!(f, "receiver faults (p = {p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(FaultModel::sender(0.0).is_ok());
+        assert!(FaultModel::sender(0.999).is_ok());
+        assert!(FaultModel::sender(1.0).is_err());
+        assert!(FaultModel::receiver(-0.1).is_err());
+        assert!(FaultModel::receiver(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(FaultModel::Faultless.fault_probability(), 0.0);
+        assert_eq!(FaultModel::sender(0.3).unwrap().fault_probability(), 0.3);
+        assert!(FaultModel::sender(0.3).unwrap().is_sender());
+        assert!(!FaultModel::sender(0.3).unwrap().is_receiver());
+        assert!(FaultModel::receiver(0.3).unwrap().is_receiver());
+        assert_eq!(FaultModel::default(), FaultModel::Faultless);
+    }
+
+    #[test]
+    fn validate_catches_bad_literals() {
+        assert!(FaultModel::SenderFaults { p: 1.5 }.validate().is_err());
+        assert!(FaultModel::ReceiverFaults { p: 0.5 }.validate().is_ok());
+        assert!(FaultModel::Faultless.validate().is_ok());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FaultModel::Faultless.to_string(), "faultless");
+        assert_eq!(FaultModel::sender(0.5).unwrap().to_string(), "sender faults (p = 0.5)");
+        assert_eq!(FaultModel::receiver(0.25).unwrap().to_string(), "receiver faults (p = 0.25)");
+    }
+}

@@ -1,0 +1,83 @@
+//! Discrete-round simulator for the (noisy) radio network model of
+//! Censor-Hillel, Haeupler, Hershkowitz and Zuzic (PODC 2017).
+//!
+//! # The model
+//!
+//! Nodes of an undirected graph communicate in synchronized rounds.
+//! Each round every node either *listens* or *broadcasts* a packet to
+//! all of its neighbors. A listening node receives a packet **iff
+//! exactly one** of its neighbors broadcasts; with zero broadcasting
+//! neighbors it hears silence and with two or more it hears a
+//! collision. Silence, collisions, and faults are indistinguishable
+//! noise to the node (no collision detection).
+//!
+//! The *noisy* model adds independent random faults with probability
+//! `p` (see [`FaultModel`]):
+//!
+//! * **sender faults** — each broadcasting node transmits noise instead
+//!   of its packet with probability `p`; the transmission still
+//!   occupies the channel (it still collides with others);
+//! * **receiver faults** — each listening node that would receive a
+//!   packet (exactly one broadcasting neighbor) receives noise with
+//!   probability `p` instead.
+//!
+//! # Two execution styles
+//!
+//! * [`Simulator`] runs *distributed protocols*: each node owns a
+//!   [`NodeBehavior`] state machine that decides an [`Action`] per
+//!   round and is fed delivered packets. This is how Decay, FASTBC,
+//!   Robust FASTBC, and the RLNC multi-message algorithms run.
+//! * [`adaptive::run_routing`] runs *centralized adaptive routing
+//!   schedules* (paper Definition 14): a [`adaptive::RoutingController`]
+//!   sees the complete knowledge matrix (which node has which message)
+//!   every round and directs all nodes. This is the strong model in
+//!   which the paper proves its routing lower bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use netgraph::{generators, NodeId};
+//! use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+//!
+//! /// Trivial flooding: node 0 always broadcasts "1"; everyone else listens.
+//! struct Flood { informed: bool }
+//! impl NodeBehavior<u32> for Flood {
+//!     fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<u32> {
+//!         if self.informed && ctx.node == NodeId::new(0) {
+//!             Action::Broadcast(1)
+//!         } else {
+//!             Action::Listen
+//!         }
+//!     }
+//!     fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: u32) {
+//!         self.informed = true;
+//!     }
+//! }
+//!
+//! let g = generators::path(2);
+//! let behaviors = vec![Flood { informed: true }, Flood { informed: false }];
+//! let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 7).unwrap();
+//! let report = sim.step();
+//! assert_eq!(report.deliveries, 1);
+//! assert!(sim.behavior(NodeId::new(1)).informed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod bitmat;
+mod engine;
+mod error;
+mod fault;
+mod rng;
+
+pub mod adaptive;
+pub mod recorder;
+
+pub use action::Action;
+pub use bitmat::BitMatrix;
+pub use engine::{Ctx, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator};
+pub use error::ModelError;
+pub use fault::FaultModel;
+pub use rng::fork_rng;

@@ -1,0 +1,202 @@
+//! Execution recording: capture per-round traces into a serializable
+//! history for offline analysis, visualization, or regression
+//! fixtures.
+
+use netgraph::NodeId;
+
+use crate::{NodeBehavior, RoundTrace, Simulator};
+
+/// One recorded round, in plain-old-data form (node ids flattened to
+/// `u32` so the history serializes compactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RecordedRound {
+    /// Round index.
+    pub round: u64,
+    /// Ids of nodes that broadcast.
+    pub broadcasters: Vec<u32>,
+    /// Successful `(sender, receiver)` deliveries.
+    pub deliveries: Vec<(u32, u32)>,
+    /// Listeners that observed a collision.
+    pub collisions: Vec<u32>,
+}
+
+/// A recorded execution: every round's broadcast/delivery/collision
+/// sets, ready for serde export.
+///
+/// # Example
+///
+/// ```
+/// use netgraph::{generators, NodeId};
+/// use radio_model::{recorder::History, Action, Ctx, FaultModel, NodeBehavior, Simulator};
+///
+/// struct Shout;
+/// impl NodeBehavior<()> for Shout {
+///     fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
+///         if ctx.node == NodeId::new(0) { Action::Broadcast(()) } else { Action::Listen }
+///     }
+///     fn receive(&mut self, _: &mut Ctx<'_>, _: ()) {}
+/// }
+///
+/// let g = generators::star(3);
+/// let mut sim = Simulator::new(&g, FaultModel::Faultless, vec![Shout, Shout, Shout, Shout], 1).unwrap();
+/// let history = History::record(&mut sim, 2);
+/// assert_eq!(history.rounds.len(), 2);
+/// assert_eq!(history.rounds[0].deliveries.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct History {
+    /// The recorded rounds, in execution order.
+    pub rounds: Vec<RecordedRound>,
+}
+
+impl History {
+    /// Steps `sim` for `rounds` rounds, recording each.
+    pub fn record<P: Clone, B: NodeBehavior<P>>(
+        sim: &mut Simulator<'_, P, B>,
+        rounds: u64,
+    ) -> Self {
+        let mut history = History::default();
+        let mut trace = RoundTrace::default();
+        for _ in 0..rounds {
+            let round = sim.round();
+            sim.step_traced(&mut trace);
+            history.rounds.push(RecordedRound {
+                round,
+                broadcasters: trace.broadcasters.iter().map(|v| v.raw()).collect(),
+                deliveries: trace.deliveries.iter().map(|&(s, r)| (s.raw(), r.raw())).collect(),
+                collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
+            });
+        }
+        history
+    }
+
+    /// Steps `sim` until `done` or the `max_rounds` budget runs out,
+    /// recording each round. Returns the rounds executed when `done`
+    /// fired (as in [`Simulator::run_until`]).
+    pub fn record_until<P: Clone, B: NodeBehavior<P>>(
+        sim: &mut Simulator<'_, P, B>,
+        max_rounds: u64,
+        mut done: impl FnMut(&[B]) -> bool,
+    ) -> (Self, Option<u64>) {
+        let mut history = History::default();
+        let mut trace = RoundTrace::default();
+        let start = sim.round();
+        loop {
+            if done(sim.behaviors()) {
+                return (history, Some(sim.round() - start));
+            }
+            if sim.round() - start >= max_rounds {
+                return (history, None);
+            }
+            let round = sim.round();
+            sim.step_traced(&mut trace);
+            history.rounds.push(RecordedRound {
+                round,
+                broadcasters: trace.broadcasters.iter().map(|v| v.raw()).collect(),
+                deliveries: trace.deliveries.iter().map(|&(s, r)| (s.raw(), r.raw())).collect(),
+                collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
+            });
+        }
+    }
+
+    /// Total deliveries across the history.
+    pub fn total_deliveries(&self) -> u64 {
+        self.rounds.iter().map(|r| r.deliveries.len() as u64).sum()
+    }
+
+    /// The first round in which `v` received a packet, if any.
+    pub fn first_reception(&self, v: NodeId) -> Option<u64> {
+        self.rounds
+            .iter()
+            .find(|r| r.deliveries.iter().any(|&(_, d)| d == v.raw()))
+            .map(|r| r.round)
+    }
+
+    /// Per-round delivery counts (a simple progress curve).
+    pub fn delivery_curve(&self) -> Vec<(u64, usize)> {
+        self.rounds.iter().map(|r| (r.round, r.deliveries.len())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Ctx, FaultModel};
+    use netgraph::generators;
+
+    struct Flood {
+        informed: bool,
+    }
+    impl NodeBehavior<()> for Flood {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+            if self.informed {
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, _p: ()) {
+            self.informed = true;
+        }
+    }
+
+    fn sim(g: &netgraph::Graph) -> Simulator<'_, (), Flood> {
+        let behaviors: Vec<Flood> =
+            (0..g.node_count()).map(|i| Flood { informed: i == 0 }).collect();
+        Simulator::new(g, FaultModel::Faultless, behaviors, 3).unwrap()
+    }
+
+    #[test]
+    fn records_path_flood() {
+        let g = generators::path(5);
+        let mut s = sim(&g);
+        let history = History::record(&mut s, 4);
+        assert_eq!(history.rounds.len(), 4);
+        assert_eq!(history.total_deliveries(), 4);
+        // Node i first hears in round i-1.
+        for i in 1..5u32 {
+            assert_eq!(history.first_reception(NodeId::new(i)), Some(u64::from(i) - 1));
+        }
+        assert_eq!(history.first_reception(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn record_until_stops_when_done() {
+        let g = generators::path(6);
+        let mut s = sim(&g);
+        let (history, rounds) =
+            History::record_until(&mut s, 100, |bs| bs.iter().all(|b| b.informed));
+        assert_eq!(rounds, Some(5));
+        assert_eq!(history.rounds.len(), 5);
+    }
+
+    #[test]
+    fn record_until_budget_exhaustion() {
+        let g = generators::path(10);
+        let mut s = sim(&g);
+        let (history, rounds) =
+            History::record_until(&mut s, 3, |bs| bs.iter().all(|b| b.informed));
+        assert_eq!(rounds, None);
+        assert_eq!(history.rounds.len(), 3);
+    }
+
+    #[test]
+    fn delivery_curve_shape() {
+        let g = generators::star(4);
+        let mut s = sim(&g);
+        let history = History::record(&mut s, 2);
+        assert_eq!(history.delivery_curve(), vec![(0, 4), (1, 0)]);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let g = generators::path(3);
+        let mut s = sim(&g);
+        let history = History::record(&mut s, 2);
+        let json = serde_json::to_string(&history).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        assert_eq!(history, back);
+    }
+}

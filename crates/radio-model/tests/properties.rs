@@ -1,0 +1,186 @@
+//! Property-based tests for the simulator engine: conservation laws
+//! and fault-model semantics that every run must satisfy.
+
+use netgraph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+use radio_model::{Action, Ctx, FaultModel, NodeBehavior, RoundTrace, Simulator};
+
+/// Behavior that broadcasts with a fixed per-node probability — a
+/// generic random traffic source.
+#[derive(Debug, Clone)]
+struct RandomChatter {
+    probability: f64,
+    received: u64,
+}
+
+impl NodeBehavior<u64> for RandomChatter {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<u64> {
+        if rand::Rng::gen_bool(ctx.rng, self.probability) {
+            Action::Broadcast(ctx.round)
+        } else {
+            Action::Listen
+        }
+    }
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: u64) {
+        self.received += 1;
+    }
+}
+
+fn arb_fault() -> impl Strategy<Value = FaultModel> {
+    prop_oneof![
+        Just(FaultModel::Faultless),
+        (0.0..0.9f64).prop_map(|p| FaultModel::SenderFaults { p }),
+        (0.0..0.9f64).prop_map(|p| FaultModel::ReceiverFaults { p }),
+    ]
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..40, any::<u64>(), 0.02..0.3f64)
+        .prop_map(|(n, seed, p)| generators::gnp_connected(n, p, seed).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traced_rounds_satisfy_radio_semantics(
+        g in arb_graph(),
+        fault in arb_fault(),
+        seed in any::<u64>(),
+        prob in 0.05..0.9f64,
+    ) {
+        let behaviors: Vec<RandomChatter> = (0..g.node_count())
+            .map(|_| RandomChatter { probability: prob, received: 0 })
+            .collect();
+        let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+        let mut trace = RoundTrace::default();
+        for _ in 0..30 {
+            let report = sim.step_traced(&mut trace);
+            // (1) Report counters match the trace.
+            prop_assert_eq!(report.broadcasters as usize, trace.broadcasters.len());
+            prop_assert_eq!(report.deliveries as usize, trace.deliveries.len());
+            prop_assert_eq!(report.collisions as usize, trace.collided_listeners.len());
+            // (2) Every delivery edge exists, the sender broadcast, the
+            //     receiver did not.
+            for &(s, r) in &trace.deliveries {
+                prop_assert!(g.has_edge(s, r), "delivery over a non-edge {}->{}", s, r);
+                prop_assert!(trace.broadcasters.contains(&s));
+                prop_assert!(!trace.broadcasters.contains(&r), "broadcaster {} received", r);
+            }
+            // (3) A receiver is delivered at most one packet per round.
+            let mut receivers: Vec<NodeId> =
+                trace.deliveries.iter().map(|&(_, r)| r).collect();
+            receivers.sort_unstable();
+            let before = receivers.len();
+            receivers.dedup();
+            prop_assert_eq!(before, receivers.len(), "a node received twice in one round");
+            // (4) Exactly-one-broadcasting-neighbor rule (modulo faults):
+            //     every delivered receiver has exactly one broadcasting
+            //     neighbor; every collided listener has at least two.
+            for &(s, r) in &trace.deliveries {
+                let b = g
+                    .neighbors(r)
+                    .iter()
+                    .filter(|&&u| trace.broadcasters.binary_search(&u).is_ok())
+                    .count();
+                prop_assert_eq!(b, 1, "delivered receiver {} had {} broadcasting neighbors (from {})", r, b, s);
+            }
+            for &c in &trace.collided_listeners {
+                let b = g
+                    .neighbors(c)
+                    .iter()
+                    .filter(|&&u| trace.broadcasters.binary_search(&u).is_ok())
+                    .count();
+                prop_assert!(b >= 2, "collided listener {} had {} broadcasting neighbors", c, b);
+            }
+            // (5) Faultless runs lose nothing: every listener with
+            //     exactly one broadcasting neighbor receives.
+            if fault == FaultModel::Faultless {
+                for v in g.nodes() {
+                    if trace.broadcasters.binary_search(&v).is_ok() {
+                        continue;
+                    }
+                    let b = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| trace.broadcasters.binary_search(&u).is_ok())
+                        .count();
+                    if b == 1 {
+                        prop_assert!(
+                            trace.deliveries.iter().any(|&(_, r)| r == v),
+                            "faultless single-broadcaster listener {} missed its packet",
+                            v
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_sums_of_reports(
+        g in arb_graph(),
+        fault in arb_fault(),
+        seed in any::<u64>(),
+    ) {
+        let behaviors: Vec<RandomChatter> = (0..g.node_count())
+            .map(|_| RandomChatter { probability: 0.3, received: 0 })
+            .collect();
+        let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+        let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for _ in 0..25 {
+            let r = sim.step();
+            totals.0 += r.broadcasters;
+            totals.1 += r.deliveries;
+            totals.2 += r.collisions;
+            totals.3 += r.sender_faults;
+            totals.4 += r.receiver_faults;
+        }
+        let s = sim.stats();
+        prop_assert_eq!(s.rounds, 25);
+        prop_assert_eq!(s.broadcasts, totals.0);
+        prop_assert_eq!(s.deliveries, totals.1);
+        prop_assert_eq!(s.collisions, totals.2);
+        prop_assert_eq!(s.sender_faults, totals.3);
+        prop_assert_eq!(s.receiver_faults, totals.4);
+        // Receptions recorded by behaviors equal total deliveries.
+        let received: u64 = sim.behaviors().iter().map(|b| b.received).sum();
+        prop_assert_eq!(received, s.deliveries);
+    }
+
+    #[test]
+    fn fault_kinds_only_occur_in_their_model(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        p in 0.1..0.9f64,
+    ) {
+        let run = |fault: FaultModel| {
+            let behaviors: Vec<RandomChatter> = (0..g.node_count())
+                .map(|_| RandomChatter { probability: 0.4, received: 0 })
+                .collect();
+            let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+            sim.run(40);
+            *sim.stats()
+        };
+        let faultless = run(FaultModel::Faultless);
+        prop_assert_eq!(faultless.sender_faults, 0);
+        prop_assert_eq!(faultless.receiver_faults, 0);
+        let snd = run(FaultModel::SenderFaults { p });
+        prop_assert_eq!(snd.receiver_faults, 0);
+        let rcv = run(FaultModel::ReceiverFaults { p });
+        prop_assert_eq!(rcv.sender_faults, 0);
+    }
+
+    #[test]
+    fn determinism_per_seed(g in arb_graph(), fault in arb_fault(), seed in any::<u64>()) {
+        let run = || {
+            let behaviors: Vec<RandomChatter> = (0..g.node_count())
+                .map(|_| RandomChatter { probability: 0.25, received: 0 })
+                .collect();
+            let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+            sim.run(30);
+            *sim.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: statistics, scaling fits, sweeps, throughput
+//! estimation, and table rendering.
+//!
+//! The paper's results are asymptotic (round complexities and
+//! throughput gaps in `O`/`Θ`/`Ω` form). This crate turns simulator
+//! measurements into the finite-size evidence reported in
+//! `EXPERIMENTS.md`:
+//!
+//! * [`stats`] — sample summaries (mean, deviation, confidence
+//!   intervals) over repeated seeded trials;
+//! * [`fit`] — least-squares fits, including log–log slope estimation
+//!   for scaling-shape checks (e.g. "rounds grow linearly in `D`" ↔
+//!   slope ≈ 1);
+//! * [`mod@sweep`] — parameter sweeps with per-point trial replication;
+//! * [`throughput`] — `k / rounds` throughput estimates, stabilization
+//!   over a growing-`k` ladder (Definition 1's `limsup`), and gap
+//!   ratios (Definitions 2–3);
+//! * [`table`] — fixed-width and Markdown table rendering for benches
+//!   and reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+pub mod throughput;
+
+pub use fit::{log_log_fit, linear_fit, Fit};
+pub use stats::{quantile, Percentiles, Summary};
+pub use sweep::{sweep, SweepPoint};
+pub use table::Table;
+pub use throughput::{gap_ratio, throughput_ladder, ThroughputPoint};

@@ -1,0 +1,73 @@
+//! Parameter sweeps with per-point trial replication.
+
+use crate::Summary;
+
+/// One point of a sweep: the parameter value and the summary of its
+/// trial measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub param: f64,
+    /// Summary over the trials at this parameter.
+    pub summary: Summary,
+}
+
+/// Runs `measure(param, trial_index)` for every parameter in `params`,
+/// `trials` times each, and summarizes per point.
+///
+/// The trial index doubles as a seed offset so callers get independent
+/// but reproducible randomness per trial.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn sweep(
+    params: &[f64],
+    trials: u64,
+    mut measure: impl FnMut(f64, u64) -> f64,
+) -> Vec<SweepPoint> {
+    assert!(trials > 0, "need at least one trial per point");
+    params
+        .iter()
+        .map(|&param| {
+            let samples: Vec<f64> = (0..trials).map(|t| measure(param, t)).collect();
+            SweepPoint { param, summary: Summary::from_samples(&samples) }
+        })
+        .collect()
+}
+
+/// Extracts `(param, mean)` pairs from sweep results, ready for
+/// [`crate::fit::log_log_fit`].
+pub fn mean_curve(points: &[SweepPoint]) -> Vec<(f64, f64)> {
+    points.iter().map(|p| (p.param, p.summary.mean)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::log_log_fit;
+
+    #[test]
+    fn sweep_shape() {
+        let out = sweep(&[1.0, 2.0, 3.0], 4, |p, t| p * 10.0 + t as f64);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].param, 1.0);
+        assert_eq!(out[0].summary.count, 4);
+        // mean of {10, 11, 12, 13} = 11.5
+        assert!((out[0].summary.mean - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_feeds_fit() {
+        let out = sweep(&[1.0, 2.0, 4.0, 8.0], 2, |p, _| p * p);
+        let fit = log_log_fit(&mean_curve(&out));
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = sweep(&[1.0], 0, |_, _| 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Multi-message data dissemination in a sensor field via random
+//! linear network coding (paper §4.2).
+//!
+//! A base station at a grid corner must broadcast k configuration
+//! records to every sensor. Nodes gossip random GF(2⁸) combinations
+//! under the Decay schedule (Lemma 12); every sensor decodes once it
+//! has k independent combinations — payloads are carried and verified
+//! end-to-end.
+//!
+//! Run with: `cargo run --release --example sensor_field`
+
+use noisy_radio::core::multi_message::DecayRlnc;
+use noisy_radio::model::FaultModel;
+use noisy_radio::netgraph::{generators, NodeId};
+use noisy_radio::throughput::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let field = generators::grid(12, 12);
+    let base_station = NodeId::new(0);
+    println!(
+        "sensor field: 12×12 grid ({} sensors), diameter {}\n",
+        field.node_count(),
+        noisy_radio::netgraph::metrics::diameter(&field).expect("connected"),
+    );
+
+    let mut table =
+        Table::new(&["k records", "fault model", "rounds", "rounds/k", "payloads verified"]);
+    for k in [8usize, 16, 32] {
+        for fault in [FaultModel::Faultless, FaultModel::receiver(0.3)?, FaultModel::sender(0.3)?]
+        {
+            let out = DecayRlnc { phase_len: None, payload_len: 8 }.run(
+                &field,
+                base_station,
+                k,
+                fault,
+                2024,
+                10_000_000,
+            )?;
+            let rounds = out.run.rounds_used();
+            table.row_owned(vec![
+                k.to_string(),
+                fault.to_string(),
+                rounds.to_string(),
+                format!("{:.1}", rounds as f64 / k as f64),
+                out.decoded_ok.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Marginal cost per record ≈ Θ(log n) rounds — Lemma 12's Ω(1/log n) throughput.");
+    Ok(())
+}

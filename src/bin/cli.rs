@@ -1,0 +1,363 @@
+//! `noisy-radio-cli` — run the paper's algorithms from the command
+//! line.
+//!
+//! ```text
+//! noisy-radio-cli broadcast --topology path:256 --algo robust-fastbc \
+//!     --fault receiver:0.3 --seed 7 --trials 5
+//! noisy-radio-cli multicast --topology grid:12x12 --algo decay-rlnc --k 16
+//! noisy-radio-cli gap --leaves 1024 --k 16 --fault receiver:0.5
+//! noisy-radio-cli topo --topology gnp:200:0.05
+//! ```
+//!
+//! Run `noisy-radio-cli help` for the full grammar.
+
+use std::process::ExitCode;
+
+use noisy_radio::core::decay::Decay;
+use noisy_radio::core::experimental::StreamingRlnc;
+use noisy_radio::core::fastbc::FastbcSchedule;
+use noisy_radio::core::multi_message::{DecayRlnc, RobustFastbcRlnc};
+use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
+use noisy_radio::core::schedules::star::{star_coding, star_routing};
+use noisy_radio::gbst::Gbst;
+use noisy_radio::model::FaultModel;
+use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
+
+const MAX_ROUNDS: u64 = 500_000_000;
+
+const HELP: &str = "\
+noisy-radio-cli — Broadcasting in Noisy Radio Networks (PODC 2017)
+
+USAGE:
+  noisy-radio-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+  broadcast   single-message broadcast; prints rounds per trial + mean
+  multicast   k-message broadcast via RLNC; verifies decoded payloads
+  gap         star coding-vs-routing throughput gap (Theorem 17)
+  topo        print topology statistics and GBST structure
+  help        this message
+
+COMMON OPTIONS:
+  --topology SPEC   path:N | cycle:N | star:N | grid:RxC | torus:RxC |
+                    tree:ARITY:DEPTH | gnp:N:P | hypercube:D |
+                    caterpillar:SPINE:LEGS | spider:LEGS:LEN | udg:N:R
+                    (default path:128)
+  --fault SPEC      faultless | receiver:P | sender:P   (default receiver:0.3)
+  --seed N          RNG seed (default 42)
+  --trials N        independent trials (default 3)
+
+broadcast:
+  --algo NAME       decay | fastbc | robust-fastbc      (default robust-fastbc)
+multicast:
+  --algo NAME       decay-rlnc | rfastbc-rlnc | streaming-rlnc (default decay-rlnc)
+  --k N             number of messages (default 8)
+gap:
+  --leaves N        star size (default 1024)
+  --k N             messages (default 16)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `noisy-radio-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "broadcast" => cmd_broadcast(&opts),
+        "multicast" => cmd_multicast(&opts),
+        "gap" => cmd_gap(&opts),
+        "topo" => cmd_topo(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parsed command-line options with defaults.
+struct Options {
+    topology: String,
+    fault: FaultModel,
+    seed: u64,
+    trials: u64,
+    algo: Option<String>,
+    k: usize,
+    leaves: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options {
+            topology: "path:128".into(),
+            fault: FaultModel::ReceiverFaults { p: 0.3 },
+            seed: 42,
+            trials: 3,
+            algo: None,
+            k: 8,
+            leaves: 1024,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--topology" => opts.topology = value()?,
+                "--fault" => opts.fault = parse_fault(&value()?)?,
+                "--seed" => {
+                    opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--trials" => {
+                    opts.trials = value()?.parse().map_err(|e| format!("bad --trials: {e}"))?
+                }
+                "--algo" => opts.algo = Some(value()?),
+                "--k" => opts.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
+                "--leaves" => {
+                    opts.leaves = value()?.parse().map_err(|e| format!("bad --leaves: {e}"))?
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if opts.trials == 0 {
+            return Err("--trials must be ≥ 1".into());
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_fault(spec: &str) -> Result<FaultModel, String> {
+    if spec == "faultless" {
+        return Ok(FaultModel::Faultless);
+    }
+    let (kind, p) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad fault spec `{spec}` (want receiver:P or sender:P)"))?;
+    let p: f64 = p.parse().map_err(|e| format!("bad fault probability: {e}"))?;
+    match kind {
+        "receiver" => FaultModel::receiver(p).map_err(|e| e.to_string()),
+        "sender" => FaultModel::sender(p).map_err(|e| e.to_string()),
+        other => Err(format!("unknown fault kind `{other}`")),
+    }
+}
+
+fn parse_topology(spec: &str, seed: u64) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let usage = || format!("bad topology spec `{spec}`");
+    let num = |s: &str| s.parse::<usize>().map_err(|_| usage());
+    let fnum = |s: &str| s.parse::<f64>().map_err(|_| usage());
+    let dims = |s: &str| -> Result<(usize, usize), String> {
+        let (r, c) = s.split_once('x').ok_or_else(usage)?;
+        Ok((num(r)?, num(c)?))
+    };
+    let g = match (parts.first().copied(), parts.len()) {
+        (Some("path"), 2) => generators::path(num(parts[1])?),
+        (Some("cycle"), 2) => generators::cycle(num(parts[1])?).map_err(|e| e.to_string())?,
+        (Some("star"), 2) => generators::star(num(parts[1])?),
+        (Some("grid"), 2) => {
+            let (r, c) = dims(parts[1])?;
+            generators::grid(r, c)
+        }
+        (Some("torus"), 2) => {
+            let (r, c) = dims(parts[1])?;
+            generators::torus(r, c).map_err(|e| e.to_string())?
+        }
+        (Some("tree"), 3) => generators::balanced_tree(num(parts[1])?, num(parts[2])?)
+            .map_err(|e| e.to_string())?,
+        (Some("gnp"), 3) => generators::gnp_connected(num(parts[1])?, fnum(parts[2])?, seed)
+            .map_err(|e| e.to_string())?,
+        (Some("hypercube"), 2) => {
+            generators::hypercube(num(parts[1])? as u32).map_err(|e| e.to_string())?
+        }
+        (Some("caterpillar"), 3) => generators::caterpillar(num(parts[1])?, num(parts[2])?)
+            .map_err(|e| e.to_string())?,
+        (Some("spider"), 3) => generators::spider(num(parts[1])?, num(parts[2])?)
+            .map_err(|e| e.to_string())?,
+        (Some("udg"), 3) => {
+            generators::unit_disk_connected(num(parts[1])?, fnum(parts[2])?, seed)
+                .map_err(|e| e.to_string())?
+        }
+        _ => return Err(usage()),
+    };
+    Ok(g)
+}
+
+fn cmd_broadcast(opts: &Options) -> Result<(), String> {
+    let g = parse_topology(&opts.topology, opts.seed)?;
+    let algo = opts.algo.as_deref().unwrap_or("robust-fastbc");
+    let source = NodeId::new(0);
+    println!(
+        "topology {} ({} nodes, {} edges), fault {}, algo {algo}",
+        opts.topology,
+        g.node_count(),
+        g.edge_count(),
+        opts.fault
+    );
+    let mut total = 0u64;
+    for t in 0..opts.trials {
+        let seed = opts.seed + t;
+        let rounds = match algo {
+            "decay" => Decay::new()
+                .run(&g, source, opts.fault, seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?
+                .rounds_used(),
+            "fastbc" => FastbcSchedule::new(&g, source)
+                .map_err(|e| e.to_string())?
+                .run(opts.fault, seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?
+                .rounds_used(),
+            "robust-fastbc" => RobustFastbcSchedule::new(&g, source)
+                .map_err(|e| e.to_string())?
+                .run(opts.fault, seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?
+                .rounds_used(),
+            other => return Err(format!("unknown broadcast algo `{other}`")),
+        };
+        println!("  trial {t}: {rounds} rounds");
+        total += rounds;
+    }
+    println!("mean: {:.1} rounds", total as f64 / opts.trials as f64);
+    Ok(())
+}
+
+fn cmd_multicast(opts: &Options) -> Result<(), String> {
+    let g = parse_topology(&opts.topology, opts.seed)?;
+    let algo = opts.algo.as_deref().unwrap_or("decay-rlnc");
+    let source = NodeId::new(0);
+    println!(
+        "topology {} ({} nodes), k = {}, fault {}, algo {algo}",
+        opts.topology,
+        g.node_count(),
+        opts.k,
+        opts.fault
+    );
+    let mut total = 0u64;
+    for t in 0..opts.trials {
+        let seed = opts.seed + t;
+        let out = match algo {
+            "decay-rlnc" => DecayRlnc { phase_len: None, payload_len: 4 }
+                .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?,
+            "rfastbc-rlnc" => RobustFastbcRlnc { params: Default::default(), payload_len: 4 }
+                .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?,
+            "streaming-rlnc" => StreamingRlnc { phase_len: None, payload_len: 4 }
+                .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?,
+            other => return Err(format!("unknown multicast algo `{other}`")),
+        };
+        let rounds = out.run.rounds_used();
+        println!(
+            "  trial {t}: {rounds} rounds ({:.1}/message), payloads {}",
+            rounds as f64 / opts.k as f64,
+            if out.decoded_ok { "verified" } else { "MISMATCH" }
+        );
+        if !out.decoded_ok {
+            return Err("decoded payloads did not match the source".into());
+        }
+        total += rounds;
+    }
+    println!("mean: {:.1} rounds", total as f64 / opts.trials as f64);
+    Ok(())
+}
+
+fn cmd_gap(opts: &Options) -> Result<(), String> {
+    println!(
+        "star with {} leaves, k = {}, fault {} (Theorem 17 setting)",
+        opts.leaves, opts.k, opts.fault
+    );
+    let routing = star_routing(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
+        .map_err(|e| e.to_string())?
+        .rounds
+        .ok_or("routing did not finish")?;
+    let coding = star_coding(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
+        .map_err(|e| e.to_string())?
+        .rounds_used();
+    println!("  adaptive routing: {routing} rounds (τ = {:.4})", opts.k as f64 / routing as f64);
+    println!("  RS coding:        {coding} rounds (τ = {:.4})", opts.k as f64 / coding as f64);
+    println!("  coding gap:       {:.2}×", routing as f64 / coding as f64);
+    Ok(())
+}
+
+fn cmd_topo(opts: &Options) -> Result<(), String> {
+    let g = parse_topology(&opts.topology, opts.seed)?;
+    println!("topology {}", opts.topology);
+    println!("  nodes:     {}", g.node_count());
+    println!("  edges:     {}", g.edge_count());
+    println!("  connected: {}", metrics::is_connected(&g));
+    if let Some(d) = metrics::diameter(&g) {
+        println!("  diameter:  {d}");
+    }
+    if let Some(s) = metrics::degree_stats(&g) {
+        println!("  degrees:   min {} / mean {:.2} / max {}", s.min, s.mean, s.max);
+    }
+    match Gbst::build(&g, NodeId::new(0)) {
+        Ok(t) => {
+            println!("  GBST:      r_max {}, {} fast stretches, {} demotions",
+                t.max_rank(),
+                t.stretches().len(),
+                t.demoted_count());
+        }
+        Err(e) => println!("  GBST:      unavailable ({e})"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_specs() {
+        assert_eq!(parse_fault("faultless").unwrap(), FaultModel::Faultless);
+        assert_eq!(
+            parse_fault("receiver:0.5").unwrap(),
+            FaultModel::ReceiverFaults { p: 0.5 }
+        );
+        assert_eq!(parse_fault("sender:0.25").unwrap(), FaultModel::SenderFaults { p: 0.25 });
+        assert!(parse_fault("receiver").is_err());
+        assert!(parse_fault("gamma:0.5").is_err());
+        assert!(parse_fault("receiver:1.5").is_err());
+    }
+
+    #[test]
+    fn topology_specs() {
+        assert_eq!(parse_topology("path:9", 1).unwrap().node_count(), 9);
+        assert_eq!(parse_topology("star:5", 1).unwrap().node_count(), 6);
+        assert_eq!(parse_topology("grid:3x4", 1).unwrap().node_count(), 12);
+        assert_eq!(parse_topology("torus:3x3", 1).unwrap().node_count(), 9);
+        assert_eq!(parse_topology("tree:2:3", 1).unwrap().node_count(), 15);
+        assert_eq!(parse_topology("hypercube:3", 1).unwrap().node_count(), 8);
+        assert!(parse_topology("gnp:30:0.2", 1).is_ok());
+        assert!(parse_topology("udg:30:0.3", 1).is_ok());
+        assert!(parse_topology("banana:3", 1).is_err());
+        assert!(parse_topology("grid:3", 1).is_err());
+    }
+
+    #[test]
+    fn option_parsing() {
+        let args: Vec<String> = ["--topology", "path:5", "--k", "3", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.topology, "path:5");
+        assert_eq!(o.k, 3);
+        assert_eq!(o.seed, 9);
+        assert!(Options::parse(&["--bogus".to_string()]).is_err());
+        assert!(Options::parse(&["--k".to_string()]).is_err());
+    }
+}

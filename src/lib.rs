@@ -1,0 +1,16 @@
+//! Umbrella crate for the `noisy-radio` workspace: a reproduction of
+//! *Broadcasting in Noisy Radio Networks* (Censor-Hillel, Haeupler,
+//! Hershkowitz, Zuzic — PODC 2017, arXiv:1705.07369).
+//!
+//! Re-exports the public API of every workspace crate so downstream
+//! users can depend on a single crate. See the repository `README.md`
+//! for a guided tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use gbst;
+pub use netgraph;
+pub use noisy_radio_core as core;
+pub use radio_coding as coding;
+pub use radio_model as model;
+pub use radio_throughput as throughput;

@@ -1,0 +1,134 @@
+//! Cross-crate invariant checks: the structural guarantees the
+//! paper's proofs rely on, observed inside live simulations.
+
+use noisy_radio::core::fastbc::FastbcSchedule;
+use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
+use noisy_radio::gbst::Gbst;
+use noisy_radio::model::FaultModel;
+use noisy_radio::netgraph::{generators, NodeId};
+
+#[test]
+fn fastbc_fast_rounds_collision_free_across_seeds() {
+    // §3.4.2: "fast nodes of different ranks that transmit during the
+    // same round must be at least 6 levels apart … nodes of the same
+    // rank … will not interfere because of the GBST construction."
+    for seed in 0..5 {
+        let g = generators::gnp_connected(80, 0.07, seed).expect("valid");
+        let sched = FastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
+        let gbst = sched.gbst();
+        sched
+            .run_traced(FaultModel::Faultless, seed, 50_000, |round, trace| {
+                if round % 2 != 0 {
+                    return;
+                }
+                for &u in &trace.broadcasters {
+                    let c = gbst.fast_child(u).expect("fast-round broadcaster is fast");
+                    let ok = trace.deliveries.iter().any(|&(s, d)| s == u && d == c)
+                        || trace.broadcasters.contains(&c);
+                    assert!(ok, "seed {seed} round {round}: wave collided at {c}");
+                }
+            })
+            .expect("valid")
+            .rounds
+            .expect("completes");
+    }
+}
+
+#[test]
+fn robust_fastbc_block_waves_collision_free_across_seeds() {
+    for seed in 0..5 {
+        let g = generators::gnp_connected(80, 0.07, 100 + seed).expect("valid");
+        let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
+        let gbst = sched.gbst();
+        sched
+            .run_traced(FaultModel::Faultless, seed, 100_000, |round, trace| {
+                if round % 2 != 0 {
+                    return;
+                }
+                for &u in &trace.broadcasters {
+                    let c = gbst.fast_child(u).expect("fast-round broadcaster is fast");
+                    let ok = trace.deliveries.iter().any(|&(s, d)| s == u && d == c)
+                        || trace.broadcasters.contains(&c);
+                    assert!(ok, "seed {seed} round {round}: block wave collided at {c}");
+                }
+            })
+            .expect("valid")
+            .rounds
+            .expect("completes");
+    }
+}
+
+#[test]
+fn gbst_invariants_on_every_generator() {
+    let graphs = vec![
+        generators::path(100),
+        generators::cycle(64).expect("valid"),
+        generators::star(99),
+        generators::complete(32),
+        generators::grid(10, 10),
+        generators::balanced_tree(2, 6).expect("valid"),
+        generators::caterpillar(30, 2).expect("valid"),
+        generators::spider(5, 10).expect("valid"),
+        generators::hypercube(7).expect("valid"),
+        generators::gnp_connected(128, 0.05, 1).expect("valid"),
+        generators::random_tree(128, 2).expect("valid"),
+        generators::layered_random(10, 10, 0.25, 3).expect("valid"),
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        let t = Gbst::build(g, NodeId::new(0)).expect("connected");
+        t.validate(g).unwrap_or_else(|e| panic!("graph {i}: {e}"));
+        let bound = (g.node_count() as f64).log2().ceil() as u32 + 1;
+        assert!(t.max_rank() <= bound, "graph {i}: rank {} > {bound}", t.max_rank());
+    }
+}
+
+#[test]
+fn broadcast_round_counts_are_monotone_in_fault_probability_on_average() {
+    // More noise should not speed broadcast up (averaged over seeds).
+    let g = generators::path(96);
+    let mean = |p: f64| -> f64 {
+        let fault = if p == 0.0 {
+            FaultModel::Faultless
+        } else {
+            FaultModel::receiver(p).expect("valid")
+        };
+        let mut total = 0u64;
+        for seed in 0..8 {
+            total += noisy_radio::core::decay::Decay::new()
+                .run(&g, NodeId::new(0), fault, seed, 50_000_000)
+                .expect("valid")
+                .rounds_used();
+        }
+        total as f64 / 8.0
+    };
+    let r0 = mean(0.0);
+    let r4 = mean(0.4);
+    let r7 = mean(0.7);
+    assert!(r0 < r4, "p=0 ({r0}) should beat p=0.4 ({r4})");
+    assert!(r4 < r7, "p=0.4 ({r4}) should beat p=0.7 ({r7})");
+}
+
+#[test]
+fn wct_cluster_structure_holds_at_scale() {
+    use noisy_radio::netgraph::wct::{Wct, WctParams};
+    let wct = Wct::generate(WctParams {
+        senders: 64,
+        clusters_per_class: 8,
+        cluster_size: 32,
+        seed: 9,
+    })
+    .expect("valid");
+    // Figure 2's defining property: cluster members are
+    // interchangeable — identical neighborhoods.
+    for c in 0..wct.cluster_count() {
+        let expected = wct.cluster_sender_set(c);
+        for &v in wct.cluster(c) {
+            assert_eq!(wct.graph().neighbors(v), expected);
+        }
+    }
+    // And the graph is a radius-2 star-of-stars.
+    assert_eq!(
+        noisy_radio::netgraph::metrics::eccentricity(wct.graph(), wct.source()),
+        Some(2)
+    );
+}

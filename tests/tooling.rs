@@ -1,0 +1,78 @@
+//! Cross-crate integration for the tooling layer: execution
+//! recording, DOT export, and percentile reporting over real
+//! algorithm runs.
+
+use noisy_radio::core::decay::Decay;
+use noisy_radio::gbst::Gbst;
+use noisy_radio::model::recorder::History;
+use noisy_radio::model::FaultModel;
+use noisy_radio::netgraph::{dot, generators, NodeId};
+use noisy_radio::throughput::Percentiles;
+
+#[test]
+fn recorded_history_matches_broadcast_progress() {
+    use noisy_radio::model::{Action, Ctx, NodeBehavior, Simulator};
+
+    struct Flood {
+        informed: bool,
+    }
+    impl NodeBehavior<()> for Flood {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+            if self.informed {
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, _p: ()) {
+            self.informed = true;
+        }
+    }
+
+    let g = generators::path(16);
+    let behaviors: Vec<Flood> = (0..16).map(|i| Flood { informed: i == 0 }).collect();
+    let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 9).unwrap();
+    let (history, rounds) =
+        History::record_until(&mut sim, 1_000, |bs| bs.iter().all(|b| b.informed));
+    let rounds = rounds.expect("flood completes");
+    assert_eq!(history.rounds.len() as u64, rounds);
+    // On a faultless path, node i first hears in round i-1, and the
+    // recorded history should say exactly that.
+    for i in 1..16u32 {
+        assert_eq!(history.first_reception(NodeId::new(i)), Some(u64::from(i) - 1));
+    }
+    assert_eq!(history.total_deliveries(), 15);
+}
+
+#[test]
+fn gbst_dot_renders_every_stretch_on_generated_graphs() {
+    for seed in 0..3 {
+        let g = generators::gnp_connected(40, 0.08, seed).unwrap();
+        let t = Gbst::build(&g, NodeId::new(0)).unwrap();
+        let text = noisy_radio::gbst::dot::to_dot(&t, &g);
+        // Every fast edge appears with the Figure-1 styling.
+        let fast_edges: usize =
+            g.nodes().filter(|&v| t.fast_child(v).is_some()).count();
+        assert_eq!(text.matches("style=dashed color=green").count(), fast_edges);
+        // Plain graph export agrees on edge count.
+        let plain = dot::to_dot(&g, |_| None);
+        assert_eq!(plain.matches(" -- ").count(), g.edge_count());
+    }
+}
+
+#[test]
+fn percentiles_of_broadcast_latency_are_ordered() {
+    let g = generators::gnp_connected(48, 0.08, 7).unwrap();
+    let fault = FaultModel::receiver(0.4).unwrap();
+    let samples: Vec<f64> = (0..24)
+        .map(|seed| {
+            Decay::new()
+                .run(&g, NodeId::new(0), fault, seed, 10_000_000)
+                .unwrap()
+                .rounds_used() as f64
+        })
+        .collect();
+    let p = Percentiles::from_samples(&samples);
+    assert!(p.p50 <= p.p90 && p.p90 <= p.p99);
+    assert!(p.p50 > 0.0);
+}
