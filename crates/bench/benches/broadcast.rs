@@ -41,7 +41,12 @@ fn bench_e2_fastbc(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(sched.run(FaultModel::Faultless, seed, MAX).expect("valid").rounds_used())
+                black_box(
+                    sched
+                        .run(FaultModel::Faultless, seed, MAX)
+                        .expect("valid")
+                        .rounds_used(),
+                )
             });
         });
     }

@@ -31,21 +31,17 @@ fn bench_e8_star(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("coding", leaves),
-            &leaves,
-            |b, &leaves| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(
-                        star_coding(leaves, 16, fault, seed, MAX)
-                            .expect("valid")
-                            .rounds_used(),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("coding", leaves), &leaves, |b, &leaves| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    star_coding(leaves, 16, fault, seed, MAX)
+                        .expect("valid")
+                        .rounds_used(),
+                )
+            });
+        });
     }
     group.finish();
 }
@@ -69,7 +65,9 @@ fn bench_e9_wct_probe(c: &mut Criterion) {
 
 fn bench_e10_wct(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_wct_gap");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let wct = Wct::generate(WctParams {
         senders: 16,
         clusters_per_class: 6,
@@ -89,7 +87,11 @@ fn bench_e10_wct(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(wct_routing(&wct, 6, fault, seed, MAX).expect("valid").rounds)
+            black_box(
+                wct_routing(&wct, 6, fault, seed, MAX)
+                    .expect("valid")
+                    .rounds,
+            )
         });
     });
     group.finish();

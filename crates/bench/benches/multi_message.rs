@@ -18,9 +18,12 @@ fn bench_e6_decay_rlnc(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let out = DecayRlnc { phase_len: None, payload_len: 0 }
-                    .run(&g, NodeId::new(0), k, fault, seed, MAX)
-                    .expect("valid");
+                let out = DecayRlnc {
+                    phase_len: None,
+                    payload_len: 0,
+                }
+                .run(&g, NodeId::new(0), k, fault, seed, MAX)
+                .expect("valid");
                 black_box(out.run.rounds_used())
             });
         });
@@ -37,9 +40,12 @@ fn bench_e7_rfastbc_rlnc(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let out = RobustFastbcRlnc { params: Default::default(), payload_len: 0 }
-                    .run(&g, NodeId::new(0), k, fault, seed, MAX)
-                    .expect("valid");
+                let out = RobustFastbcRlnc {
+                    params: Default::default(),
+                    payload_len: 0,
+                }
+                .run(&g, NodeId::new(0), k, fault, seed, MAX)
+                .expect("valid");
                 black_box(out.run.rounds_used())
             });
         });

@@ -28,8 +28,9 @@ fn bench_rs_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("rs_roundtrip");
     for k in [16usize, 64] {
         let mut rng = SmallRng::seed_from_u64(1);
-        let data: Vec<Vec<Gf256>> =
-            (0..k).map(|_| (0..32).map(|_| Gf256::random(&mut rng)).collect()).collect();
+        let data: Vec<Vec<Gf256>> = (0..k)
+            .map(|_| (0..32).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
         let rs = ReedSolomon::<Gf256>::new(k).expect("valid");
         group.bench_with_input(BenchmarkId::new("encode_decode", k), &k, |b, &k| {
             b.iter(|| {

@@ -18,7 +18,10 @@ fn bench_e11_transforms(c: &mut Criterion) {
     let g = generators::star(16);
     let base = BaseSchedule::star(16, 4);
     group.bench_function("routing_transform_star_p03", |b| {
-        let t = SenderFaultRoutingTransform { group_size: 64, eta: 0.5 };
+        let t = SenderFaultRoutingTransform {
+            group_size: 64,
+            eta: 0.5,
+        };
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
@@ -28,9 +31,14 @@ fn bench_e11_transforms(c: &mut Criterion) {
     });
     let path = generators::path(8);
     let pbase = BaseSchedule::path_pipelined(8, 4);
-    let trace = pbase.validate_faultless(&path, NodeId::new(0)).expect("valid");
+    let trace = pbase
+        .validate_faultless(&path, NodeId::new(0))
+        .expect("valid");
     group.bench_function("coding_transform_path_p03", |b| {
-        let t = CodingFaultTransform { group_size: 64, eta: 0.3 };
+        let t = CodingFaultTransform {
+            group_size: 64,
+            eta: 0.3,
+        };
         let fault = FaultModel::receiver(0.3).expect("valid p");
         let mut seed = 0;
         b.iter(|| {

@@ -11,7 +11,11 @@ use noisy_radio_bench::{experiments, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
     let markdown = args.iter().any(|a| a == "--markdown");
     let filter: Vec<String> = args
         .iter()

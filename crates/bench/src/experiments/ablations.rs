@@ -28,7 +28,14 @@ pub fn a1_block_size(scale: Scale) -> ExperimentReport {
     let g = generators::path(n);
     let canonical = default_block_size(n);
     let blocks: Vec<u32> = {
-        let mut b = vec![1u32, 2, canonical, 2 * canonical, 4 * canonical, 8 * canonical];
+        let mut b = vec![
+            1u32,
+            2,
+            canonical,
+            2 * canonical,
+            4 * canonical,
+            8 * canonical,
+        ];
         b.sort_unstable();
         b.dedup();
         b
@@ -39,22 +46,37 @@ pub fn a1_block_size(scale: Scale) -> ExperimentReport {
         let sched = RobustFastbcSchedule::with_params(
             &g,
             NodeId::new(0),
-            RobustFastbcParams { block_size: Some(s), ..Default::default() },
+            RobustFastbcParams {
+                block_size: Some(s),
+                ..Default::default()
+            },
         )
         .expect("valid");
         let mut total = 0u64;
         for t in 0..trials {
-            total +=
-                sched.run(fault, 8000 + t, MAX_ROUNDS).expect("valid").rounds_used();
+            total += sched
+                .run(fault, 8000 + t, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used();
         }
         let mean = total as f64 / trials as f64;
-        let note = if s == canonical { "⌈log log n⌉+1 (canonical)" } else { "" };
+        let note = if s == canonical {
+            "⌈log log n⌉+1 (canonical)"
+        } else {
+            ""
+        };
         table.row_owned(vec![s.to_string(), note.into(), format!("{mean:.0}")]);
         results.push((s, mean));
     }
-    let canonical_mean =
-        results.iter().find(|(s, _)| *s == canonical).expect("canonical in sweep").1;
-    let best = results.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+    let canonical_mean = results
+        .iter()
+        .find(|(s, _)| *s == canonical)
+        .expect("canonical in sweep")
+        .1;
+    let best = results
+        .iter()
+        .map(|(_, m)| *m)
+        .fold(f64::INFINITY, f64::min);
     let mut report = ExperimentReport {
         id: "A1",
         claim: "Ablation: Robust FASTBC block size S = Θ(log log n) (§4.1 design choice)",
@@ -95,21 +117,30 @@ pub fn a3_streaming_rlnc(scale: Scale) -> ExperimentReport {
     let mut decay_curve = Vec::new();
     let mut stream_curve = Vec::new();
     for &k in ks {
-        let decay = DecayRlnc { phase_len: None, payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 9300, MAX_ROUNDS)
-            .expect("valid")
-            .run
-            .rounds_used();
-        let robust = RobustFastbcRlnc { params: Default::default(), payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 9400, MAX_ROUNDS)
-            .expect("valid")
-            .run
-            .rounds_used();
-        let streaming = StreamingRlnc { phase_len: None, payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 9500, MAX_ROUNDS)
-            .expect("valid")
-            .run
-            .rounds_used();
+        let decay = DecayRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 9300, MAX_ROUNDS)
+        .expect("valid")
+        .run
+        .rounds_used();
+        let robust = RobustFastbcRlnc {
+            params: Default::default(),
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 9400, MAX_ROUNDS)
+        .expect("valid")
+        .run
+        .rounds_used();
+        let streaming = StreamingRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 9500, MAX_ROUNDS)
+        .expect("valid")
+        .run
+        .rounds_used();
         stream_wins_large_k = streaming < decay && streaming < robust;
         decay_curve.push((k as f64, decay as f64));
         stream_curve.push((k as f64, streaming as f64));

@@ -69,7 +69,10 @@ pub fn e8_star_gap(scale: Scale) -> ExperimentReport {
     };
     report.check(
         fit.slope > 0.1 && fit.r2 > 0.8,
-        format!("gap grows linearly in log n (slope {:.2}/bit, R² = {:.3})", fit.slope, fit.r2),
+        format!(
+            "gap grows linearly in log n (slope {:.2}/bit, R² = {:.3})",
+            fit.slope, fit.r2
+        ),
     );
     let first = gap_curve.first().expect("nonempty").1;
     let last = gap_curve.last().expect("nonempty").1;
@@ -86,8 +89,13 @@ pub fn e8_star_gap(scale: Scale) -> ExperimentReport {
 pub fn e9_wct_collision(scale: Scale) -> ExperimentReport {
     let sender_counts: &[usize] = scale.pick(&[16, 64], &[16, 32, 64, 128, 256]);
     let trials = scale.pick(5, 20);
-    let mut table =
-        Table::new(&["senders m", "n (total)", "log2 n", "max fraction", "fraction × log2 n"]);
+    let mut table = Table::new(&[
+        "senders m",
+        "n (total)",
+        "log2 n",
+        "max fraction",
+        "fraction × log2 n",
+    ]);
     let mut products = Vec::new();
     for &m in sender_counts {
         let wct = Wct::generate(WctParams {
@@ -177,7 +185,10 @@ pub fn e10_wct_gap(scale: Scale) -> ExperimentReport {
         table,
         findings: Vec::new(),
     };
-    report.check(first > 1.0, format!("coding beats routing already at m = 16 (gap {first:.2})"));
+    report.check(
+        first > 1.0,
+        format!("coding beats routing already at m = 16 (gap {first:.2})"),
+    );
     report.check(
         last > first,
         format!("gap grows with n: {first:.2} → {last:.2} (Θ(log n) trend)"),

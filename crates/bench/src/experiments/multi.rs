@@ -23,9 +23,12 @@ pub fn e6_decay_rlnc(scale: Scale) -> ExperimentReport {
     let mut table = Table::new(&["k", "rounds", "rounds/k", "(rounds/k)/log n"]);
     let mut curve = Vec::new();
     for &k in ks {
-        let out = DecayRlnc { phase_len: None, payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 4000 + k as u64, MAX_ROUNDS)
-            .expect("valid");
+        let out = DecayRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 4000 + k as u64, MAX_ROUNDS)
+        .expect("valid");
         assert!(out.decoded_ok, "RLNC decode failure");
         let rounds = out.run.rounds_used() as f64;
         table.row_owned(vec![
@@ -71,13 +74,15 @@ pub fn e7_rfastbc_rlnc(scale: Scale) -> ExperimentReport {
     let g = generators::path(n);
     let log_n = (n as f64).log2();
     let loglog_n = log_n.log2();
-    let mut table =
-        Table::new(&["k", "rounds", "rounds/k", "(rounds/k)/(log n · log log n)"]);
+    let mut table = Table::new(&["k", "rounds", "rounds/k", "(rounds/k)/(log n · log log n)"]);
     let mut curve = Vec::new();
     for &k in ks {
-        let out = RobustFastbcRlnc { params: Default::default(), payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 5000 + k as u64, MAX_ROUNDS)
-            .expect("valid");
+        let out = RobustFastbcRlnc {
+            params: Default::default(),
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 5000 + k as u64, MAX_ROUNDS)
+        .expect("valid");
         assert!(out.decoded_ok, "RLNC decode failure");
         let rounds = out.run.rounds_used() as f64;
         table.row_owned(vec![
@@ -95,7 +100,10 @@ pub fn e7_rfastbc_rlnc(scale: Scale) -> ExperimentReport {
         table,
         findings: Vec::new(),
     };
-    report.check(fit.r2 > 0.9, format!("rounds grow linearly in k (R² = {:.3})", fit.r2));
+    report.check(
+        fit.r2 > 0.9,
+        format!("rounds grow linearly in k (R² = {:.3})", fit.r2),
+    );
     report.check(
         fit.slope > 0.0,
         format!("marginal cost {:.1} rounds/message", fit.slope),

@@ -44,11 +44,17 @@ pub fn e12_single_link(scale: Scale) -> ExperimentReport {
         let coding_budget = (k as f64 / (1.0 - p) * 1.3).ceil() as u64;
         let mut ok = 0;
         for t in 0..trials {
-            if single_link_coding(k, coding_budget, fault, 7000 + t).expect("valid").success {
+            if single_link_coding(k, coding_budget, fault, 7000 + t)
+                .expect("valid")
+                .success
+            {
                 ok += 1;
             }
         }
-        assert!(ok * 100 >= trials * 90, "coding budget too small: {ok}/{trials}");
+        assert!(
+            ok * 100 >= trials * 90,
+            "coding budget too small: {ok}/{trials}"
+        );
         let mut adaptive_total = 0u64;
         for t in 0..trials {
             adaptive_total += single_link_adaptive_routing(k, fault, 7100 + t, 100_000_000)

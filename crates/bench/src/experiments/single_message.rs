@@ -25,7 +25,13 @@ fn mean_rounds(trials: u64, mut run: impl FnMut(u64) -> u64) -> Summary {
 pub fn e1_decay_faultless(scale: Scale) -> ExperimentReport {
     let sizes: &[usize] = scale.pick(&[32, 64, 128, 256], &[32, 64, 128, 256, 512, 1024]);
     let trials = scale.pick(3, 10);
-    let mut table = Table::new(&["n (path)", "D", "log2 n", "rounds (mean ± ci)", "rounds/(D·log n)"]);
+    let mut table = Table::new(&[
+        "n (path)",
+        "D",
+        "log2 n",
+        "rounds (mean ± ci)",
+        "rounds/(D·log n)",
+    ]);
     let mut curve = Vec::new();
     for &n in sizes {
         let g = generators::path(n);
@@ -33,7 +39,13 @@ pub fn e1_decay_faultless(scale: Scale) -> ExperimentReport {
         let log_n = (n as f64).log2();
         let s = mean_rounds(trials, |t| {
             Decay::new()
-                .run(&g, NodeId::new(0), FaultModel::Faultless, 100 + t, MAX_ROUNDS)
+                .run(
+                    &g,
+                    NodeId::new(0),
+                    FaultModel::Faultless,
+                    100 + t,
+                    MAX_ROUNDS,
+                )
                 .expect("valid config")
                 .rounds_used()
         });
@@ -56,7 +68,10 @@ pub fn e1_decay_faultless(scale: Scale) -> ExperimentReport {
     };
     report.check(
         (0.85..1.15).contains(&fit.slope),
-        format!("rounds scale as (D·log n)^{:.2} (expect exponent ≈ 1), R² = {:.3}", fit.slope, fit.r2),
+        format!(
+            "rounds scale as (D·log n)^{:.2} (expect exponent ≈ 1), R² = {:.3}",
+            fit.slope, fit.r2
+        ),
     );
     report
 }
@@ -67,7 +82,13 @@ pub fn e1_decay_faultless(scale: Scale) -> ExperimentReport {
 pub fn e2_fastbc_faultless(scale: Scale) -> ExperimentReport {
     let sizes: &[usize] = scale.pick(&[64, 128, 256], &[64, 128, 256, 512, 1024, 2048]);
     let trials = scale.pick(3, 8);
-    let mut table = Table::new(&["n (path)", "D", "FASTBC rounds", "Decay rounds", "rounds/D (FASTBC)"]);
+    let mut table = Table::new(&[
+        "n (path)",
+        "D",
+        "FASTBC rounds",
+        "Decay rounds",
+        "rounds/D (FASTBC)",
+    ]);
     let mut curve = Vec::new();
     let mut ratio_large = 0.0f64;
     for &n in sizes {
@@ -75,11 +96,20 @@ pub fn e2_fastbc_faultless(scale: Scale) -> ExperimentReport {
         let d = (n - 1) as f64;
         let sched = FastbcSchedule::new(&g, NodeId::new(0)).expect("path is connected");
         let fast = mean_rounds(trials, |t| {
-            sched.run(FaultModel::Faultless, 200 + t, MAX_ROUNDS).expect("valid").rounds_used()
+            sched
+                .run(FaultModel::Faultless, 200 + t, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used()
         });
         let decay = mean_rounds(trials, |t| {
             Decay::new()
-                .run(&g, NodeId::new(0), FaultModel::Faultless, 300 + t, MAX_ROUNDS)
+                .run(
+                    &g,
+                    NodeId::new(0),
+                    FaultModel::Faultless,
+                    300 + t,
+                    MAX_ROUNDS,
+                )
                 .expect("valid")
                 .rounds_used()
         });
@@ -102,11 +132,16 @@ pub fn e2_fastbc_faultless(scale: Scale) -> ExperimentReport {
     };
     report.check(
         (0.9..1.1).contains(&fit.slope),
-        format!("FASTBC rounds scale as D^{:.2} (expect 1.0), R² = {:.3}", fit.slope, fit.r2),
+        format!(
+            "FASTBC rounds scale as D^{:.2} (expect 1.0), R² = {:.3}",
+            fit.slope, fit.r2
+        ),
     );
     report.check(
         ratio_large > 2.0,
-        format!("FASTBC beats Decay by {ratio_large:.1}× at the largest D (Decay pays log n per hop)"),
+        format!(
+            "FASTBC beats Decay by {ratio_large:.1}× at the largest D (Decay pays log n per hop)"
+        ),
     );
     report
 }
@@ -149,8 +184,9 @@ pub fn e3_decay_noisy(scale: Scale) -> ExperimentReport {
         }
     }
     let base = normalized[0];
-    let spread =
-        normalized.iter().fold(0.0f64, |acc, &v| acc.max((v - base).abs() / base));
+    let spread = normalized
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max((v - base).abs() / base));
     let mut report = ExperimentReport {
         id: "E3",
         claim: "Lemma 9: Decay under faults needs O((log n/(1−p))(D + log n)) rounds",
@@ -188,24 +224,41 @@ pub fn e4_fastbc_degradation(scale: Scale) -> ExperimentReport {
         let g = generators::path(n);
         let log_n = (n as f64).log2().ceil() as u32;
         // The paper's analysis regime: rank slots = Θ(log n).
-        let params = FastbcParams { phase_len: None, rank_slots: Some(log_n) };
+        let params = FastbcParams {
+            phase_len: None,
+            rank_slots: Some(log_n),
+        };
         let sched = FastbcSchedule::with_params(&g, NodeId::new(0), params).expect("valid");
         let clean = mean_rounds(trials, |t| {
-            sched.run(FaultModel::Faultless, 500 + t, MAX_ROUNDS).expect("valid").rounds_used()
+            sched
+                .run(FaultModel::Faultless, 500 + t, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used()
         });
         let noisy = mean_rounds(trials, |t| {
             sched
-                .run(FaultModel::receiver(p).expect("valid p"), 600 + t, MAX_ROUNDS)
+                .run(
+                    FaultModel::receiver(p).expect("valid p"),
+                    600 + t,
+                    MAX_ROUNDS,
+                )
                 .expect("valid")
                 .rounds_used()
         });
         let robust = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
         let rclean = mean_rounds(trials, |t| {
-            robust.run(FaultModel::Faultless, 700 + t, MAX_ROUNDS).expect("valid").rounds_used()
+            robust
+                .run(FaultModel::Faultless, 700 + t, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used()
         });
         let rnoisy = mean_rounds(trials, |t| {
             robust
-                .run(FaultModel::receiver(p).expect("valid p"), 800 + t, MAX_ROUNDS)
+                .run(
+                    FaultModel::receiver(p).expect("valid p"),
+                    800 + t,
+                    MAX_ROUNDS,
+                )
                 .expect("valid")
                 .rounds_used()
         });
@@ -271,7 +324,10 @@ pub fn e5_robust_fastbc(scale: Scale) -> ExperimentReport {
         let d = (n - 1) as f64;
         let robust = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
         let r = mean_rounds(trials, |t| {
-            robust.run(fault, 900 + t, MAX_ROUNDS).expect("valid").rounds_used()
+            robust
+                .run(fault, 900 + t, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used()
         });
         let decay = mean_rounds(trials, |t| {
             Decay::new()
@@ -282,7 +338,10 @@ pub fn e5_robust_fastbc(scale: Scale) -> ExperimentReport {
         let reps = (n as f64).log2().ceil() as u32;
         let repeated = RepeatedFastbcSchedule::new(&g, NodeId::new(0), reps).expect("valid");
         let rep = mean_rounds(trials, |t| {
-            repeated.run(fault, 1100 + t, MAX_ROUNDS).expect("valid").rounds_used()
+            repeated
+                .run(fault, 1100 + t, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used()
         });
         last_vs_decay = decay.mean / r.mean;
         robust_per_hop.push(r.mean / d);
@@ -305,21 +364,26 @@ pub fn e5_robust_fastbc(scale: Scale) -> ExperimentReport {
     };
     report.check(
         (0.85..1.15).contains(&fit.slope),
-        format!("Robust FASTBC rounds scale as D^{:.2} (expect 1.0), R² = {:.3}", fit.slope, fit.r2),
+        format!(
+            "Robust FASTBC rounds scale as D^{:.2} (expect 1.0), R² = {:.3}",
+            fit.slope, fit.r2
+        ),
     );
     // The separation claim: Decay's per-hop cost is Θ(log n) and keeps
     // growing; Robust FASTBC's per-hop cost is O(1) — flat across the
     // sweep — so Robust FASTBC pulls ahead as D grows.
-    let robust_growth = robust_per_hop.last().expect("nonempty")
-        / robust_per_hop.first().expect("nonempty");
+    let robust_growth =
+        robust_per_hop.last().expect("nonempty") / robust_per_hop.first().expect("nonempty");
     report.check(
         robust_growth < 1.25,
         format!("Robust FASTBC per-hop cost is flat in D (growth {robust_growth:.2}×)"),
     );
     report.check(
         last_vs_decay > 1.05,
-        format!("Robust FASTBC beats Decay by {last_vs_decay:.2}× at the largest D \
-                 (margin widens with log n)"),
+        format!(
+            "Robust FASTBC beats Decay by {last_vs_decay:.2}× at the largest D \
+                 (margin widens with log n)"
+        ),
     );
     report
 }

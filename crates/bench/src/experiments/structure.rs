@@ -26,11 +26,26 @@ pub fn f1_gbst_structure(scale: Scale) -> ExperimentReport {
         ("path", generators::path(n)),
         ("star", generators::star(n - 1)),
         ("grid", generators::grid(16, n / 16)),
-        ("binary tree", generators::balanced_tree(2, (n as f64).log2() as usize - 1).expect("valid")),
-        ("gnp sparse", generators::gnp_connected(n, 3.0 / n as f64, 5).expect("valid")),
-        ("gnp dense", generators::gnp_connected(n, 16.0 / n as f64, 6).expect("valid")),
-        ("caterpillar", generators::caterpillar(n / 4, 3).expect("valid")),
-        ("hypercube", generators::hypercube((n as f64).log2() as u32).expect("valid")),
+        (
+            "binary tree",
+            generators::balanced_tree(2, (n as f64).log2() as usize - 1).expect("valid"),
+        ),
+        (
+            "gnp sparse",
+            generators::gnp_connected(n, 3.0 / n as f64, 5).expect("valid"),
+        ),
+        (
+            "gnp dense",
+            generators::gnp_connected(n, 16.0 / n as f64, 6).expect("valid"),
+        ),
+        (
+            "caterpillar",
+            generators::caterpillar(n / 4, 3).expect("valid"),
+        ),
+        (
+            "hypercube",
+            generators::hypercube((n as f64).log2() as u32).expect("valid"),
+        ),
     ];
     for (name, g) in &graphs {
         let t = Gbst::build(g, NodeId::new(0)).expect("connected");
@@ -44,8 +59,7 @@ pub fn f1_gbst_structure(scale: Scale) -> ExperimentReport {
             .map(|v| t.path_decomposition(v).fast_stretches)
             .max()
             .unwrap_or(0);
-        max_demote_frac =
-            max_demote_frac.max(t.demoted_count() as f64 / nn.max(1) as f64);
+        max_demote_frac = max_demote_frac.max(t.demoted_count() as f64 / nn.max(1) as f64);
         table.row_owned(vec![
             name.to_string(),
             nn.to_string(),
@@ -62,10 +76,16 @@ pub fn f1_gbst_structure(scale: Scale) -> ExperimentReport {
         table,
         findings: Vec::new(),
     };
-    report.check(all_ok, "every GBST validates (rank rule, Lemma 7 bound, non-interference)");
+    report.check(
+        all_ok,
+        "every GBST validates (rank rule, Lemma 7 bound, non-interference)",
+    );
     report.check(
         max_demote_frac < 0.2,
-        format!("conflict demotions affect ≤ {:.1}% of nodes on all topologies", max_demote_frac * 100.0),
+        format!(
+            "conflict demotions affect ≤ {:.1}% of nodes on all topologies",
+            max_demote_frac * 100.0
+        ),
     );
     report
 }

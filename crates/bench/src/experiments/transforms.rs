@@ -35,7 +35,11 @@ pub fn e11_transformations(scale: Scale) -> ExperimentReport {
     // Routing transform on the star and the pipelined path.
     for &p in &ps {
         for (name, graph, base) in [
-            ("star/routing", generators::star(16), BaseSchedule::star(16, k)),
+            (
+                "star/routing",
+                generators::star(16),
+                BaseSchedule::star(16, k),
+            ),
             (
                 "path/routing",
                 generators::path(path_n),
@@ -43,7 +47,9 @@ pub fn e11_transformations(scale: Scale) -> ExperimentReport {
             ),
         ] {
             let t = SenderFaultRoutingTransform { group_size: x, eta };
-            let run = t.run(&graph, &base, NodeId::new(0), p, 11).expect("valid transform");
+            let run = t
+                .run(&graph, &base, NodeId::new(0), p, 11)
+                .expect("valid transform");
             all_success &= run.success;
             let tau_base = k as f64 / base.round_count() as f64;
             let ratio = run.throughput() / tau_base;
@@ -62,14 +68,24 @@ pub fn e11_transformations(scale: Scale) -> ExperimentReport {
         // Coding transform on the pipelined path, both fault kinds.
         let graph = generators::path(path_n);
         let base = BaseSchedule::path_pipelined(path_n, k);
-        let trace = base.validate_faultless(&graph, NodeId::new(0)).expect("valid base");
+        let trace = base
+            .validate_faultless(&graph, NodeId::new(0))
+            .expect("valid base");
         assert!(trace.complete, "base schedule must be complete");
         for (name, fault) in [
             ("path/coding (snd)", FaultModel::sender(p).expect("valid p")),
-            ("path/coding (rcv)", FaultModel::receiver(p).expect("valid p")),
+            (
+                "path/coding (rcv)",
+                FaultModel::receiver(p).expect("valid p"),
+            ),
         ] {
-            let t = CodingFaultTransform { group_size: x, eta: 0.3 };
-            let run = t.run(&graph, &base, &trace, fault, 13).expect("valid transform");
+            let t = CodingFaultTransform {
+                group_size: x,
+                eta: 0.3,
+            };
+            let run = t
+                .run(&graph, &base, &trace, fault, 13)
+                .expect("valid transform");
             all_success &= run.success;
             let tau_base = k as f64 / base.round_count() as f64;
             let ratio = run.throughput() / tau_base;
@@ -93,10 +109,16 @@ pub fn e11_transformations(scale: Scale) -> ExperimentReport {
         table,
         findings: Vec::new(),
     };
-    report.check(all_success, "every transformed schedule delivered all grouped messages");
+    report.check(
+        all_success,
+        "every transformed schedule delivered all grouped messages",
+    );
     report.check(
         max_err < 0.25,
-        format!("throughput ratios track the predicted (1−p) factors within {:.0}%", max_err * 100.0),
+        format!(
+            "throughput ratios track the predicted (1−p) factors within {:.0}%",
+            max_err * 100.0
+        ),
     );
     report
 }

@@ -1,3 +1,5 @@
+//! Rendering of experiment results as identifier + headline + table + shape checks.
+
 use radio_throughput::Table;
 
 /// A rendered experiment: identifier, headline, measurement table,
@@ -47,7 +49,10 @@ impl ExperimentReport {
         out.push_str(&self.table.render_markdown());
         out.push('\n');
         for f in &self.findings {
-            out.push_str(&format!("- {}\n", f.replace("[ok]", "✅").replace("[!!]", "❌")));
+            out.push_str(&format!(
+                "- {}\n",
+                f.replace("[ok]", "✅").replace("[!!]", "❌")
+            ));
         }
         out.push('\n');
         out

@@ -1,3 +1,5 @@
+//! Error type for encoding and decoding operations.
+
 use std::error::Error;
 use std::fmt;
 
@@ -66,14 +68,24 @@ mod tests {
 
     #[test]
     fn display_all_variants() {
-        assert!(CodingError::NotEnoughPackets { got: 1, need: 3 }.to_string().contains("1"));
-        assert!(CodingError::PacketIndexOutOfRange { index: 300, capacity: 255 }
+        assert!(CodingError::NotEnoughPackets { got: 1, need: 3 }
             .to_string()
-            .contains("300"));
-        assert!(CodingError::DuplicatePacketIndex { index: 5 }.to_string().contains("5"));
-        assert!(CodingError::PayloadLengthMismatch { expected: 4, got: 3 }
+            .contains("1"));
+        assert!(CodingError::PacketIndexOutOfRange {
+            index: 300,
+            capacity: 255
+        }
+        .to_string()
+        .contains("300"));
+        assert!(CodingError::DuplicatePacketIndex { index: 5 }
             .to_string()
-            .contains("3"));
+            .contains("5"));
+        assert!(CodingError::PayloadLengthMismatch {
+            expected: 4,
+            got: 3
+        }
+        .to_string()
+        .contains("3"));
         assert!(!CodingError::ZeroDimension.to_string().is_empty());
         assert!(!CodingError::SingularSystem.to_string().is_empty());
     }

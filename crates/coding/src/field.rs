@@ -1,3 +1,5 @@
+//! The finite-field abstraction shared by all codes.
+
 use std::fmt::Debug;
 use std::hash::Hash;
 

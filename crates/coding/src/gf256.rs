@@ -1,3 +1,5 @@
+//! GF(256) arithmetic via log/antilog tables.
+
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -132,7 +134,10 @@ mod tests {
 
     #[test]
     fn addition_is_xor() {
-        assert_eq!(Gf256::new(0b1010).add(Gf256::new(0b0110)), Gf256::new(0b1100));
+        assert_eq!(
+            Gf256::new(0b1010).add(Gf256::new(0b0110)),
+            Gf256::new(0b1100)
+        );
         assert_eq!(Gf256::new(7).sub(Gf256::new(7)), Gf256::ZERO);
     }
 

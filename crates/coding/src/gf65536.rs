@@ -1,3 +1,5 @@
+//! GF(65536) arithmetic via log/antilog tables.
+
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -154,7 +156,10 @@ mod tests {
 
     #[test]
     fn algebraic_laws_sampled() {
-        let vals: Vec<Gf65536> = (0..=0xFFFF).step_by(9973).map(|v| Gf65536::new(v as u16)).collect();
+        let vals: Vec<Gf65536> = (0..=0xFFFF)
+            .step_by(9973)
+            .map(|v| Gf65536::new(v as u16))
+            .collect();
         for &a in &vals {
             for &b in &vals {
                 assert_eq!(a.mul(b), b.mul(a));

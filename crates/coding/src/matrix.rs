@@ -28,7 +28,11 @@ pub struct Matrix<F> {
 impl<F: Field> Matrix<F> {
     /// An all-zero `rows × cols` matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![F::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -53,7 +57,11 @@ impl<F: Field> Matrix<F> {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The Vandermonde matrix with `rows` evaluation points
@@ -300,7 +308,10 @@ mod tests {
     #[test]
     fn solve_singular_errors() {
         let m = Matrix::from_rows(&[vec![f(1), f(2)], vec![f(1), f(2)]]);
-        assert_eq!(m.solve(&[f(1), f(1)]).unwrap_err(), CodingError::SingularSystem);
+        assert_eq!(
+            m.solve(&[f(1), f(1)]).unwrap_err(),
+            CodingError::SingularSystem
+        );
     }
 
     #[test]

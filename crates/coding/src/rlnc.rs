@@ -71,7 +71,12 @@ impl<F: Field> RlncNode<F> {
     /// Creates an empty decoder for `k` messages with `payload_len`
     /// payload symbols per message (0 tracks coefficients only).
     pub fn new(k: usize, payload_len: usize) -> Self {
-        RlncNode { k, payload_len, rows: Vec::new(), pivots: Vec::new() }
+        RlncNode {
+            k,
+            payload_len,
+            rows: Vec::new(),
+            pivots: Vec::new(),
+        }
     }
 
     /// A decoder pre-loaded with all `k` source messages — the state
@@ -115,7 +120,11 @@ impl<F: Field> RlncNode<F> {
     /// Panics if the packet dimensions disagree with this decoder.
     pub fn absorb(&mut self, mut packet: CodedPacket<F>) -> bool {
         assert_eq!(packet.coeffs.len(), self.k, "coefficient count mismatch");
-        assert_eq!(packet.payload.len(), self.payload_len, "payload length mismatch");
+        assert_eq!(
+            packet.payload.len(),
+            self.payload_len,
+            "payload length mismatch"
+        );
         // Reduce against existing basis rows.
         for (row, &p) in self.rows.iter().zip(&self.pivots) {
             let c = packet.coeffs[p];
@@ -186,7 +195,10 @@ impl<F: Field> RlncNode<F> {
     /// [`CodingError::NotEnoughPackets`] if the rank is below `k`.
     pub fn decode(&self) -> Result<Vec<Vec<F>>, CodingError> {
         if !self.can_decode() {
-            return Err(CodingError::NotEnoughPackets { got: self.rank(), need: self.k });
+            return Err(CodingError::NotEnoughPackets {
+                got: self.rank(),
+                need: self.k,
+            });
         }
         // In RREF with full rank, row r has pivot r and zeros
         // elsewhere: payload r IS message r.
@@ -243,7 +255,9 @@ mod tests {
 
     fn messages(k: usize, len: usize, seed: u64) -> Vec<Vec<Gf256>> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| Gf256::random(&mut rng)).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| Gf256::random(&mut rng)).collect())
+            .collect()
     }
 
     #[test]

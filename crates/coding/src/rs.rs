@@ -43,7 +43,10 @@ impl<F: Field> ReedSolomon<F> {
                 capacity: Self::capacity(),
             });
         }
-        Ok(ReedSolomon { k, _marker: std::marker::PhantomData })
+        Ok(ReedSolomon {
+            k,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// The code dimension `k`.
@@ -70,15 +73,24 @@ impl<F: Field> ReedSolomon<F> {
     /// * [`CodingError::PayloadLengthMismatch`] on ragged messages.
     pub fn packet(&self, data: &[Vec<F>], j: usize) -> Result<Vec<F>, CodingError> {
         if data.len() != self.k {
-            return Err(CodingError::NotEnoughPackets { got: data.len(), need: self.k });
+            return Err(CodingError::NotEnoughPackets {
+                got: data.len(),
+                need: self.k,
+            });
         }
         if j >= Self::capacity() {
-            return Err(CodingError::PacketIndexOutOfRange { index: j, capacity: Self::capacity() });
+            return Err(CodingError::PacketIndexOutOfRange {
+                index: j,
+                capacity: Self::capacity(),
+            });
         }
         let len = data[0].len();
         for msg in data {
             if msg.len() != len {
-                return Err(CodingError::PayloadLengthMismatch { expected: len, got: msg.len() });
+                return Err(CodingError::PayloadLengthMismatch {
+                    expected: len,
+                    got: msg.len(),
+                });
             }
         }
         let x = F::from_index(j + 1);
@@ -106,7 +118,10 @@ impl<F: Field> ReedSolomon<F> {
     /// * [`CodingError::PayloadLengthMismatch`] on ragged payloads.
     pub fn decode(&self, packets: &[(usize, Vec<F>)]) -> Result<Vec<Vec<F>>, CodingError> {
         if packets.len() < self.k {
-            return Err(CodingError::NotEnoughPackets { got: packets.len(), need: self.k });
+            return Err(CodingError::NotEnoughPackets {
+                got: packets.len(),
+                need: self.k,
+            });
         }
         let used = &packets[..self.k];
         let len = used[0].1.len();
@@ -154,7 +169,9 @@ mod tests {
 
     fn random_data<F: Field>(k: usize, len: usize, seed: u64) -> Vec<Vec<F>> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| F::random(&mut rng)).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| F::random(&mut rng)).collect())
+            .collect()
     }
 
     #[test]
@@ -177,9 +194,16 @@ mod tests {
                 let j = rng.gen_range(i..indices.len());
                 indices.swap(i, j);
             }
-            let packets: Vec<_> =
-                indices[..6].iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
-            assert_eq!(rs.decode(&packets).unwrap(), data, "subset {:?}", &indices[..6]);
+            let packets: Vec<_> = indices[..6]
+                .iter()
+                .map(|&j| (j, rs.packet(&data, j).unwrap()))
+                .collect();
+            assert_eq!(
+                rs.decode(&packets).unwrap(),
+                data,
+                "subset {:?}",
+                &indices[..6]
+            );
         }
     }
 
@@ -197,13 +221,19 @@ mod tests {
         let rs = ReedSolomon::<Gf65536>::new(4).unwrap();
         // Use high packet indices beyond GF(256)'s capacity.
         let idx = [300usize, 5000, 40000, 65000];
-        let packets: Vec<_> = idx.iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+        let packets: Vec<_> = idx
+            .iter()
+            .map(|&j| (j, rs.packet(&data, j).unwrap()))
+            .collect();
         assert_eq!(rs.decode(&packets).unwrap(), data);
     }
 
     #[test]
     fn zero_dimension_rejected() {
-        assert_eq!(ReedSolomon::<Gf256>::new(0).unwrap_err(), CodingError::ZeroDimension);
+        assert_eq!(
+            ReedSolomon::<Gf256>::new(0).unwrap_err(),
+            CodingError::ZeroDimension
+        );
     }
 
     #[test]
@@ -254,7 +284,10 @@ mod tests {
     fn wrong_message_count_rejected() {
         let data = random_data::<Gf256>(3, 2, 9);
         let rs = ReedSolomon::<Gf256>::new(4).unwrap();
-        assert!(matches!(rs.packet(&data, 0).unwrap_err(), CodingError::NotEnoughPackets { .. }));
+        assert!(matches!(
+            rs.packet(&data, 0).unwrap_err(),
+            CodingError::NotEnoughPackets { .. }
+        ));
     }
 
     #[test]

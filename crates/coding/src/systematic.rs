@@ -58,7 +58,10 @@ impl<F: Field> SystematicRs<F> {
                 capacity: Self::capacity(),
             });
         }
-        Ok(SystematicRs { k, _marker: std::marker::PhantomData })
+        Ok(SystematicRs {
+            k,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// The code dimension `k`.
@@ -88,7 +91,10 @@ impl<F: Field> SystematicRs<F> {
     /// As [`crate::rs::ReedSolomon::packet`].
     pub fn packet(&self, data: &[Vec<F>], j: usize) -> Result<Vec<F>, CodingError> {
         if data.len() != self.k {
-            return Err(CodingError::NotEnoughPackets { got: data.len(), need: self.k });
+            return Err(CodingError::NotEnoughPackets {
+                got: data.len(),
+                need: self.k,
+            });
         }
         if j >= Self::capacity() {
             return Err(CodingError::PacketIndexOutOfRange {
@@ -99,7 +105,10 @@ impl<F: Field> SystematicRs<F> {
         let len = data[0].len();
         for msg in data {
             if msg.len() != len {
-                return Err(CodingError::PayloadLengthMismatch { expected: len, got: msg.len() });
+                return Err(CodingError::PayloadLengthMismatch {
+                    expected: len,
+                    got: msg.len(),
+                });
             }
         }
         if j < self.k {
@@ -135,7 +144,10 @@ impl<F: Field> SystematicRs<F> {
     /// As [`crate::rs::ReedSolomon::decode`].
     pub fn decode(&self, packets: &[(usize, Vec<F>)]) -> Result<Vec<Vec<F>>, CodingError> {
         if packets.len() < self.k {
-            return Err(CodingError::NotEnoughPackets { got: packets.len(), need: self.k });
+            return Err(CodingError::NotEnoughPackets {
+                got: packets.len(),
+                need: self.k,
+            });
         }
         let used = &packets[..self.k];
         let len = used[0].1.len();
@@ -206,7 +218,9 @@ mod tests {
 
     fn random_data<F: Field>(k: usize, len: usize, seed: u64) -> Vec<Vec<F>> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| F::random(&mut rng)).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| F::random(&mut rng)).collect())
+            .collect()
     }
 
     #[test]
@@ -232,8 +246,10 @@ mod tests {
     fn parity_only_decode() {
         let data = random_data::<Gf256>(4, 2, 3);
         let rs = SystematicRs::<Gf256>::new(4).unwrap();
-        let packets: Vec<_> =
-            [10usize, 20, 30, 40].iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+        let packets: Vec<_> = [10usize, 20, 30, 40]
+            .iter()
+            .map(|&j| (j, rs.packet(&data, j).unwrap()))
+            .collect();
         assert_eq!(rs.decode(&packets).unwrap(), data);
     }
 
@@ -242,7 +258,10 @@ mod tests {
         let data = random_data::<Gf256>(5, 3, 4);
         let rs = SystematicRs::<Gf256>::new(5).unwrap();
         let idx = [0usize, 2, 7, 19, 100];
-        let packets: Vec<_> = idx.iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+        let packets: Vec<_> = idx
+            .iter()
+            .map(|&j| (j, rs.packet(&data, j).unwrap()))
+            .collect();
         assert_eq!(rs.decode(&packets).unwrap(), data);
     }
 
@@ -257,8 +276,10 @@ mod tests {
                 let j = rand::Rng::gen_range(&mut rng, i..idx.len());
                 idx.swap(i, j);
             }
-            let packets: Vec<_> =
-                idx[..6].iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+            let packets: Vec<_> = idx[..6]
+                .iter()
+                .map(|&j| (j, rs.packet(&data, j).unwrap()))
+                .collect();
             assert_eq!(rs.decode(&packets).unwrap(), data, "subset {:?}", &idx[..6]);
         }
     }
@@ -268,7 +289,10 @@ mod tests {
         let data = random_data::<Gf65536>(3, 2, 7);
         let rs = SystematicRs::<Gf65536>::new(3).unwrap();
         let idx = [1usize, 5000, 60000];
-        let packets: Vec<_> = idx.iter().map(|&j| (j, rs.packet(&data, j).unwrap())).collect();
+        let packets: Vec<_> = idx
+            .iter()
+            .map(|&j| (j, rs.packet(&data, j).unwrap()))
+            .collect();
         assert_eq!(rs.decode(&packets).unwrap(), data);
     }
 
@@ -280,7 +304,9 @@ mod tests {
         let rs = SystematicRs::<Gf256>::new(2).unwrap();
         assert!(rs.packet(&data, 255).is_err());
         assert!(rs.decode(&[(0, data[0].clone())]).is_err());
-        assert!(rs.decode(&[(0, data[0].clone()), (0, data[0].clone())]).is_err());
+        assert!(rs
+            .decode(&[(0, data[0].clone()), (0, data[0].clone())])
+            .is_err());
     }
 
     #[test]
@@ -289,7 +315,9 @@ mod tests {
         let sys = SystematicRs::<Gf256>::new(4).unwrap();
         let plain = crate::rs::ReedSolomon::<Gf256>::new(4).unwrap();
         let sp: Vec<_> = (4..8).map(|j| (j, sys.packet(&data, j).unwrap())).collect();
-        let pp: Vec<_> = (4..8).map(|j| (j, plain.packet(&data, j).unwrap())).collect();
+        let pp: Vec<_> = (4..8)
+            .map(|j| (j, plain.packet(&data, j).unwrap()))
+            .collect();
         assert_eq!(sys.decode(&sp).unwrap(), data);
         assert_eq!(plain.decode(&pp).unwrap(), data);
     }

@@ -69,14 +69,22 @@ impl Decay {
         }
         let phase_len = self.effective_phase_len(n);
         if phase_len == 0 {
-            return Err(CoreError::InvalidParameter { reason: "phase length must be ≥ 1".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "phase length must be ≥ 1".into(),
+            });
         }
         let behaviors: Vec<DecayNode> = (0..n)
-            .map(|i| DecayNode { informed: i == source.index(), phase_len })
+            .map(|i| DecayNode {
+                informed: i == source.index(),
+                phase_len,
+            })
             .collect();
         let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 
     /// Runs Decay for exactly `budget` rounds and reports whether the
@@ -193,8 +201,9 @@ mod tests {
     #[test]
     fn faultless_path_completes() {
         let g = generators::path(32);
-        let run =
-            Decay::new().run(&g, NodeId::new(0), FaultModel::Faultless, 1, 100_000).unwrap();
+        let run = Decay::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 1, 100_000)
+            .unwrap();
         assert!(run.completed());
         assert!(run.rounds_used() > 31, "path needs at least D rounds");
     }
@@ -210,7 +219,13 @@ mod tests {
         let mut total = 0;
         for seed in 0..5 {
             total += Decay::new()
-                .run(&g, NodeId::new(0), FaultModel::receiver(0.6).unwrap(), seed, 1_000_000)
+                .run(
+                    &g,
+                    NodeId::new(0),
+                    FaultModel::receiver(0.6).unwrap(),
+                    seed,
+                    1_000_000,
+                )
                 .unwrap()
                 .rounds_used();
         }
@@ -225,16 +240,26 @@ mod tests {
     fn sender_faults_complete() {
         let g = generators::gnp_connected(64, 0.08, 3).unwrap();
         let run = Decay::new()
-            .run(&g, NodeId::new(0), FaultModel::sender(0.5).unwrap(), 11, 1_000_000)
+            .run(
+                &g,
+                NodeId::new(0),
+                FaultModel::sender(0.5).unwrap(),
+                11,
+                1_000_000,
+            )
             .unwrap();
-        assert!(run.completed(), "Decay must finish under sender faults (Lemma 9)");
+        assert!(
+            run.completed(),
+            "Decay must finish under sender faults (Lemma 9)"
+        );
     }
 
     #[test]
     fn star_completes_within_phases() {
         let g = generators::star(127);
-        let run =
-            Decay::new().run(&g, NodeId::new(0), FaultModel::Faultless, 5, 10_000).unwrap();
+        let run = Decay::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 5, 10_000)
+            .unwrap();
         // One hop: all leaves hear the center's first solo broadcast.
         // Decay's first broadcast at probability 1/2 happens within a
         // couple of phases.
@@ -244,7 +269,9 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_none() {
         let g = generators::path(64);
-        let run = Decay::new().run(&g, NodeId::new(0), FaultModel::Faultless, 1, 3).unwrap();
+        let run = Decay::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 1, 3)
+            .unwrap();
         assert!(!run.completed());
     }
 
@@ -261,7 +288,9 @@ mod tests {
     fn zero_phase_len_rejected() {
         let g = generators::path(4);
         assert!(matches!(
-            Decay::new().with_phase_len(0).run(&g, NodeId::new(0), FaultModel::Faultless, 0, 10),
+            Decay::new()
+                .with_phase_len(0)
+                .run(&g, NodeId::new(0), FaultModel::Faultless, 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -270,8 +299,12 @@ mod tests {
     fn determinism() {
         let g = generators::gnp_connected(40, 0.1, 2).unwrap();
         let fault = FaultModel::receiver(0.3).unwrap();
-        let a = Decay::new().run(&g, NodeId::new(0), fault, 13, 100_000).unwrap();
-        let b = Decay::new().run(&g, NodeId::new(0), fault, 13, 100_000).unwrap();
+        let a = Decay::new()
+            .run(&g, NodeId::new(0), fault, 13, 100_000)
+            .unwrap();
+        let b = Decay::new()
+            .run(&g, NodeId::new(0), fault, 13, 100_000)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -282,9 +315,16 @@ mod tests {
         let g = generators::path(48);
         let fault = FaultModel::receiver(0.5).unwrap();
         let decay = Decay::new();
-        let tight = decay.failure_rate(&g, NodeId::new(0), fault, 300, 30, 7).unwrap();
-        let loose = decay.failure_rate(&g, NodeId::new(0), fault, 3_000, 30, 7).unwrap();
-        assert!(loose <= tight, "budget 3000 failed more ({loose}) than 300 ({tight})");
+        let tight = decay
+            .failure_rate(&g, NodeId::new(0), fault, 300, 30, 7)
+            .unwrap();
+        let loose = decay
+            .failure_rate(&g, NodeId::new(0), fault, 3_000, 30, 7)
+            .unwrap();
+        assert!(
+            loose <= tight,
+            "budget 3000 failed more ({loose}) than 300 ({tight})"
+        );
         assert_eq!(loose, 0.0, "a 10× budget should essentially never fail");
         assert!(tight > 0.0, "a starved budget should fail sometimes");
     }
@@ -293,9 +333,15 @@ mod tests {
     fn run_fixed_matches_run() {
         let g = generators::path(16);
         let fault = FaultModel::receiver(0.3).unwrap();
-        let rounds =
-            Decay::new().run(&g, NodeId::new(0), fault, 5, 1_000_000).unwrap().rounds_used();
-        assert!(Decay::new().run_fixed(&g, NodeId::new(0), fault, 5, rounds).unwrap());
-        assert!(!Decay::new().run_fixed(&g, NodeId::new(0), fault, 5, rounds - 1).unwrap());
+        let rounds = Decay::new()
+            .run(&g, NodeId::new(0), fault, 5, 1_000_000)
+            .unwrap()
+            .rounds_used();
+        assert!(Decay::new()
+            .run_fixed(&g, NodeId::new(0), fault, 5, rounds)
+            .unwrap());
+        assert!(!Decay::new()
+            .run_fixed(&g, NodeId::new(0), fault, 5, rounds - 1)
+            .unwrap());
     }
 }

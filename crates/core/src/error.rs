@@ -1,3 +1,5 @@
+//! Error type for configuring and running broadcast algorithms.
+
 use std::error::Error;
 use std::fmt;
 
@@ -67,7 +69,9 @@ mod tests {
         let e = CoreError::from(radio_model::ModelError::InvalidFaultProbability { p: 2.0 });
         assert!(e.to_string().contains("simulator error"));
         assert!(Error::source(&e).is_some());
-        let e = CoreError::InvalidParameter { reason: "k too large".into() };
+        let e = CoreError::InvalidParameter {
+            reason: "k too large".into(),
+        };
         assert!(e.to_string().contains("k too large"));
         assert!(Error::source(&e).is_none());
     }

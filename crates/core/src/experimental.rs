@@ -76,7 +76,9 @@ impl StreamingRlnc {
         let mut rng = radio_model::fork_rng(seed, 0xA3);
         let messages: Vec<Vec<Gf256>> = (0..k)
             .map(|_| {
-                (0..self.payload_len).map(|_| radio_coding::Field::random(&mut rng)).collect()
+                (0..self.payload_len)
+                    .map(|_| radio_coding::Field::random(&mut rng))
+                    .collect()
             })
             .collect();
         let behaviors: Vec<StreamingNode> = (0..n)
@@ -101,7 +103,10 @@ impl StreamingRlnc {
                 .behaviors()
                 .iter()
                 .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+        Ok(MultiMessageRun {
+            run: BroadcastRun { rounds, stats },
+            decoded_ok,
+        })
     }
 }
 
@@ -147,22 +152,39 @@ mod tests {
     #[test]
     fn completes_on_noisy_path_with_verified_payloads() {
         let g = generators::path(64);
-        let out = StreamingRlnc { phase_len: None, payload_len: 2 }
-            .run(&g, NodeId::new(0), 8, FaultModel::receiver(0.3).unwrap(), 3, 5_000_000)
-            .unwrap();
+        let out = StreamingRlnc {
+            phase_len: None,
+            payload_len: 2,
+        }
+        .run(
+            &g,
+            NodeId::new(0),
+            8,
+            FaultModel::receiver(0.3).unwrap(),
+            3,
+            5_000_000,
+        )
+        .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
     }
 
     #[test]
     fn completes_on_trees_and_grids_under_both_fault_kinds() {
-        for g in [generators::balanced_tree(2, 5).unwrap(), generators::grid(8, 8)] {
-            for fault in
-                [FaultModel::sender(0.3).unwrap(), FaultModel::receiver(0.3).unwrap()]
-            {
-                let out = StreamingRlnc { phase_len: None, payload_len: 0 }
-                    .run(&g, NodeId::new(0), 6, fault, 5, 5_000_000)
-                    .unwrap();
+        for g in [
+            generators::balanced_tree(2, 5).unwrap(),
+            generators::grid(8, 8),
+        ] {
+            for fault in [
+                FaultModel::sender(0.3).unwrap(),
+                FaultModel::receiver(0.3).unwrap(),
+            ] {
+                let out = StreamingRlnc {
+                    phase_len: None,
+                    payload_len: 0,
+                }
+                .run(&g, NodeId::new(0), 6, fault, 5, 5_000_000)
+                .unwrap();
                 assert!(out.run.completed(), "stalled under {fault}");
                 assert!(out.decoded_ok);
             }
@@ -177,16 +199,22 @@ mod tests {
         let g = generators::path(128);
         let fault = FaultModel::receiver(0.3).unwrap();
         let k = 48;
-        let streaming = StreamingRlnc { phase_len: None, payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 7, 50_000_000)
-            .unwrap()
-            .run
-            .rounds_used();
-        let decay = DecayRlnc { phase_len: None, payload_len: 0 }
-            .run(&g, NodeId::new(0), k, fault, 7, 50_000_000)
-            .unwrap()
-            .run
-            .rounds_used();
+        let streaming = StreamingRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 7, 50_000_000)
+        .unwrap()
+        .run
+        .rounds_used();
+        let decay = DecayRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run(&g, NodeId::new(0), k, fault, 7, 50_000_000)
+        .unwrap()
+        .run
+        .rounds_used();
         assert!(
             streaming < decay,
             "streaming ({streaming}) should beat Decay-RLNC ({decay}) at k = {k}"

@@ -94,11 +94,15 @@ impl<'g> FastbcSchedule<'g> {
         let n = graph.node_count();
         let phase_len = params.phase_len.unwrap_or_else(|| default_phase_len(n));
         if phase_len == 0 {
-            return Err(CoreError::InvalidParameter { reason: "phase length must be ≥ 1".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "phase length must be ≥ 1".into(),
+            });
         }
         let rank_slots = params.rank_slots.unwrap_or_else(|| gbst.max_rank());
         if rank_slots == 0 {
-            return Err(CoreError::InvalidParameter { reason: "rank slots must be ≥ 1".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "rank slots must be ≥ 1".into(),
+            });
         }
         if rank_slots < gbst.max_rank() {
             return Err(CoreError::InvalidParameter {
@@ -108,7 +112,12 @@ impl<'g> FastbcSchedule<'g> {
                 ),
             });
         }
-        Ok(FastbcSchedule { graph, gbst, phase_len, modulus: 6 * u64::from(rank_slots) })
+        Ok(FastbcSchedule {
+            graph,
+            gbst,
+            phase_len,
+            modulus: 6 * u64::from(rank_slots),
+        })
     }
 
     /// The underlying GBST.
@@ -167,7 +176,10 @@ impl<'g> FastbcSchedule<'g> {
     ) -> Result<BroadcastRun, CoreError> {
         let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 
     /// Runs like [`FastbcSchedule::run`] but hands every round's
@@ -199,7 +211,10 @@ impl<'g> FastbcSchedule<'g> {
             sim.step_traced(&mut trace);
             inspect(r, &trace);
         }
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 }
 
@@ -272,7 +287,10 @@ mod tests {
         // once started; budget 2D + startup + slack. (The final hop's
         // reception lands inside round 2(D-1), hence the -1.)
         assert!(rounds >= 2 * 198, "wave cannot beat 2 rounds/hop: {rounds}");
-        assert!(rounds <= 2 * 199 + 200, "rounds {rounds} not diameter-linear");
+        assert!(
+            rounds <= 2 * 199 + 200,
+            "rounds {rounds} not diameter-linear"
+        );
     }
 
     #[test]
@@ -302,10 +320,15 @@ mod tests {
         // Lemma 10's shape: with rank_slots = ceil(log2 n), the noisy
         // run pays ~6·log n fast rounds per dropped hop.
         let g = generators::path(256);
-        let params =
-            FastbcParams { phase_len: None, rank_slots: Some(8 /* log2 256 */) };
+        let params = FastbcParams {
+            phase_len: None,
+            rank_slots: Some(8 /* log2 256 */),
+        };
         let sched = FastbcSchedule::with_params(&g, NodeId::new(0), params).unwrap();
-        let clean = sched.run(FaultModel::Faultless, 1, 1_000_000).unwrap().rounds_used();
+        let clean = sched
+            .run(FaultModel::Faultless, 1, 1_000_000)
+            .unwrap()
+            .rounds_used();
         let mut noisy_total = 0;
         for seed in 0..3 {
             noisy_total += sched
@@ -355,7 +378,10 @@ mod tests {
         let err = FastbcSchedule::with_params(
             &g,
             NodeId::new(0),
-            FastbcParams { phase_len: None, rank_slots: Some(1) },
+            FastbcParams {
+                phase_len: None,
+                rank_slots: Some(1),
+            },
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::InvalidParameter { .. }));
@@ -367,13 +393,19 @@ mod tests {
         assert!(FastbcSchedule::with_params(
             &g,
             NodeId::new(0),
-            FastbcParams { phase_len: Some(0), rank_slots: None }
+            FastbcParams {
+                phase_len: Some(0),
+                rank_slots: None
+            }
         )
         .is_err());
         assert!(FastbcSchedule::with_params(
             &g,
             NodeId::new(0),
-            FastbcParams { phase_len: None, rank_slots: Some(0) }
+            FastbcParams {
+                phase_len: None,
+                rank_slots: Some(0)
+            }
         )
         .is_err());
     }

@@ -41,7 +41,9 @@ pub struct MultiMessageRun {
 
 fn random_messages(k: usize, payload_len: usize, seed: u64) -> Vec<Vec<Gf256>> {
     let mut rng = radio_model::fork_rng(seed, 0xC0DE);
-    (0..k).map(|_| (0..payload_len).map(|_| Gf256::random(&mut rng)).collect()).collect()
+    (0..k)
+        .map(|_| (0..payload_len).map(|_| Gf256::random(&mut rng)).collect())
+        .collect()
 }
 
 fn check_k(k: usize) -> Result<(), CoreError> {
@@ -122,7 +124,10 @@ impl DecayRlnc {
                 .behaviors()
                 .iter()
                 .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+        Ok(MultiMessageRun {
+            run: BroadcastRun { rounds, stats },
+            decoded_ok,
+        })
     }
 }
 
@@ -160,12 +165,19 @@ impl DecayRlnc {
         let phase_len = self.phase_len.unwrap_or_else(|| default_phase_len(n));
         let messages = random_messages(k, self.payload_len, seed);
         let mut behaviors: Vec<RlncDecayNode> = (0..n)
-            .map(|_| RlncDecayNode { state: RlncNode::new(k, self.payload_len), phase_len })
+            .map(|_| RlncDecayNode {
+                state: RlncNode::new(k, self.payload_len),
+                phase_len,
+            })
             .collect();
         for (i, &owner) in owners.iter().enumerate() {
-            behaviors[owner.index()].state.absorb(
-                radio_coding::rlnc::CodedPacket::unit(k, i, messages[i].clone()),
-            );
+            behaviors[owner.index()]
+                .state
+                .absorb(radio_coding::rlnc::CodedPacket::unit(
+                    k,
+                    i,
+                    messages[i].clone(),
+                ));
         }
         let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
@@ -175,7 +187,10 @@ impl DecayRlnc {
                 .behaviors()
                 .iter()
                 .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+        Ok(MultiMessageRun {
+            run: BroadcastRun { rounds, stats },
+            decoded_ok,
+        })
     }
 }
 
@@ -264,7 +279,10 @@ impl RobustFastbcRlnc {
                 .behaviors()
                 .iter()
                 .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun { run: BroadcastRun { rounds, stats }, decoded_ok })
+        Ok(MultiMessageRun {
+            run: BroadcastRun { rounds, stats },
+            decoded_ok,
+        })
     }
 }
 
@@ -331,9 +349,12 @@ mod tests {
     #[test]
     fn decay_rlnc_small_path() {
         let g = generators::path(6);
-        let out = DecayRlnc { phase_len: None, payload_len: 2 }
-            .run(&g, NodeId::new(0), 3, FaultModel::Faultless, 1, 100_000)
-            .unwrap();
+        let out = DecayRlnc {
+            phase_len: None,
+            payload_len: 2,
+        }
+        .run(&g, NodeId::new(0), 3, FaultModel::Faultless, 1, 100_000)
+        .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
     }
@@ -341,39 +362,81 @@ mod tests {
     #[test]
     fn decay_rlnc_star_with_receiver_faults() {
         let g = generators::star(32);
-        let out = DecayRlnc { phase_len: None, payload_len: 1 }
-            .run(&g, NodeId::new(0), 16, FaultModel::receiver(0.5).unwrap(), 3, 1_000_000)
-            .unwrap();
-        assert!(out.run.completed(), "Lemma 12: coding throughput Ω(1/log n) on the star");
+        let out = DecayRlnc {
+            phase_len: None,
+            payload_len: 1,
+        }
+        .run(
+            &g,
+            NodeId::new(0),
+            16,
+            FaultModel::receiver(0.5).unwrap(),
+            3,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(
+            out.run.completed(),
+            "Lemma 12: coding throughput Ω(1/log n) on the star"
+        );
         assert!(out.decoded_ok);
     }
 
     #[test]
     fn decay_rlnc_gnp_sender_faults() {
         let g = generators::gnp_connected(48, 0.1, 5).unwrap();
-        let out = DecayRlnc { phase_len: None, payload_len: 0 }
-            .run(&g, NodeId::new(0), 8, FaultModel::sender(0.3).unwrap(), 7, 1_000_000)
-            .unwrap();
+        let out = DecayRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run(
+            &g,
+            NodeId::new(0),
+            8,
+            FaultModel::sender(0.3).unwrap(),
+            7,
+            1_000_000,
+        )
+        .unwrap();
         assert!(out.run.completed());
-        assert!(out.decoded_ok, "payload-free runs still decode (empty payloads)");
+        assert!(
+            out.decoded_ok,
+            "payload-free runs still decode (empty payloads)"
+        );
     }
 
     #[test]
     fn robust_fastbc_rlnc_path() {
         let g = generators::path(48);
-        let out = RobustFastbcRlnc { params: Default::default(), payload_len: 1 }
-            .run(&g, NodeId::new(0), 6, FaultModel::receiver(0.3).unwrap(), 11, 2_000_000)
-            .unwrap();
-        assert!(out.run.completed(), "Lemma 13 variant must complete under faults");
+        let out = RobustFastbcRlnc {
+            params: Default::default(),
+            payload_len: 1,
+        }
+        .run(
+            &g,
+            NodeId::new(0),
+            6,
+            FaultModel::receiver(0.3).unwrap(),
+            11,
+            2_000_000,
+        )
+        .unwrap();
+        assert!(
+            out.run.completed(),
+            "Lemma 13 variant must complete under faults"
+        );
         assert!(out.decoded_ok);
     }
 
     #[test]
     fn robust_fastbc_rlnc_tree_faultless() {
         let g = generators::balanced_tree(2, 5).unwrap();
-        let out = RobustFastbcRlnc { params: Default::default(), payload_len: 2 }
-            .run(&g, NodeId::new(0), 5, FaultModel::Faultless, 13, 2_000_000)
-            .unwrap();
+        let out = RobustFastbcRlnc {
+            params: Default::default(),
+            payload_len: 2,
+        }
+        .run(&g, NodeId::new(0), 5, FaultModel::Faultless, 13, 2_000_000)
+        .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
     }
@@ -409,9 +472,18 @@ mod tests {
             NodeId::new(35),
             NodeId::new(14),
         ];
-        let out = DecayRlnc { phase_len: None, payload_len: 2 }
-            .run_gossip(&g, &owners, FaultModel::receiver(0.3).unwrap(), 5, 1_000_000)
-            .unwrap();
+        let out = DecayRlnc {
+            phase_len: None,
+            payload_len: 2,
+        }
+        .run_gossip(
+            &g,
+            &owners,
+            FaultModel::receiver(0.3).unwrap(),
+            5,
+            1_000_000,
+        )
+        .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
     }
@@ -420,9 +492,12 @@ mod tests {
     fn gossip_with_repeated_owner_is_single_source_broadcast() {
         let g = generators::path(12);
         let owners = vec![NodeId::new(0); 4];
-        let out = DecayRlnc { phase_len: None, payload_len: 1 }
-            .run_gossip(&g, &owners, FaultModel::Faultless, 7, 1_000_000)
-            .unwrap();
+        let out = DecayRlnc {
+            phase_len: None,
+            payload_len: 1,
+        }
+        .run_gossip(&g, &owners, FaultModel::Faultless, 7, 1_000_000)
+        .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
     }
@@ -431,13 +506,7 @@ mod tests {
     fn gossip_rejects_bad_owner() {
         let g = generators::path(4);
         assert!(matches!(
-            DecayRlnc::default().run_gossip(
-                &g,
-                &[NodeId::new(9)],
-                FaultModel::Faultless,
-                0,
-                10
-            ),
+            DecayRlnc::default().run_gossip(&g, &[NodeId::new(9)], FaultModel::Faultless, 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -448,11 +517,21 @@ mod tests {
         // k-dominant regime should not much more than double rounds.
         let g = generators::star(64);
         let run = |k: usize| {
-            DecayRlnc { phase_len: None, payload_len: 0 }
-                .run(&g, NodeId::new(0), k, FaultModel::receiver(0.5).unwrap(), 21, 4_000_000)
-                .unwrap()
-                .run
-                .rounds_used()
+            DecayRlnc {
+                phase_len: None,
+                payload_len: 0,
+            }
+            .run(
+                &g,
+                NodeId::new(0),
+                k,
+                FaultModel::receiver(0.5).unwrap(),
+                21,
+                4_000_000,
+            )
+            .unwrap()
+            .run
+            .rounds_used()
         };
         let r32 = run(32);
         let r64 = run(64);

@@ -1,3 +1,5 @@
+//! Outcome summary of a single broadcast execution.
+
 use radio_model::SimStats;
 
 /// The result of one broadcast execution.
@@ -22,7 +24,8 @@ impl BroadcastRun {
     ///
     /// Panics if the broadcast did not complete.
     pub fn rounds_used(&self) -> u64 {
-        self.rounds.expect("broadcast did not complete within its round budget")
+        self.rounds
+            .expect("broadcast did not complete within its round budget")
     }
 }
 
@@ -32,17 +35,26 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let done = BroadcastRun { rounds: Some(7), stats: SimStats::default() };
+        let done = BroadcastRun {
+            rounds: Some(7),
+            stats: SimStats::default(),
+        };
         assert!(done.completed());
         assert_eq!(done.rounds_used(), 7);
-        let not = BroadcastRun { rounds: None, stats: SimStats::default() };
+        let not = BroadcastRun {
+            rounds: None,
+            stats: SimStats::default(),
+        };
         assert!(!not.completed());
     }
 
     #[test]
     #[should_panic(expected = "did not complete")]
     fn rounds_used_panics_when_incomplete() {
-        let not = BroadcastRun { rounds: None, stats: SimStats::default() };
+        let not = BroadcastRun {
+            rounds: None,
+            stats: SimStats::default(),
+        };
         let _ = not.rounds_used();
     }
 }

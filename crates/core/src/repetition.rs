@@ -66,10 +66,16 @@ impl<'g> RepeatedFastbcSchedule<'g> {
         params: FastbcParams,
     ) -> Result<Self, CoreError> {
         if repetitions == 0 {
-            return Err(CoreError::InvalidParameter { reason: "repetitions must be ≥ 1".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "repetitions must be ≥ 1".into(),
+            });
         }
         let inner = FastbcSchedule::with_params(graph, source, params)?;
-        Ok(RepeatedFastbcSchedule { inner, graph, repetitions })
+        Ok(RepeatedFastbcSchedule {
+            inner,
+            graph,
+            repetitions,
+        })
     }
 
     /// The repetition factor `ρ`.
@@ -112,7 +118,10 @@ impl<'g> RepeatedFastbcSchedule<'g> {
             .collect();
         let mut sim = Simulator::new(self.graph, fault, behaviors, seed)?;
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 }
 
@@ -188,8 +197,14 @@ mod tests {
         let g = generators::path(64);
         let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 1).unwrap();
         let base = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let a = rep.run(FaultModel::Faultless, 3, 100_000).unwrap().rounds_used();
-        let b = base.run(FaultModel::Faultless, 3, 100_000).unwrap().rounds_used();
+        let a = rep
+            .run(FaultModel::Faultless, 3, 100_000)
+            .unwrap()
+            .rounds_used();
+        let b = base
+            .run(FaultModel::Faultless, 3, 100_000)
+            .unwrap()
+            .rounds_used();
         // Identical schedule logic; rounds may differ only through RNG
         // stream usage, which is also identical here.
         assert_eq!(a, b);
@@ -202,7 +217,10 @@ mod tests {
         // while paying the dilation factor.
         let g = generators::path(128);
         let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 4).unwrap();
-        let clean = rep.run(FaultModel::Faultless, 1, 10_000_000).unwrap().rounds_used();
+        let clean = rep
+            .run(FaultModel::Faultless, 1, 10_000_000)
+            .unwrap()
+            .rounds_used();
         let noisy = rep
             .run(FaultModel::receiver(0.5).unwrap(), 1, 10_000_000)
             .unwrap()
@@ -218,9 +236,18 @@ mod tests {
         let g = generators::path(64);
         let base = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 4).unwrap();
-        let b = base.run(FaultModel::Faultless, 5, 1_000_000).unwrap().rounds_used();
-        let r = rep.run(FaultModel::Faultless, 5, 1_000_000).unwrap().rounds_used();
-        assert!(r >= 3 * b, "dilated run should cost ~ρ× faultless: base {b}, dilated {r}");
+        let b = base
+            .run(FaultModel::Faultless, 5, 1_000_000)
+            .unwrap()
+            .rounds_used();
+        let r = rep
+            .run(FaultModel::Faultless, 5, 1_000_000)
+            .unwrap()
+            .rounds_used();
+        assert!(
+            r >= 3 * b,
+            "dilated run should cost ~ρ× faultless: base {b}, dilated {r}"
+        );
     }
 
     #[test]

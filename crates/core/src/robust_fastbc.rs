@@ -209,7 +209,10 @@ impl<'g> RobustFastbcSchedule<'g> {
     ) -> Result<BroadcastRun, CoreError> {
         let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 
     /// Traced variant of [`RobustFastbcSchedule::run`] for invariant
@@ -240,7 +243,10 @@ impl<'g> RobustFastbcSchedule<'g> {
             sim.step_traced(&mut trace);
             inspect(r, &trace);
         }
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 }
 
@@ -323,7 +329,10 @@ mod tests {
         // Mod-3 pipeline: ≥ 6 real rounds per hop while the wave is
         // hot, plus activation waits.
         assert!(rounds >= 255, "rounds {rounds}");
-        assert!(rounds <= 40 * 255, "rounds {rounds} far from diameter-linear");
+        assert!(
+            rounds <= 40 * 255,
+            "rounds {rounds} far from diameter-linear"
+        );
     }
 
     #[test]
@@ -332,7 +341,10 @@ mod tests {
         // cost stays O(1) (amortized), unlike FASTBC's Θ(p log n).
         let g = generators::path(256);
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let clean = sched.run(FaultModel::Faultless, 1, 10_000_000).unwrap().rounds_used();
+        let clean = sched
+            .run(FaultModel::Faultless, 1, 10_000_000)
+            .unwrap()
+            .rounds_used();
         let mut noisy_total = 0;
         for seed in 0..3 {
             noisy_total += sched
@@ -351,7 +363,9 @@ mod tests {
     fn sender_faults_complete_on_trees() {
         let g = generators::balanced_tree(2, 6).unwrap();
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let run = sched.run(FaultModel::sender(0.4).unwrap(), 9, 1_000_000).unwrap();
+        let run = sched
+            .run(FaultModel::sender(0.4).unwrap(), 9, 1_000_000)
+            .unwrap();
         assert!(run.completed());
     }
 
@@ -359,7 +373,10 @@ mod tests {
     fn random_graphs_complete_under_faults() {
         let g = generators::gnp_connected(128, 0.05, 17).unwrap();
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        for fault in [FaultModel::sender(0.3).unwrap(), FaultModel::receiver(0.3).unwrap()] {
+        for fault in [
+            FaultModel::sender(0.3).unwrap(),
+            FaultModel::receiver(0.3).unwrap(),
+        ] {
             let run = sched.run(fault, 23, 1_000_000).unwrap();
             assert!(run.completed(), "did not complete under {fault}");
         }
@@ -378,7 +395,9 @@ mod tests {
                     return;
                 }
                 for &u in &trace.broadcasters {
-                    let c = gbst.fast_child(u).expect("even-round broadcasters are fast");
+                    let c = gbst
+                        .fast_child(u)
+                        .expect("even-round broadcasters are fast");
                     let delivered = trace.deliveries.iter().any(|&(s, d)| s == u && d == c);
                     let child_broadcasting = trace.broadcasters.contains(&c);
                     assert!(
@@ -397,7 +416,10 @@ mod tests {
         let err = RobustFastbcSchedule::with_params(
             &g,
             NodeId::new(0),
-            RobustFastbcParams { window_multiplier: Some(2), ..Default::default() },
+            RobustFastbcParams {
+                window_multiplier: Some(2),
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::InvalidParameter { .. }));

@@ -16,8 +16,8 @@ pub mod single_link;
 pub mod star;
 pub mod wct;
 
-use radio_model::adaptive::{Knowledge, RoutingAction, RoutingController};
 use netgraph::NodeId;
+use radio_model::adaptive::{Knowledge, RoutingAction, RoutingController};
 use rand::rngs::SmallRng;
 
 /// The sequential source schedule of Lemmas 15 and 32: the source
@@ -73,9 +73,19 @@ mod tests {
     #[test]
     fn sequential_source_on_faultless_star_uses_k_rounds() {
         let g = generators::star(16);
-        let mut c = SequentialSourceController { source: NodeId::new(0) };
-        let out =
-            run_routing(&g, FaultModel::Faultless, NodeId::new(0), 8, &mut c, 1, 1000).unwrap();
+        let mut c = SequentialSourceController {
+            source: NodeId::new(0),
+        };
+        let out = run_routing(
+            &g,
+            FaultModel::Faultless,
+            NodeId::new(0),
+            8,
+            &mut c,
+            1,
+            1000,
+        )
+        .unwrap();
         assert_eq!(out.rounds, Some(8));
     }
 }

@@ -18,7 +18,9 @@
 
 use netgraph::bfs::BfsLayers;
 use netgraph::{Graph, NodeId};
-use radio_model::adaptive::{run_routing, Knowledge, MsgId, RoutingAction, RoutingController, RoutingOutcome};
+use radio_model::adaptive::{
+    run_routing, Knowledge, MsgId, RoutingAction, RoutingController, RoutingOutcome,
+};
 use radio_model::FaultModel;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -85,8 +87,9 @@ impl BipartitePipeline {
                 reason: "graph is disconnected from the source".into(),
             });
         }
-        let layers: Vec<Vec<NodeId>> =
-            (0..layering.layer_count()).map(|i| layering.layer(i).to_vec()).collect();
+        let layers: Vec<Vec<NodeId>> = (0..layering.layer_count())
+            .map(|i| layering.layer(i).to_vec())
+            .collect();
         Ok(BipartitePipeline {
             levels: layering.levels().to_vec(),
             layers,
@@ -153,7 +156,9 @@ impl RoutingController for BipartitePipeline {
             if i as u64 % 3 != active_residue {
                 continue;
             }
-            let Some(m) = self.frontier_message(i, knowledge) else { continue };
+            let Some(m) = self.frontier_message(i, knowledge) else {
+                continue;
+            };
             for &u in &self.layers[i] {
                 if knowledge.knows(u, m) && rng.gen_bool(p) {
                     actions[u.index()] = RoutingAction::Send(m);
@@ -180,7 +185,15 @@ pub fn pipeline_routing(
     max_rounds: u64,
 ) -> Result<RoutingOutcome, CoreError> {
     let mut controller = BipartitePipeline::new(graph, source)?;
-    Ok(run_routing(graph, fault, source, k, &mut controller, seed, max_rounds)?)
+    Ok(run_routing(
+        graph,
+        fault,
+        source,
+        k,
+        &mut controller,
+        seed,
+        max_rounds,
+    )?)
 }
 
 #[cfg(test)]
@@ -223,7 +236,10 @@ mod tests {
             2_000_000,
         )
         .unwrap();
-        assert!(out.rounds.is_some(), "pipeline must finish on layered graphs");
+        assert!(
+            out.rounds.is_some(),
+            "pipeline must finish on layered graphs"
+        );
     }
 
     #[test]

@@ -35,11 +35,18 @@ pub struct FixedLengthRun {
 /// is broadcast in rounds `[i·reps, (i+1)·reps)`.
 #[derive(Debug, Clone)]
 enum LinkNode {
-    RoutingSender { reps: u64, k: u64 },
+    RoutingSender {
+        reps: u64,
+        k: u64,
+    },
     /// Receiver tracking which messages arrived.
-    RoutingReceiver { got: Vec<bool> },
+    RoutingReceiver {
+        got: Vec<bool>,
+    },
     CodingSender,
-    CodingReceiver { received: u64 },
+    CodingReceiver {
+        received: u64,
+    },
 }
 
 impl NodeBehavior<u64> for LinkNode {
@@ -91,8 +98,13 @@ pub fn single_link_nonadaptive_routing(
     }
     let g = generators::single_link();
     let behaviors = vec![
-        LinkNode::RoutingSender { reps: repetitions, k: k as u64 },
-        LinkNode::RoutingReceiver { got: vec![false; k] },
+        LinkNode::RoutingSender {
+            reps: repetitions,
+            k: k as u64,
+        },
+        LinkNode::RoutingReceiver {
+            got: vec![false; k],
+        },
     ];
     let mut sim = Simulator::new(&g, fault, behaviors, seed)?;
     let rounds = k as u64 * repetitions;
@@ -122,14 +134,20 @@ pub fn single_link_coding(
         });
     }
     let g = generators::single_link();
-    let behaviors = vec![LinkNode::CodingSender, LinkNode::CodingReceiver { received: 0 }];
+    let behaviors = vec![
+        LinkNode::CodingSender,
+        LinkNode::CodingReceiver { received: 0 },
+    ];
     let mut sim = Simulator::new(&g, fault, behaviors, seed)?;
     sim.run(total_packets);
     let success = match &sim.behaviors()[1] {
         LinkNode::CodingReceiver { received } => *received >= k as u64,
         _ => unreachable!("receiver is node 1"),
     };
-    Ok(FixedLengthRun { rounds: total_packets, success })
+    Ok(FixedLengthRun {
+        rounds: total_packets,
+        success,
+    })
 }
 
 /// Lemma 32's adaptive routing schedule: the source repeats each
@@ -146,9 +164,14 @@ pub fn single_link_adaptive_routing(
     max_rounds: u64,
 ) -> Result<BroadcastRun, CoreError> {
     let g = generators::single_link();
-    let mut c = SequentialSourceController { source: NodeId::new(0) };
+    let mut c = SequentialSourceController {
+        source: NodeId::new(0),
+    };
     let out = run_routing(&g, fault, NodeId::new(0), k, &mut c, seed, max_rounds)?;
-    Ok(BroadcastRun { rounds: out.rounds, stats: Default::default() })
+    Ok(BroadcastRun {
+        rounds: out.rounds,
+        stats: Default::default(),
+    })
 }
 
 /// Empirically finds the smallest repetition count whose non-adaptive
@@ -185,8 +208,7 @@ mod tests {
 
     #[test]
     fn faultless_nonadaptive_needs_one_repetition() {
-        let run =
-            single_link_nonadaptive_routing(16, 1, FaultModel::Faultless, 1).unwrap();
+        let run = single_link_nonadaptive_routing(16, 1, FaultModel::Faultless, 1).unwrap();
         assert!(run.success);
         assert_eq!(run.rounds, 16);
     }
@@ -195,13 +217,8 @@ mod tests {
     fn noisy_nonadaptive_single_repetition_fails_for_large_k() {
         // With p = 1/2 and one repetition, all k messages survive with
         // probability 2^-k: k = 64 fails essentially always.
-        let run = single_link_nonadaptive_routing(
-            64,
-            1,
-            FaultModel::receiver(0.5).unwrap(),
-            3,
-        )
-        .unwrap();
+        let run =
+            single_link_nonadaptive_routing(64, 1, FaultModel::receiver(0.5).unwrap(), 3).unwrap();
         assert!(!run.success);
     }
 
@@ -233,10 +250,12 @@ mod tests {
         // The Θ(log k) shape: the required repetition count increases
         // from k = 4 to k = 256.
         let fault = FaultModel::receiver(0.5).unwrap();
-        let small =
-            minimal_repetitions_for_success(4, fault, 10, 9, 64).unwrap().unwrap();
-        let large =
-            minimal_repetitions_for_success(256, fault, 10, 9, 64).unwrap().unwrap();
+        let small = minimal_repetitions_for_success(4, fault, 10, 9, 64)
+            .unwrap()
+            .unwrap();
+        let large = minimal_repetitions_for_success(256, fault, 10, 9, 64)
+            .unwrap()
+            .unwrap();
         assert!(large > small, "reps(4) = {small}, reps(256) = {large}");
     }
 
@@ -260,8 +279,7 @@ mod tests {
     #[test]
     fn coding_with_k_packets_fails_under_faults() {
         let k = 64;
-        let run =
-            single_link_coding(k, k as u64, FaultModel::receiver(0.5).unwrap(), 5).unwrap();
+        let run = single_link_coding(k, k as u64, FaultModel::receiver(0.5).unwrap(), 5).unwrap();
         assert!(!run.success, "k packets cannot survive p=1/2 erasures");
     }
 
@@ -269,16 +287,14 @@ mod tests {
     fn adaptive_routing_is_constant_throughput() {
         // Lemma 32: ≈ k/(1-p) = 2k rounds at p = 1/2.
         let k = 256;
-        let run = single_link_adaptive_routing(
-            k,
-            FaultModel::sender(0.5).unwrap(),
-            7,
-            1_000_000,
-        )
-        .unwrap();
+        let run = single_link_adaptive_routing(k, FaultModel::sender(0.5).unwrap(), 7, 1_000_000)
+            .unwrap();
         let rounds = run.rounds_used();
         let per_msg = rounds as f64 / k as f64;
-        assert!((1.5..3.0).contains(&per_msg), "per-message rounds {per_msg}");
+        assert!(
+            (1.5..3.0).contains(&per_msg),
+            "per-message rounds {per_msg}"
+        );
     }
 
     #[test]

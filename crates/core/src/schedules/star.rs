@@ -34,8 +34,18 @@ pub fn star_routing(
     max_rounds: u64,
 ) -> Result<RoutingOutcome, CoreError> {
     let g = generators::star(leaves);
-    let mut c = SequentialSourceController { source: NodeId::new(0) };
-    Ok(run_routing(&g, fault, NodeId::new(0), k, &mut c, seed, max_rounds)?)
+    let mut c = SequentialSourceController {
+        source: NodeId::new(0),
+    };
+    Ok(run_routing(
+        &g,
+        fault,
+        NodeId::new(0),
+        k,
+        &mut c,
+        seed,
+        max_rounds,
+    )?)
 }
 
 /// Center behavior for the coding schedule: broadcast a fresh coded
@@ -48,9 +58,7 @@ enum CodingNode {
     Center,
     /// A leaf counting distinct received packets (all packets are
     /// globally distinct, so a counter suffices).
-    Leaf {
-        received: u64,
-    },
+    Leaf { received: u64 },
 }
 
 impl NodeBehavior<u64> for CodingNode {
@@ -84,7 +92,9 @@ pub fn star_coding(
     max_rounds: u64,
 ) -> Result<BroadcastRun, CoreError> {
     if k == 0 {
-        return Err(CoreError::InvalidParameter { reason: "k must be ≥ 1".into() });
+        return Err(CoreError::InvalidParameter {
+            reason: "k must be ≥ 1".into(),
+        });
     }
     let g = generators::star(leaves);
     let behaviors: Vec<CodingNode> = std::iter::once(CodingNode::Center)
@@ -97,7 +107,10 @@ pub fn star_coding(
             CodingNode::Leaf { received } => *received >= k as u64,
         })
     });
-    Ok(BroadcastRun { rounds, stats: *sim.stats() })
+    Ok(BroadcastRun {
+        rounds,
+        stats: *sim.stats(),
+    })
 }
 
 /// Runs the fixed-length Lemma 16 schedule (`total_packets` rounds of
@@ -153,7 +166,13 @@ pub fn star_coding_end_to_end(
 
     let mut rng = radio_model::fork_rng(seed, 0xE2E);
     let data: Rc<Vec<Vec<Gf65536>>> = Rc::new(
-        (0..k).map(|_| (0..payload_len).map(|_| Gf65536::random(&mut rng)).collect()).collect(),
+        (0..k)
+            .map(|_| {
+                (0..payload_len)
+                    .map(|_| Gf65536::random(&mut rng))
+                    .collect()
+            })
+            .collect(),
     );
     let rs = ReedSolomon::<Gf65536>::new(k)?;
     let g = generators::star(leaves);
@@ -196,7 +215,9 @@ pub fn star_coding_end_to_end(
         .collect();
     let mut sim = Simulator::new(&g, fault, behaviors, seed)?;
     let rounds = sim
-        .run_until(max_rounds, |bs| bs.iter().skip(1).all(|b| b.packets.len() >= k))
+        .run_until(max_rounds, |bs| {
+            bs.iter().skip(1).all(|b| b.packets.len() >= k)
+        })
         .ok_or_else(|| CoreError::InvalidParameter {
             reason: format!("star coding did not finish within {max_rounds} rounds"),
         })?;
@@ -235,19 +256,24 @@ mod tests {
             star_routing(leaves, k, FaultModel::receiver(0.5).unwrap(), 3, 1_000_000).unwrap();
         let per_msg = out.rounds.unwrap() as f64 / k as f64;
         // E[per message] ≈ log2(256) + O(1) = 8..12.
-        assert!((5.0..16.0).contains(&per_msg), "per-message rounds {per_msg}");
+        assert!(
+            (5.0..16.0).contains(&per_msg),
+            "per-message rounds {per_msg}"
+        );
     }
 
     #[test]
     fn noisy_coding_is_constant_per_message() {
         let leaves = 256;
         let k = 64;
-        let run = star_coding(leaves, k, FaultModel::receiver(0.5).unwrap(), 5, 1_000_000)
-            .unwrap();
+        let run = star_coding(leaves, k, FaultModel::receiver(0.5).unwrap(), 5, 1_000_000).unwrap();
         let per_msg = run.rounds_used() as f64 / k as f64;
         // Each leaf needs k receptions at rate (1-p) = 1/2: ~2 rounds
         // per message plus a log n tail.
-        assert!((1.5..5.0).contains(&per_msg), "per-message rounds {per_msg}");
+        assert!(
+            (1.5..5.0).contains(&per_msg),
+            "per-message rounds {per_msg}"
+        );
     }
 
     #[test]
@@ -289,20 +315,17 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 18, "only {successes}/20 fixed-length runs succeeded");
+        assert!(
+            successes >= 18,
+            "only {successes}/20 fixed-length runs succeeded"
+        );
     }
 
     #[test]
     fn end_to_end_rs_decoding_matches_counting_abstraction() {
-        let rounds = star_coding_end_to_end(
-            16,
-            8,
-            4,
-            FaultModel::receiver(0.3).unwrap(),
-            11,
-            10_000,
-        )
-        .unwrap();
+        let rounds =
+            star_coding_end_to_end(16, 8, 4, FaultModel::receiver(0.3).unwrap(), 11, 10_000)
+                .unwrap();
         assert!(rounds >= 8, "at least k rounds required, got {rounds}");
     }
 

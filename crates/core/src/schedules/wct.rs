@@ -107,7 +107,9 @@ pub fn wct_coding(
     max_rounds: u64,
 ) -> Result<WctCodingRun, CoreError> {
     if k == 0 {
-        return Err(CoreError::InvalidParameter { reason: "k must be ≥ 1".into() });
+        return Err(CoreError::InvalidParameter {
+            reason: "k must be ≥ 1".into(),
+        });
     }
     fault.validate().map_err(CoreError::Model)?;
     let p = fault.fault_probability();
@@ -125,9 +127,14 @@ pub fn wct_coding(
     for round in 0..max_rounds {
         let all_senders_ready = sender_count.iter().all(|&c| c >= k as u64);
         if all_senders_ready
-            && member_count.iter().all(|mc| mc.iter().all(|&c| c >= k as u64))
+            && member_count
+                .iter()
+                .all(|mc| mc.iter().all(|&c| c >= k as u64))
         {
-            return Ok(WctCodingRun { rounds: Some(round), sender_phase_rounds });
+            return Ok(WctCodingRun {
+                rounds: Some(round),
+                sender_phase_rounds,
+            });
         }
         if !all_senders_ready {
             sender_phase_rounds = round + 1;
@@ -139,8 +146,7 @@ pub fn wct_coding(
         // Ready senders serve one degree class per round.
         let class = 1 + (round % u64::from(classes)) as u32;
         let subset_size = 1usize << class.min(30);
-        let ready: Vec<usize> =
-            (0..m).filter(|&s| sender_count[s] >= k as u64).collect();
+        let ready: Vec<usize> = (0..m).filter(|&s| sender_count[s] >= k as u64).collect();
         let mut broadcasting_senders = vec![false; m];
         if !ready.is_empty() {
             let take = subset_size.min(ready.len());
@@ -206,7 +212,10 @@ pub fn wct_coding(
             }
         }
     }
-    Ok(WctCodingRun { rounds: None, sender_phase_rounds })
+    Ok(WctCodingRun {
+        rounds: None,
+        sender_phase_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -236,8 +245,14 @@ mod tests {
     fn coding_completes_and_scales_linearly_in_k() {
         let wct = small_wct(2);
         let fault = FaultModel::receiver(0.5).unwrap();
-        let r8 = wct_coding(&wct, 8, fault, 5, 10_000_000).unwrap().rounds.unwrap();
-        let r16 = wct_coding(&wct, 16, fault, 5, 10_000_000).unwrap().rounds.unwrap();
+        let r8 = wct_coding(&wct, 8, fault, 5, 10_000_000)
+            .unwrap()
+            .rounds
+            .unwrap();
+        let r16 = wct_coding(&wct, 16, fault, 5, 10_000_000)
+            .unwrap()
+            .rounds
+            .unwrap();
         let ratio = r16 as f64 / r8 as f64;
         assert!(
             (1.2..3.5).contains(&ratio),
@@ -248,9 +263,11 @@ mod tests {
     #[test]
     fn routing_completes() {
         let wct = small_wct(3);
-        let out = wct_routing(&wct, 4, FaultModel::receiver(0.5).unwrap(), 7, 20_000_000)
-            .unwrap();
-        assert!(out.rounds.is_some(), "pipeline routing must finish on the WCT");
+        let out = wct_routing(&wct, 4, FaultModel::receiver(0.5).unwrap(), 7, 20_000_000).unwrap();
+        assert!(
+            out.rounds.is_some(),
+            "pipeline routing must finish on the WCT"
+        );
     }
 
     #[test]
@@ -260,8 +277,14 @@ mod tests {
         let wct = small_wct(4);
         let k = 8;
         let fault = FaultModel::receiver(0.5).unwrap();
-        let coding = wct_coding(&wct, k, fault, 9, 10_000_000).unwrap().rounds.unwrap();
-        let routing = wct_routing(&wct, k, fault, 9, 20_000_000).unwrap().rounds.unwrap();
+        let coding = wct_coding(&wct, k, fault, 9, 10_000_000)
+            .unwrap()
+            .rounds
+            .unwrap();
+        let routing = wct_routing(&wct, k, fault, 9, 20_000_000)
+            .unwrap()
+            .rounds
+            .unwrap();
         assert!(
             routing > coding,
             "routing ({routing}) should be slower than coding ({coding})"
@@ -271,8 +294,7 @@ mod tests {
     #[test]
     fn sender_phase_is_reported() {
         let wct = small_wct(5);
-        let run = wct_coding(&wct, 8, FaultModel::receiver(0.3).unwrap(), 3, 1_000_000)
-            .unwrap();
+        let run = wct_coding(&wct, 8, FaultModel::receiver(0.3).unwrap(), 3, 1_000_000).unwrap();
         assert!(run.rounds.is_some());
         assert!(run.sender_phase_rounds >= 8, "senders need ≥ k rounds");
         assert!(run.sender_phase_rounds <= run.rounds.unwrap());

@@ -66,7 +66,10 @@ impl Tdma {
             .collect();
         let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun { rounds, stats: *sim.stats() })
+        Ok(BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        })
     }
 }
 
@@ -101,8 +104,9 @@ mod tests {
     #[test]
     fn completes_on_paths_and_scales_with_n_times_d() {
         let g = generators::path(32);
-        let run =
-            Tdma::new().run(&g, NodeId::new(0), FaultModel::Faultless, 1, 1_000_000).unwrap();
+        let run = Tdma::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 1, 1_000_000)
+            .unwrap();
         let rounds = run.rounds_used();
         // Each hop takes ≤ one frame of 32 rounds; 31 hops.
         assert!(rounds <= 32 * 32, "rounds {rounds}");
@@ -113,8 +117,9 @@ mod tests {
     #[test]
     fn never_collides_even_on_dense_graphs() {
         let g = generators::complete(24);
-        let run =
-            Tdma::new().run(&g, NodeId::new(0), FaultModel::Faultless, 2, 10_000).unwrap();
+        let run = Tdma::new()
+            .run(&g, NodeId::new(0), FaultModel::Faultless, 2, 10_000)
+            .unwrap();
         assert!(run.completed());
         assert_eq!(run.stats.collisions, 0);
     }
@@ -122,8 +127,13 @@ mod tests {
     #[test]
     fn tolerates_faults() {
         let g = generators::gnp_connected(40, 0.1, 3).unwrap();
-        for fault in [FaultModel::sender(0.5).unwrap(), FaultModel::receiver(0.5).unwrap()] {
-            let run = Tdma::new().run(&g, NodeId::new(0), fault, 4, 10_000_000).unwrap();
+        for fault in [
+            FaultModel::sender(0.5).unwrap(),
+            FaultModel::receiver(0.5).unwrap(),
+        ] {
+            let run = Tdma::new()
+                .run(&g, NodeId::new(0), fault, 4, 10_000_000)
+                .unwrap();
             assert!(run.completed(), "TDMA stalled under {fault}");
         }
     }
@@ -138,7 +148,10 @@ mod tests {
             .run(&g, NodeId::new(0), FaultModel::Faultless, 5, 100_000_000)
             .unwrap()
             .rounds_used();
-        assert!(tdma <= 2 * 128, "aligned TDMA should sweep in ~1 frame, took {tdma}");
+        assert!(
+            tdma <= 2 * 128,
+            "aligned TDMA should sweep in ~1 frame, took {tdma}"
+        );
     }
 
     #[test]
@@ -156,14 +169,21 @@ mod tests {
             .unwrap()
             .rounds_used();
         assert!(decay * 4 < tdma, "Decay {decay} vs TDMA {tdma}");
-        assert!(tdma >= 126 * 128, "reverse path must pay ~a frame per hop, took {tdma}");
+        assert!(
+            tdma >= 126 * 128,
+            "reverse path must pay ~a frame per hop, took {tdma}"
+        );
     }
 
     #[test]
     fn exactly_one_broadcaster_per_round() {
         let g = generators::grid(5, 5);
         let behaviors: Vec<TdmaNode> = (0..25)
-            .map(|i| TdmaNode { informed: true, slot: i as u64, frame: 25 })
+            .map(|i| TdmaNode {
+                informed: true,
+                slot: i as u64,
+                frame: 25,
+            })
             .collect();
         let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 1).unwrap();
         let mut trace = RoundTrace::default();
@@ -176,6 +196,8 @@ mod tests {
     #[test]
     fn bad_source_rejected() {
         let g = generators::path(4);
-        assert!(Tdma::new().run(&g, NodeId::new(7), FaultModel::Faultless, 0, 10).is_err());
+        assert!(Tdma::new()
+            .run(&g, NodeId::new(7), FaultModel::Faultless, 0, 10)
+            .is_err());
     }
 }

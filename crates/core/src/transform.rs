@@ -144,7 +144,10 @@ impl BaseSchedule {
                 }
             }
         }
-        Ok(FaultlessTrace { complete: knowledge.all_ones(), deliveries })
+        Ok(FaultlessTrace {
+            complete: knowledge.all_ones(),
+            deliveries,
+        })
     }
 }
 
@@ -216,7 +219,9 @@ impl SenderFaultRoutingTransform {
         seed: u64,
     ) -> Result<TransformRun, CoreError> {
         if self.group_size == 0 {
-            return Err(CoreError::InvalidParameter { reason: "group size must be ≥ 1".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "group size must be ≥ 1".into(),
+            });
         }
         if !(0.0..1.0).contains(&p) {
             return Err(CoreError::InvalidParameter {
@@ -224,7 +229,9 @@ impl SenderFaultRoutingTransform {
             });
         }
         if !(self.eta > 0.0) {
-            return Err(CoreError::InvalidParameter { reason: "η must be > 0".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "η must be > 0".into(),
+            });
         }
         let n = graph.node_count();
         let x = self.group_size;
@@ -344,10 +351,14 @@ impl CodingFaultTransform {
         seed: u64,
     ) -> Result<TransformRun, CoreError> {
         if self.group_size == 0 {
-            return Err(CoreError::InvalidParameter { reason: "group size must be ≥ 1".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "group size must be ≥ 1".into(),
+            });
         }
         if !(self.eta > 0.0 && self.eta < 1.0) {
-            return Err(CoreError::InvalidParameter { reason: "η must be in (0, 1)".into() });
+            return Err(CoreError::InvalidParameter {
+                reason: "η must be in (0, 1)".into(),
+            });
         }
         fault.validate().map_err(CoreError::Model)?;
         let p = fault.fault_probability();
@@ -358,8 +369,11 @@ impl CodingFaultTransform {
 
         // Count, per base delivery (r, u, v), how many of u's packets
         // v receives in meta-round r.
-        let mut required: std::collections::HashMap<(u64, u32, u32), u64> =
-            trace.deliveries.iter().map(|&(r, u, v)| ((r, u.raw(), v.raw()), 0)).collect();
+        let mut required: std::collections::HashMap<(u64, u32, u32), u64> = trace
+            .deliveries
+            .iter()
+            .map(|&(r, u, v)| ((r, u.raw(), v.raw()), 0))
+            .collect();
         let mut total_rounds = 0u64;
 
         for (r, row) in base.actions.iter().enumerate() {
@@ -435,7 +449,10 @@ mod tests {
         let g = generators::path(10);
         let base = BaseSchedule::path_pipelined(10, 7);
         let trace = base.validate_faultless(&g, NodeId::new(0)).unwrap();
-        assert!(trace.complete, "pipelined path schedule must deliver everything");
+        assert!(
+            trace.complete,
+            "pipelined path schedule must deliver everything"
+        );
         // Each of 7 messages crosses 9 edges.
         assert_eq!(trace.deliveries.len(), 7 * 9);
     }
@@ -444,7 +461,10 @@ mod tests {
     fn routing_transform_star_succeeds_with_sender_faults() {
         let g = generators::star(16);
         let base = BaseSchedule::star(16, 4);
-        let t = SenderFaultRoutingTransform { group_size: 64, eta: 0.5 };
+        let t = SenderFaultRoutingTransform {
+            group_size: 64,
+            eta: 0.5,
+        };
         let run = t.run(&g, &base, NodeId::new(0), 0.4, 3).unwrap();
         assert!(run.success, "transform must deliver all grouped messages");
         // Throughput ratio ≈ (1-p)/(1+η) = 0.6/1.5 = 0.4 of base (=1).
@@ -456,7 +476,10 @@ mod tests {
     fn routing_transform_path_pipeline_succeeds() {
         let g = generators::path(8);
         let base = BaseSchedule::path_pipelined(8, 3);
-        let t = SenderFaultRoutingTransform { group_size: 96, eta: 0.5 };
+        let t = SenderFaultRoutingTransform {
+            group_size: 96,
+            eta: 0.5,
+        };
         let run = t.run(&g, &base, NodeId::new(0), 0.3, 5).unwrap();
         assert!(run.success);
         // Base throughput 3/(3·3+8) ≈ 0.18; transformed ≈ ·(1-p)/(1+η).
@@ -471,7 +494,10 @@ mod tests {
         // with many messages failure is near-certain.
         let g = generators::star(4);
         let base = BaseSchedule::star(4, 32);
-        let t = SenderFaultRoutingTransform { group_size: 1, eta: 0.01 };
+        let t = SenderFaultRoutingTransform {
+            group_size: 1,
+            eta: 0.01,
+        };
         let run = t.run(&g, &base, NodeId::new(0), 0.5, 7).unwrap();
         assert!(!run.success, "x=1 under p=0.5 should drop messages");
     }
@@ -481,13 +507,22 @@ mod tests {
         let g = generators::path(6);
         let base = BaseSchedule::path_pipelined(6, 3);
         let trace = base.validate_faultless(&g, NodeId::new(0)).unwrap();
-        let t = CodingFaultTransform { group_size: 64, eta: 0.3 };
-        for fault in [FaultModel::sender(0.4).unwrap(), FaultModel::receiver(0.4).unwrap()] {
+        let t = CodingFaultTransform {
+            group_size: 64,
+            eta: 0.3,
+        };
+        for fault in [
+            FaultModel::sender(0.4).unwrap(),
+            FaultModel::receiver(0.4).unwrap(),
+        ] {
             let run = t.run(&g, &base, &trace, fault, 9).unwrap();
             assert!(run.success, "coding transform must succeed under {fault}");
             let ratio = run.throughput() / run.base_throughput(3);
             // (1-p)(1-η) = 0.42 of base throughput.
-            assert!((0.3..0.6).contains(&ratio), "{fault}: throughput ratio {ratio}");
+            assert!(
+                (0.3..0.6).contains(&ratio),
+                "{fault}: throughput ratio {ratio}"
+            );
         }
     }
 
@@ -498,7 +533,10 @@ mod tests {
         let trace = base.validate_faultless(&g, NodeId::new(0)).unwrap();
         // meta_len = x exactly (η→0 not allowed; emulate by tiny η and
         // p = 0.5): every packet must arrive, which fails w.h.p.
-        let t = CodingFaultTransform { group_size: 32, eta: 1e-9 };
+        let t = CodingFaultTransform {
+            group_size: 32,
+            eta: 1e-9,
+        };
         let run = t
             .run(&g, &base, &trace, FaultModel::receiver(0.5).unwrap(), 11)
             .unwrap();
@@ -510,28 +548,49 @@ mod tests {
         let g = generators::single_link();
         let base = BaseSchedule::single_link(2);
         let trace = base.validate_faultless(&g, NodeId::new(0)).unwrap();
-        assert!(SenderFaultRoutingTransform { group_size: 0, eta: 0.5 }
-            .run(&g, &base, NodeId::new(0), 0.5, 0)
-            .is_err());
-        assert!(SenderFaultRoutingTransform { group_size: 4, eta: 0.0 }
-            .run(&g, &base, NodeId::new(0), 0.5, 0)
-            .is_err());
-        assert!(SenderFaultRoutingTransform { group_size: 4, eta: 0.5 }
-            .run(&g, &base, NodeId::new(0), 1.0, 0)
-            .is_err());
-        assert!(CodingFaultTransform { group_size: 0, eta: 0.5 }
-            .run(&g, &base, &trace, FaultModel::Faultless, 0)
-            .is_err());
-        assert!(CodingFaultTransform { group_size: 4, eta: 1.5 }
-            .run(&g, &base, &trace, FaultModel::Faultless, 0)
-            .is_err());
+        assert!(SenderFaultRoutingTransform {
+            group_size: 0,
+            eta: 0.5
+        }
+        .run(&g, &base, NodeId::new(0), 0.5, 0)
+        .is_err());
+        assert!(SenderFaultRoutingTransform {
+            group_size: 4,
+            eta: 0.0
+        }
+        .run(&g, &base, NodeId::new(0), 0.5, 0)
+        .is_err());
+        assert!(SenderFaultRoutingTransform {
+            group_size: 4,
+            eta: 0.5
+        }
+        .run(&g, &base, NodeId::new(0), 1.0, 0)
+        .is_err());
+        assert!(CodingFaultTransform {
+            group_size: 0,
+            eta: 0.5
+        }
+        .run(&g, &base, &trace, FaultModel::Faultless, 0)
+        .is_err());
+        assert!(CodingFaultTransform {
+            group_size: 4,
+            eta: 1.5
+        }
+        .run(&g, &base, &trace, FaultModel::Faultless, 0)
+        .is_err());
     }
 
     #[test]
     fn meta_len_formulas() {
-        let t = SenderFaultRoutingTransform { group_size: 10, eta: 0.5 };
+        let t = SenderFaultRoutingTransform {
+            group_size: 10,
+            eta: 0.5,
+        };
         assert_eq!(t.meta_len(0.5), 30); // 10 * 1.5 / 0.5
-        let c = CodingFaultTransform { group_size: 10, eta: 0.5 };
+        let c = CodingFaultTransform {
+            group_size: 10,
+            eta: 0.5,
+        };
         assert_eq!(c.meta_len(0.5), 40); // 10 / (0.5 * 0.5)
     }
 }

@@ -71,7 +71,10 @@ impl Gbst {
     ) -> Result<Self, GbstError> {
         let n = graph.node_count();
         if source.index() >= n {
-            return Err(GbstError::SourceOutOfBounds { source, node_count: n });
+            return Err(GbstError::SourceOutOfBounds {
+                source,
+                node_count: n,
+            });
         }
         let layers = BfsLayers::compute(graph, source);
         if !layers.spans_graph() {
@@ -120,13 +123,20 @@ impl Gbst {
         let mut fast_child: Vec<Option<NodeId>> = (0..n)
             .map(|i| {
                 let v = NodeId::from_index(i);
-                children[i].iter().copied().find(|&c| rank[c.index()] == rank[i]).inspect(|_c| {
-                    debug_assert_eq!(
-                        children[i].iter().filter(|&&c2| rank[c2.index()] == rank[i]).count(),
-                        1,
-                        "two same-rank children under {v} contradict the rank rule"
-                    );
-                })
+                children[i]
+                    .iter()
+                    .copied()
+                    .find(|&c| rank[c.index()] == rank[i])
+                    .inspect(|_c| {
+                        debug_assert_eq!(
+                            children[i]
+                                .iter()
+                                .filter(|&&c2| rank[c2.index()] == rank[i])
+                                .count(),
+                            1,
+                            "two same-rank children under {v} contradict the rank rule"
+                        );
+                    })
             })
             .collect();
 
@@ -157,7 +167,11 @@ fn rank_from_children(children: &[NodeId], rank: &[u32]) -> u32 {
     if children.is_empty() {
         return 1;
     }
-    let max = children.iter().map(|c| rank[c.index()]).max().expect("non-empty");
+    let max = children
+        .iter()
+        .map(|c| rank[c.index()])
+        .max()
+        .expect("non-empty");
     let at_max = children.iter().filter(|c| rank[c.index()] == max).count();
     if at_max >= 2 {
         max + 1
@@ -185,8 +199,11 @@ fn assign_parents_with_funneling(
     ranks.sort_unstable();
     ranks.dedup();
     for &r in &ranks {
-        let mut unassigned: Vec<NodeId> =
-            layer.iter().copied().filter(|v| rank[v.index()] == r).collect();
+        let mut unassigned: Vec<NodeId> = layer
+            .iter()
+            .copied()
+            .filter(|v| rank[v.index()] == r)
+            .collect();
         while !unassigned.is_empty() {
             // Candidate parents and their coverage of the group.
             let mut best: Option<(NodeId, usize)> = None;
@@ -296,7 +313,10 @@ fn extract_stretches(
         for (pos, &v) in nodes.iter().enumerate() {
             stretch_index[v.index()] = Some((sid, pos as u32));
         }
-        stretches.push(FastStretch { rank: rank[i], nodes });
+        stretches.push(FastStretch {
+            rank: rank[i],
+            nodes,
+        });
     }
     (stretches, stretch_index)
 }
@@ -367,7 +387,11 @@ mod tests {
             let g = generators::gnp_connected(200, 0.03, seed).unwrap();
             let t = Gbst::build(&g, NodeId::new(0)).unwrap();
             let bound = (200f64).log2().ceil() as u32 + 1;
-            assert!(t.max_rank() <= bound, "seed {seed}: max rank {}", t.max_rank());
+            assert!(
+                t.max_rank() <= bound,
+                "seed {seed}: max rank {}",
+                t.max_rank()
+            );
             t.validate(&g).unwrap();
         }
     }
@@ -394,7 +418,10 @@ mod tests {
         let g = generators::path(3);
         assert_eq!(
             Gbst::build(&g, NodeId::new(9)).unwrap_err(),
-            GbstError::SourceOutOfBounds { source: NodeId::new(9), node_count: 3 }
+            GbstError::SourceOutOfBounds {
+                source: NodeId::new(9),
+                node_count: 3
+            }
         );
     }
 
@@ -459,7 +486,12 @@ mod tests {
         // making that parent rank 2 and leaving the other a leaf.
         let mut b = netgraph::GraphBuilder::new(5);
         let s = NodeId::new(0);
-        let (a, bb, x, y) = (NodeId::new(1), NodeId::new(2), NodeId::new(3), NodeId::new(4));
+        let (a, bb, x, y) = (
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(4),
+        );
         for &v in &[a, bb] {
             b.add_edge(s, v).unwrap();
             b.add_edge(v, x).unwrap();
@@ -480,9 +512,8 @@ mod tests {
     fn naive_strategy_still_validates_after_demotion() {
         for seed in 0..6 {
             let g = generators::gnp_connected(120, 0.05, seed).unwrap();
-            let t =
-                Gbst::build_with_strategy(&g, NodeId::new(0), ParentStrategy::FirstNeighbor)
-                    .unwrap();
+            let t = Gbst::build_with_strategy(&g, NodeId::new(0), ParentStrategy::FirstNeighbor)
+                .unwrap();
             t.validate(&g).unwrap();
         }
     }
@@ -494,13 +525,9 @@ mod tests {
         for seed in 0..10 {
             let g = generators::gnp_connected(150, 0.06, seed).unwrap();
             funneled += Gbst::build(&g, NodeId::new(0)).unwrap().demoted_count();
-            naive += Gbst::build_with_strategy(
-                &g,
-                NodeId::new(0),
-                ParentStrategy::FirstNeighbor,
-            )
-            .unwrap()
-            .demoted_count();
+            naive += Gbst::build_with_strategy(&g, NodeId::new(0), ParentStrategy::FirstNeighbor)
+                .unwrap()
+                .demoted_count();
         }
         assert!(
             funneled <= naive,
@@ -517,7 +544,12 @@ mod tests {
         // child of a1) is adjacent to rival b1 => one edge demoted.
         let mut bld = netgraph::GraphBuilder::new(5);
         let s = NodeId::new(0);
-        let (a1, a2, b1, b2) = (NodeId::new(1), NodeId::new(2), NodeId::new(3), NodeId::new(4));
+        let (a1, a2, b1, b2) = (
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(4),
+        );
         bld.add_edge(s, a1).unwrap();
         bld.add_edge(a1, a2).unwrap();
         bld.add_edge(s, b1).unwrap();

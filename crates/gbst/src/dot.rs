@@ -36,7 +36,11 @@ pub fn to_dot(tree: &Gbst, graph: &Graph) -> String {
             v.raw(),
             tree.level(v),
             tree.rank(v),
-            if fast { " style=filled fillcolor=lightgreen" } else { "" }
+            if fast {
+                " style=filled fillcolor=lightgreen"
+            } else {
+                ""
+            }
         );
     }
     for (u, v) in graph.edges() {
@@ -74,8 +78,16 @@ mod tests {
         let g = generators::path(5);
         let t = Gbst::build(&g, NodeId::new(0)).unwrap();
         let text = to_dot(&t, &g);
-        assert_eq!(text.matches(" color=green").count(), 4, "4 fast edges on P5");
-        assert_eq!(text.matches("fillcolor=lightgreen").count(), 4, "4 fast nodes on P5");
+        assert_eq!(
+            text.matches(" color=green").count(),
+            4,
+            "4 fast edges on P5"
+        );
+        assert_eq!(
+            text.matches("fillcolor=lightgreen").count(),
+            4,
+            "4 fast nodes on P5"
+        );
     }
 
     #[test]

@@ -1,3 +1,5 @@
+//! Error type for GBST construction and validation.
+
 use std::error::Error;
 use std::fmt;
 
@@ -31,7 +33,10 @@ impl fmt::Display for GbstError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GbstError::SourceOutOfBounds { source, node_count } => {
-                write!(f, "source {source} out of bounds for graph of {node_count} nodes")
+                write!(
+                    f,
+                    "source {source} out of bounds for graph of {node_count} nodes"
+                )
             }
             GbstError::Disconnected { unreachable } => {
                 write!(f, "{unreachable} nodes unreachable from the source")
@@ -51,11 +56,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = GbstError::SourceOutOfBounds { source: NodeId::new(7), node_count: 3 };
+        let e = GbstError::SourceOutOfBounds {
+            source: NodeId::new(7),
+            node_count: 3,
+        };
         assert!(e.to_string().contains("v7"));
         let e = GbstError::Disconnected { unreachable: 4 };
         assert!(e.to_string().contains('4'));
-        let e = GbstError::InvariantViolated { description: "bad rank".into() };
+        let e = GbstError::InvariantViolated {
+            description: "bad rank".into(),
+        };
         assert!(e.to_string().contains("bad rank"));
     }
 }

@@ -1,3 +1,5 @@
+//! The gathering broadcast spanning tree structure: levels, ranks, stretches, and queries.
+
 use netgraph::bfs::BfsLayers;
 use netgraph::{Graph, NodeId};
 
@@ -162,7 +164,10 @@ impl Gbst {
                 i += 1;
             }
         }
-        PathDecomposition { fast_stretches: stretches, slow_edges }
+        PathDecomposition {
+            fast_stretches: stretches,
+            slow_edges,
+        }
     }
 
     /// Validates every structural invariant against `graph`:
@@ -184,7 +189,10 @@ impl Gbst {
         let n = self.node_count();
         let fail = |description: String| Err(GbstError::InvariantViolated { description });
         if graph.node_count() != n {
-            return fail(format!("graph has {} nodes, tree has {n}", graph.node_count()));
+            return fail(format!(
+                "graph has {} nodes, tree has {n}",
+                graph.node_count()
+            ));
         }
         for v in graph.nodes() {
             if v == self.source {
@@ -223,7 +231,10 @@ impl Gbst {
                 }
             };
             if self.rank(v) != expected {
-                return fail(format!("rank of {v} is {}, rule gives {expected}", self.rank(v)));
+                return fail(format!(
+                    "rank of {v} is {}, rule gives {expected}",
+                    self.rank(v)
+                ));
             }
             for &c in kids {
                 if self.rank(c) > self.rank(v) {
@@ -234,7 +245,10 @@ impl Gbst {
         // Lemma 7 bound.
         let bound = (usize::BITS - n.leading_zeros()) + 1; // ceil(log2 n) + 1 with slack
         if self.max_rank > bound {
-            return fail(format!("max rank {} exceeds log bound {bound}", self.max_rank));
+            return fail(format!(
+                "max rank {} exceeds log bound {bound}",
+                self.max_rank
+            ));
         }
         // Fast-edge sanity.
         for v in graph.nodes() {
@@ -249,7 +263,9 @@ impl Gbst {
         }
         // GBST non-interference.
         for v in graph.nodes() {
-            let Some(c) = self.fast_child(v) else { continue };
+            let Some(c) = self.fast_child(v) else {
+                continue;
+            };
             for &q in graph.neighbors(c) {
                 if q != v
                     && self.level(q) == self.level(v)

@@ -11,11 +11,10 @@ fn arb_connected() -> impl Strategy<Value = netgraph::Graph> {
         (2usize..80, any::<u64>(), 0.0..0.25f64)
             .prop_map(|(n, seed, p)| generators::gnp_connected(n, p, seed).unwrap()),
         (1usize..80, any::<u64>()).prop_map(|(n, seed)| generators::random_tree(n, seed).unwrap()),
-        (1usize..40, 0usize..4).prop_map(|(spine, legs)| generators::caterpillar(spine, legs)
-            .unwrap()),
-        (2usize..30, 1usize..6, 0.0..0.4f64, any::<u64>()).prop_map(|(l, w, p, s)| {
-            generators::layered_random(l, w, p, s).unwrap()
-        }),
+        (1usize..40, 0usize..4)
+            .prop_map(|(spine, legs)| generators::caterpillar(spine, legs).unwrap()),
+        (2usize..30, 1usize..6, 0.0..0.4f64, any::<u64>())
+            .prop_map(|(l, w, p, s)| { generators::layered_random(l, w, p, s).unwrap() }),
     ]
 }
 

@@ -52,7 +52,10 @@ impl BfsLayers {
     /// Panics if `source` is out of bounds.
     pub fn compute(graph: &Graph, source: NodeId) -> Self {
         let n = graph.node_count();
-        assert!(source.index() < n, "source {source} out of bounds for {n} nodes");
+        assert!(
+            source.index() < n,
+            "source {source} out of bounds for {n} nodes"
+        );
         let mut levels = vec![UNREACHABLE; n];
         let mut parents: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
         let mut layers: Vec<Vec<NodeId>> = vec![vec![source]];
@@ -90,7 +93,13 @@ impl BfsLayers {
         for layer in &mut layers {
             layer.sort_unstable();
         }
-        BfsLayers { source, levels, layers, parents, reachable }
+        BfsLayers {
+            source,
+            levels,
+            layers,
+            parents,
+            reachable,
+        }
     }
 
     /// The BFS source node.
@@ -169,7 +178,10 @@ impl BfsLayers {
 /// Panics if `source` is out of bounds.
 pub fn distances(graph: &Graph, source: NodeId) -> Vec<u32> {
     let n = graph.node_count();
-    assert!(source.index() < n, "source {source} out of bounds for {n} nodes");
+    assert!(
+        source.index() < n,
+        "source {source} out of bounds for {n} nodes"
+    );
     let mut dist = vec![UNREACHABLE; n];
     dist[source.index()] = 0;
     let mut queue = VecDeque::new();
@@ -262,7 +274,12 @@ mod tests {
         let l = BfsLayers::compute(&g, NodeId::new(0));
         assert_eq!(
             l.path_to_source(NodeId::new(3)).unwrap(),
-            vec![NodeId::new(3), NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+            vec![
+                NodeId::new(3),
+                NodeId::new(2),
+                NodeId::new(1),
+                NodeId::new(0)
+            ]
         );
     }
 

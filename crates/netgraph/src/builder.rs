@@ -1,3 +1,5 @@
+//! Incremental graph construction.
+
 use crate::{Graph, GraphError, NodeId};
 
 /// Incremental builder for [`Graph`].
@@ -27,7 +29,10 @@ impl GraphBuilder {
     /// Creates a builder for a graph on `node_count` nodes
     /// (ids `0..node_count`) with no edges.
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::new() }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the final graph will have.
@@ -55,7 +60,10 @@ impl GraphBuilder {
         }
         for w in [u, v] {
             if w.index() >= self.node_count {
-                return Err(GraphError::NodeOutOfBounds { node: w, node_count: self.node_count });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: w,
+                    node_count: self.node_count,
+                });
             }
         }
         let (a, b) = if u < v { (u, v) } else { (v, u) };

@@ -75,7 +75,11 @@ impl CollisionNetwork {
     /// Returns [`GraphError::DegenerateTopology`] if `senders < 2` or
     /// `receivers_per_class == 0`.
     pub fn generate(params: CollisionParams) -> Result<Self, GraphError> {
-        let CollisionParams { senders: m, receivers_per_class, seed } = params;
+        let CollisionParams {
+            senders: m,
+            receivers_per_class,
+            seed,
+        } = params;
         if m < 2 {
             return Err(GraphError::DegenerateTopology {
                 reason: format!("collision network needs >= 2 senders, got {m}"),
@@ -95,7 +99,8 @@ impl CollisionNetwork {
         let source = NodeId::new(0);
         let senders: Vec<NodeId> = (1..=m).map(NodeId::from_index).collect();
         for &s in &senders {
-            b.add_edge(source, s).expect("source-sender edges are always valid");
+            b.add_edge(source, s)
+                .expect("source-sender edges are always valid");
         }
 
         let mut receivers = Vec::with_capacity(receiver_count);
@@ -109,20 +114,28 @@ impl CollisionNetwork {
                 let mut degree = 0usize;
                 for &s in &senders {
                     if rng.gen_bool(p) {
-                        b.add_edge(r, s).expect("receiver-sender edges are always valid");
+                        b.add_edge(r, s)
+                            .expect("receiver-sender edges are always valid");
                         degree += 1;
                     }
                 }
                 if degree == 0 {
                     let s = senders[rng.gen_range(0..m)];
-                    b.add_edge(r, s).expect("receiver-sender edges are always valid");
+                    b.add_edge(r, s)
+                        .expect("receiver-sender edges are always valid");
                 }
                 receivers.push(r);
                 class_of.push(class as u32);
             }
         }
 
-        Ok(CollisionNetwork { graph: b.build(), source, senders, receivers, class_of })
+        Ok(CollisionNetwork {
+            graph: b.build(),
+            source,
+            senders,
+            receivers,
+            class_of,
+        })
     }
 
     /// The underlying graph.
@@ -170,7 +183,12 @@ impl CollisionNetwork {
             .receivers
             .iter()
             .filter(|&&r| {
-                self.graph.neighbors(r).iter().filter(|&&u| is_b[u.index()]).count() == 1
+                self.graph
+                    .neighbors(r)
+                    .iter()
+                    .filter(|&&u| is_b[u.index()])
+                    .count()
+                    == 1
             })
             .count();
         hit as f64 / self.receivers.len() as f64
@@ -223,8 +241,18 @@ mod tests {
         for c in 1..=net.class_count() {
             mean[c] /= cnt[c] as f64;
         }
-        assert!(mean[1] > mean[3], "class 1 mean {} <= class 3 mean {}", mean[1], mean[3]);
-        assert!(mean[2] > mean[4], "class 2 mean {} <= class 4 mean {}", mean[2], mean[4]);
+        assert!(
+            mean[1] > mean[3],
+            "class 1 mean {} <= class 3 mean {}",
+            mean[1],
+            mean[3]
+        );
+        assert!(
+            mean[2] > mean[4],
+            "class 2 mean {} <= class 4 mean {}",
+            mean[2],
+            mean[4]
+        );
     }
 
     #[test]
@@ -276,7 +304,11 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let p = CollisionParams { senders: 16, receivers_per_class: 8, seed: 5 };
+        let p = CollisionParams {
+            senders: 16,
+            receivers_per_class: 8,
+            seed: 5,
+        };
         let a = CollisionNetwork::generate(p).unwrap();
         let b = CollisionNetwork::generate(p).unwrap();
         assert_eq!(a.graph(), b.graph());

@@ -1,3 +1,5 @@
+//! Error type for graph construction and queries.
+
 use std::error::Error;
 use std::fmt;
 
@@ -32,7 +34,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds for graph of {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph of {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at {node}"),
             GraphError::DegenerateTopology { reason } => {
@@ -50,11 +55,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 5 };
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(9),
+            node_count: 5,
+        };
         assert_eq!(e.to_string(), "node v9 out of bounds for graph of 5 nodes");
-        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(2),
+        };
         assert_eq!(e.to_string(), "self-loop at v2");
-        let e = GraphError::DegenerateTopology { reason: "empty".into() };
+        let e = GraphError::DegenerateTopology {
+            reason: "empty".into(),
+        };
         assert_eq!(e.to_string(), "degenerate topology: empty");
     }
 

@@ -55,7 +55,8 @@ pub fn cycle(n: usize) -> Result<Graph, GraphError> {
 pub fn star(leaves: usize) -> Graph {
     let mut b = GraphBuilder::new(leaves + 1);
     for i in 1..=leaves {
-        b.add_edge(NodeId::new(0), NodeId::from_index(i)).expect("star edges are always valid");
+        b.add_edge(NodeId::new(0), NodeId::from_index(i))
+            .expect("star edges are always valid");
     }
     b.build()
 }
@@ -85,10 +86,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c)).expect("grid edges are always valid");
+                b.add_edge(id(r, c), id(r + 1, c))
+                    .expect("grid edges are always valid");
             }
             if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1)).expect("grid edges are always valid");
+                b.add_edge(id(r, c), id(r, c + 1))
+                    .expect("grid edges are always valid");
             }
         }
     }
@@ -103,7 +106,9 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// Returns [`GraphError::DegenerateTopology`] if `arity == 0`.
 pub fn balanced_tree(arity: usize, depth: usize) -> Result<Graph, GraphError> {
     if arity == 0 {
-        return Err(GraphError::DegenerateTopology { reason: "tree arity must be >= 1".into() });
+        return Err(GraphError::DegenerateTopology {
+            reason: "tree arity must be >= 1".into(),
+        });
     }
     // Node count: 1 + a + a^2 + ... + a^depth.
     let mut count = 1usize;
@@ -136,7 +141,9 @@ pub fn balanced_tree(arity: usize, depth: usize) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::DegenerateTopology`] if `spine == 0`.
 pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
     if spine == 0 {
-        return Err(GraphError::DegenerateTopology { reason: "caterpillar spine empty".into() });
+        return Err(GraphError::DegenerateTopology {
+            reason: "caterpillar spine empty".into(),
+        });
     }
     let n = spine + spine * legs;
     let mut b = GraphBuilder::new(n);
@@ -174,8 +181,11 @@ pub fn spider(legs: usize, leg_len: usize) -> Result<Graph, GraphError> {
         b.add_edge(NodeId::new(0), NodeId::from_index(base))
             .expect("spider edges are always valid");
         for i in 1..leg_len {
-            b.add_edge(NodeId::from_index(base + i - 1), NodeId::from_index(base + i))
-                .expect("spider edges are always valid");
+            b.add_edge(
+                NodeId::from_index(base + i - 1),
+                NodeId::from_index(base + i),
+            )
+            .expect("spider edges are always valid");
         }
     }
     Ok(b.build())
@@ -244,7 +254,9 @@ pub fn gnp(n: usize, edge_prob: f64, seed: u64) -> Result<Graph, GraphError> {
 /// `edge_prob` is not in `[0, 1]`.
 pub fn gnp_connected(n: usize, edge_prob: f64, seed: u64) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::DegenerateTopology { reason: "gnp_connected needs n >= 1".into() });
+        return Err(GraphError::DegenerateTopology {
+            reason: "gnp_connected needs n >= 1".into(),
+        });
     }
     if !(0.0..=1.0).contains(&edge_prob) {
         return Err(GraphError::DegenerateTopology {
@@ -281,7 +293,9 @@ pub fn gnp_connected(n: usize, edge_prob: f64, seed: u64) -> Result<Graph, Graph
 /// Returns [`GraphError::DegenerateTopology`] if `n == 0`.
 pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::DegenerateTopology { reason: "random_tree needs n >= 1".into() });
+        return Err(GraphError::DegenerateTopology {
+            reason: "random_tree needs n >= 1".into(),
+        });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..n).collect();
@@ -329,16 +343,19 @@ pub fn layered_random(
     let id = |layer: usize, i: usize| NodeId::from_index(1 + layer * width + i);
     let mut b = GraphBuilder::new(n);
     for i in 0..width {
-        b.add_edge(NodeId::new(0), id(0, i)).expect("source edges are always valid");
+        b.add_edge(NodeId::new(0), id(0, i))
+            .expect("source edges are always valid");
     }
     for l in 1..layers {
         for i in 0..width {
             // Guaranteed parent keeps every node reachable.
             let parent = rng.gen_range(0..width);
-            b.add_edge(id(l - 1, parent), id(l, i)).expect("layer edges are always valid");
+            b.add_edge(id(l - 1, parent), id(l, i))
+                .expect("layer edges are always valid");
             for j in 0..width {
                 if rng.gen_bool(edge_prob) {
-                    b.add_edge(id(l - 1, j), id(l, i)).expect("layer edges are always valid");
+                    b.add_edge(id(l - 1, j), id(l, i))
+                        .expect("layer edges are always valid");
                 }
             }
         }
@@ -359,7 +376,9 @@ pub fn layered_random(
 /// is not positive and finite.
 pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::DegenerateTopology { reason: "unit_disk needs n >= 1".into() });
+        return Err(GraphError::DegenerateTopology {
+            reason: "unit_disk needs n >= 1".into(),
+        });
     }
     if !(radius > 0.0) || !radius.is_finite() {
         return Err(GraphError::DegenerateTopology {
@@ -367,8 +386,9 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, GraphError> 
         });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -393,7 +413,9 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, GraphError> 
 /// As [`unit_disk`].
 pub fn unit_disk_connected(n: usize, radius: f64, seed: u64) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::DegenerateTopology { reason: "unit_disk needs n >= 1".into() });
+        return Err(GraphError::DegenerateTopology {
+            reason: "unit_disk needs n >= 1".into(),
+        });
     }
     if !(radius > 0.0) || !radius.is_finite() {
         return Err(GraphError::DegenerateTopology {
@@ -401,8 +423,9 @@ pub fn unit_disk_connected(n: usize, radius: f64, seed: u64) -> Result<Graph, Gr
         });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -418,7 +441,9 @@ pub fn unit_disk_connected(n: usize, radius: f64, seed: u64) -> Result<Graph, Gr
     // Backbone: chain points in x-order.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b2| {
-        points[a].partial_cmp(&points[b2]).expect("coordinates are finite")
+        points[a]
+            .partial_cmp(&points[b2])
+            .expect("coordinates are finite")
     });
     for w in order.windows(2) {
         b.add_edge(NodeId::from_index(w[0]), NodeId::from_index(w[1]))
@@ -444,8 +469,10 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("torus edges are always valid");
-            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("torus edges are always valid");
+            b.add_edge(id(r, c), id((r + 1) % rows, c))
+                .expect("torus edges are always valid");
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))
+                .expect("torus edges are always valid");
         }
     }
     Ok(b.build())
@@ -584,7 +611,10 @@ mod tests {
     fn gnp_connected_is_connected() {
         for seed in 0..5 {
             let g = gnp_connected(40, 0.02, seed).unwrap();
-            assert!(metrics::is_connected(&g), "seed {seed} gave disconnected graph");
+            assert!(
+                metrics::is_connected(&g),
+                "seed {seed} gave disconnected graph"
+            );
         }
         assert!(gnp_connected(0, 0.5, 1).is_err());
     }
@@ -632,7 +662,10 @@ mod tests {
 
     #[test]
     fn unit_disk_determinism() {
-        assert_eq!(unit_disk(40, 0.2, 9).unwrap(), unit_disk(40, 0.2, 9).unwrap());
+        assert_eq!(
+            unit_disk(40, 0.2, 9).unwrap(),
+            unit_disk(40, 0.2, 9).unwrap()
+        );
     }
 
     #[test]

@@ -1,3 +1,5 @@
+//! The immutable undirected graph with sorted adjacency lists.
+
 use std::fmt;
 
 use crate::{GraphBuilder, NodeId};
@@ -39,7 +41,11 @@ impl Graph {
     pub(crate) fn from_parts(offsets: Vec<u32>, adjacency: Vec<NodeId>, edge_count: usize) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap() as usize, adjacency.len());
-        Graph { offsets, adjacency, edge_count }
+        Graph {
+            offsets,
+            adjacency,
+            edge_count,
+        }
     }
 
     /// Builds a graph directly from an iterator of edges over nodes
@@ -117,7 +123,11 @@ impl Graph {
     /// Iterator over all undirected edges, each reported once with
     /// `u < v`.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { graph: self, node: 0, pos: 0 }
+        EdgeIter {
+            graph: self,
+            node: 0,
+            pos: 0,
+        }
     }
 
     /// Maximum degree `Δ` over all nodes, or 0 for the empty graph.
@@ -254,13 +264,24 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let err = Graph::from_edges(2, [(NodeId::new(1), NodeId::new(1))]).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
     fn out_of_bounds_rejected() {
         let err = Graph::from_edges(2, [(NodeId::new(0), NodeId::new(5))]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfBounds { node: NodeId::new(5), node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: NodeId::new(5),
+                node_count: 2
+            }
+        );
     }
 
     #[test]

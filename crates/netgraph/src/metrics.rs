@@ -99,7 +99,11 @@ pub fn degree_stats(graph: &Graph) -> Option<DegreeStats> {
         min = min.min(d);
         max = max.max(d);
     }
-    Some(DegreeStats { min, max, mean: 2.0 * graph.edge_count() as f64 / n as f64 })
+    Some(DegreeStats {
+        min,
+        max,
+        mean: 2.0 * graph.edge_count() as f64 / n as f64,
+    })
 }
 
 #[cfg(test)]

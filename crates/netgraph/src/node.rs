@@ -1,3 +1,5 @@
+//! Dense `u32` node identifiers.
+
 use std::fmt;
 
 /// Identifier of a node in a [`Graph`](crate::Graph).
@@ -16,7 +18,7 @@ use std::fmt;
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -40,7 +40,12 @@ impl WctParams {
         let m = root.max(2);
         let classes = (usize::BITS - (m - 1).leading_zeros()) as usize;
         let clusters_per_class = (root / classes).max(1);
-        WctParams { senders: m, clusters_per_class, cluster_size: root.max(1), seed }
+        WctParams {
+            senders: m,
+            clusters_per_class,
+            cluster_size: root.max(1),
+            seed,
+        }
     }
 }
 
@@ -85,7 +90,12 @@ impl Wct {
     /// collision network parameters are degenerate or
     /// `cluster_size == 0`.
     pub fn generate(params: WctParams) -> Result<Self, GraphError> {
-        let WctParams { senders: m, clusters_per_class, cluster_size, seed } = params;
+        let WctParams {
+            senders: m,
+            clusters_per_class,
+            cluster_size,
+            seed,
+        } = params;
         if cluster_size == 0 {
             return Err(GraphError::DegenerateTopology {
                 reason: "cluster_size must be >= 1".into(),
@@ -102,7 +112,8 @@ impl Wct {
         let source = NodeId::new(0);
         let senders: Vec<NodeId> = (1..=m).map(NodeId::from_index).collect();
         for &s in &senders {
-            b.add_edge(source, s).expect("source-sender edges are always valid");
+            b.add_edge(source, s)
+                .expect("source-sender edges are always valid");
         }
         let mut clusters = Vec::with_capacity(cluster_count);
         let mut class_of = Vec::with_capacity(cluster_count);
@@ -115,7 +126,8 @@ impl Wct {
                 let v = NodeId::from_index(next);
                 next += 1;
                 for &s in &shared {
-                    b.add_edge(v, s).expect("cluster-sender edges are always valid");
+                    b.add_edge(v, s)
+                        .expect("cluster-sender edges are always valid");
                 }
                 members.push(v);
             }
@@ -123,7 +135,14 @@ impl Wct {
             class_of.push(base.receiver_class(j));
             cluster_senders.push(shared);
         }
-        Ok(Wct { graph: b.build(), source, senders, clusters, class_of, cluster_senders })
+        Ok(Wct {
+            graph: b.build(),
+            source,
+            senders,
+            clusters,
+            class_of,
+            cluster_senders,
+        })
     }
 
     /// The underlying graph.
@@ -209,8 +228,13 @@ mod tests {
     use crate::metrics;
 
     fn wct() -> Wct {
-        Wct::generate(WctParams { senders: 32, clusters_per_class: 8, cluster_size: 16, seed: 3 })
-            .unwrap()
+        Wct::generate(WctParams {
+            senders: 32,
+            clusters_per_class: 8,
+            cluster_size: 16,
+            seed: 3,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -275,8 +299,13 @@ mod tests {
                 .count()
                 == 1;
             for &v in w.cluster(c) {
-                let v_offered =
-                    w.graph().neighbors(v).iter().filter(|&&u| is_b[u.index()]).count() == 1;
+                let v_offered = w
+                    .graph()
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| is_b[u.index()])
+                    .count()
+                    == 1;
                 assert_eq!(offered, v_offered);
             }
         }
@@ -314,7 +343,15 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let p = WctParams { senders: 16, clusters_per_class: 4, cluster_size: 4, seed: 11 };
-        assert_eq!(Wct::generate(p).unwrap().graph(), Wct::generate(p).unwrap().graph());
+        let p = WctParams {
+            senders: 16,
+            clusters_per_class: 4,
+            cluster_size: 4,
+            seed: 11,
+        };
+        assert_eq!(
+            Wct::generate(p).unwrap().graph(),
+            Wct::generate(p).unwrap().graph()
+        );
     }
 }

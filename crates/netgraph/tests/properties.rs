@@ -11,7 +11,8 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
             let mut b = GraphBuilder::new(n);
             for (u, v) in pairs {
                 if u != v {
-                    b.add_edge(NodeId::from_index(u), NodeId::from_index(v)).unwrap();
+                    b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                        .unwrap();
                 }
             }
             b.build()

@@ -1,3 +1,5 @@
+//! Per-round node actions (listen or broadcast).
+
 /// A node's choice in a single round: stay silent and listen, or
 /// broadcast a packet to all neighbors.
 ///

@@ -52,7 +52,9 @@ pub struct Knowledge {
 impl Knowledge {
     /// Creates an empty knowledge state for `n` nodes and `k` messages.
     pub fn new(n: usize, k: usize) -> Self {
-        Knowledge { matrix: BitMatrix::new(n, k) }
+        Knowledge {
+            matrix: BitMatrix::new(n, k),
+        }
     }
 
     /// Number of nodes.
@@ -97,7 +99,9 @@ impl Knowledge {
 
     /// The smallest message index `v` is missing, if any.
     pub fn first_missing(&self, v: NodeId) -> Option<MsgId> {
-        self.matrix.first_zero_in_row(v.index()).map(|c| MsgId(c as u32))
+        self.matrix
+            .first_zero_in_row(v.index())
+            .map(|c| MsgId(c as u32))
     }
 }
 
@@ -108,8 +112,12 @@ pub trait RoutingController {
     /// Produces one action per node for round `round`.
     ///
     /// The returned vector must have exactly one entry per node.
-    fn decide(&mut self, round: u64, knowledge: &Knowledge, rng: &mut SmallRng)
-        -> Vec<RoutingAction>;
+    fn decide(
+        &mut self,
+        round: u64,
+        knowledge: &Knowledge,
+        rng: &mut SmallRng,
+    ) -> Vec<RoutingAction>;
 }
 
 impl<F> RoutingController for F
@@ -174,14 +182,25 @@ pub fn run_routing(
 
     loop {
         if knowledge.all_complete() {
-            return Ok(RoutingOutcome { rounds: Some(round), broadcasts, fresh_deliveries: fresh });
+            return Ok(RoutingOutcome {
+                rounds: Some(round),
+                broadcasts,
+                fresh_deliveries: fresh,
+            });
         }
         if round >= max_rounds {
-            return Ok(RoutingOutcome { rounds: None, broadcasts, fresh_deliveries: fresh });
+            return Ok(RoutingOutcome {
+                rounds: None,
+                broadcasts,
+                fresh_deliveries: fresh,
+            });
         }
         let actions = controller.decide(round, &knowledge, &mut ctrl_rng);
         if actions.len() != n {
-            return Err(ModelError::ActionCountMismatch { supplied: actions.len(), expected: n });
+            return Err(ModelError::ActionCountMismatch {
+                supplied: actions.len(),
+                expected: n,
+            });
         }
         // Routing semantics: broadcasting an unknown message = silence.
         for (i, action) in actions.iter().enumerate() {
@@ -286,9 +305,19 @@ mod tests {
     #[test]
     fn faultless_star_takes_k_rounds() {
         let g = generators::star(10);
-        let mut c = SourceSweep { source: NodeId::new(0) };
-        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 5, &mut c, 3, 1000)
-            .unwrap();
+        let mut c = SourceSweep {
+            source: NodeId::new(0),
+        };
+        let out = run_routing(
+            &g,
+            FaultModel::Faultless,
+            NodeId::new(0),
+            5,
+            &mut c,
+            3,
+            1000,
+        )
+        .unwrap();
         assert_eq!(out.rounds, Some(5));
         assert_eq!(out.broadcasts, 5);
         assert_eq!(out.fresh_deliveries, 50);
@@ -298,11 +327,12 @@ mod tests {
     fn receiver_faults_need_about_log_n_rounds_per_message() {
         let n_leaves = 256;
         let g = generators::star(n_leaves);
-        let mut c = SourceSweep { source: NodeId::new(0) };
+        let mut c = SourceSweep {
+            source: NodeId::new(0),
+        };
         let fault = FaultModel::receiver(0.5).unwrap();
         let k = 20;
-        let out =
-            run_routing(&g, fault, NodeId::new(0), k, &mut c, 3, 1_000_000).unwrap();
+        let out = run_routing(&g, fault, NodeId::new(0), k, &mut c, 3, 1_000_000).unwrap();
         let rounds = out.rounds.expect("must complete") as f64;
         let per_msg = rounds / k as f64;
         // E[rounds per message] ≈ log2(256) + O(1) = 8 + O(1).
@@ -316,18 +346,13 @@ mod tests {
         // nothing should ever be delivered, and broadcast count stays 0.
         let g = generators::star(2);
         let mut c = |_round: u64, _k: &Knowledge, _rng: &mut SmallRng| {
-            vec![RoutingAction::Silent, RoutingAction::Send(MsgId(0)), RoutingAction::Silent]
+            vec![
+                RoutingAction::Silent,
+                RoutingAction::Send(MsgId(0)),
+                RoutingAction::Silent,
+            ]
         };
-        let out = run_routing(
-            &g,
-            FaultModel::Faultless,
-            NodeId::new(0),
-            1,
-            &mut c,
-            0,
-            10,
-        )
-        .unwrap();
+        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap();
         assert_eq!(out.rounds, None);
         assert_eq!(out.broadcasts, 0);
     }
@@ -340,7 +365,13 @@ mod tests {
         };
         let err =
             run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap_err();
-        assert_eq!(err, ModelError::ActionCountMismatch { supplied: 1, expected: 3 });
+        assert_eq!(
+            err,
+            ModelError::ActionCountMismatch {
+                supplied: 1,
+                expected: 3
+            }
+        );
     }
 
     #[test]
@@ -357,7 +388,11 @@ mod tests {
         // round 1.
         let mut c = |round: u64, _k: &Knowledge, _rng: &mut SmallRng| {
             if round == 0 {
-                vec![RoutingAction::Send(MsgId(0)), RoutingAction::Silent, RoutingAction::Silent]
+                vec![
+                    RoutingAction::Send(MsgId(0)),
+                    RoutingAction::Silent,
+                    RoutingAction::Silent,
+                ]
             } else {
                 vec![
                     RoutingAction::Send(MsgId(0)),
@@ -366,8 +401,7 @@ mod tests {
                 ]
             }
         };
-        let out =
-            run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap();
+        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap();
         assert_eq!(out.rounds, Some(1));
     }
 
@@ -390,7 +424,9 @@ mod tests {
     fn sender_faults_slow_single_link() {
         let g = generators::single_link();
         let fault = FaultModel::sender(0.5).unwrap();
-        let mut c = SourceSweep { source: NodeId::new(0) };
+        let mut c = SourceSweep {
+            source: NodeId::new(0),
+        };
         let k = 64;
         let out = run_routing(&g, fault, NodeId::new(0), k, &mut c, 9, 100_000).unwrap();
         let rounds = out.rounds.unwrap();
@@ -403,9 +439,10 @@ mod tests {
     #[test]
     fn zero_messages_complete_immediately() {
         let g = generators::single_link();
-        let mut c = SourceSweep { source: NodeId::new(0) };
-        let out =
-            run_routing(&g, FaultModel::Faultless, NodeId::new(0), 0, &mut c, 0, 10).unwrap();
+        let mut c = SourceSweep {
+            source: NodeId::new(0),
+        };
+        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 0, &mut c, 0, 10).unwrap();
         assert_eq!(out.rounds, Some(0));
     }
 }

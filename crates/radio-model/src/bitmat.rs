@@ -1,3 +1,5 @@
+//! Dense bit matrix backing the knowledge state of adaptive schedules.
+
 /// A dense bit matrix, used as the knowledge matrix of adaptive
 /// schedules (rows = nodes, columns = messages).
 ///
@@ -25,7 +27,12 @@ impl BitMatrix {
     /// Creates an all-zero `rows × cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(64);
-        BitMatrix { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
     }
 
     /// Number of rows.
@@ -71,7 +78,10 @@ impl BitMatrix {
     /// Number of set bits in row `r`.
     pub fn row_count_ones(&self, r: usize) -> usize {
         let lo = r * self.words_per_row;
-        self.bits[lo..lo + self.words_per_row].iter().map(|w| w.count_ones() as usize).sum()
+        self.bits[lo..lo + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Whether every bit of row `r` is set.

@@ -40,7 +40,7 @@ pub trait NodeBehavior<P> {
 
 /// Aggregate statistics over an entire simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimStats {
     /// Rounds executed.
     pub rounds: u64,
@@ -58,7 +58,7 @@ pub struct SimStats {
 
 /// What happened in one round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoundReport {
     /// The executed round index.
     pub round: u64,
@@ -134,7 +134,10 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         fault.validate()?;
         let n = graph.node_count();
         if behaviors.len() != n {
-            return Err(ModelError::NodeCountMismatch { supplied: behaviors.len(), expected: n });
+            return Err(ModelError::NodeCountMismatch {
+                supplied: behaviors.len(),
+                expected: n,
+            });
         }
         let node_rngs = (0..n as u64).map(|i| fork_rng(seed, i)).collect();
         let fault_rng = fork_rng(seed, u64::MAX / 2);
@@ -202,7 +205,10 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
     fn step_inner(&mut self, mut trace: Option<&mut RoundTrace>) -> RoundReport {
         let n = self.graph.node_count();
         let round = self.round;
-        let mut report = RoundReport { round, ..RoundReport::default() };
+        let mut report = RoundReport {
+            round,
+            ..RoundReport::default()
+        };
 
         // Phase 1: collect actions.
         self.actions.clear();
@@ -355,7 +361,11 @@ mod tests {
     }
 
     fn flood_behaviors(n: usize, informed: &[usize]) -> Vec<AlwaysFlood> {
-        (0..n).map(|i| AlwaysFlood { informed: informed.contains(&i) }).collect()
+        (0..n)
+            .map(|i| AlwaysFlood {
+                informed: informed.contains(&i),
+            })
+            .collect()
     }
 
     #[test]
@@ -418,9 +428,14 @@ mod tests {
         let g = generators::path(2);
         let fault = FaultModel::receiver(0.9).unwrap();
         let mut sim = Simulator::new(&g, fault, flood_behaviors(2, &[0]), 3).unwrap();
-        let used = sim.run_until(10_000, |bs| bs[1].informed).expect("must eventually deliver");
+        let used = sim
+            .run_until(10_000, |bs| bs[1].informed)
+            .expect("must eventually deliver");
         assert!(used >= 1);
-        assert!(sim.stats().receiver_faults > 0, "with p=0.9 some faults should occur");
+        assert!(
+            sim.stats().receiver_faults > 0,
+            "with p=0.9 some faults should occur"
+        );
     }
 
     #[test]
@@ -447,7 +462,9 @@ mod tests {
         let g = generators::star(100);
         let mut sim =
             Simulator::new(&g, FaultModel::Faultless, flood_behaviors(101, &[0]), 9).unwrap();
-        let used = sim.run_until(10, |bs| bs.iter().all(|b| b.informed)).unwrap();
+        let used = sim
+            .run_until(10, |bs| bs.iter().all(|b| b.informed))
+            .unwrap();
         assert_eq!(used, 1);
     }
 
@@ -463,7 +480,11 @@ mod tests {
             )
             .unwrap();
             sim.run(50);
-            (sim.stats().deliveries, sim.stats().receiver_faults, sim.stats().collisions)
+            (
+                sim.stats().deliveries,
+                sim.stats().receiver_faults,
+                sim.stats().collisions,
+            )
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
@@ -474,7 +495,13 @@ mod tests {
         let g = generators::path(3);
         let err = Simulator::<(), _>::new(&g, FaultModel::Faultless, flood_behaviors(2, &[]), 0)
             .unwrap_err();
-        assert_eq!(err, ModelError::NodeCountMismatch { supplied: 2, expected: 3 });
+        assert_eq!(
+            err,
+            ModelError::NodeCountMismatch {
+                supplied: 2,
+                expected: 3
+            }
+        );
     }
 
     #[test]
@@ -524,7 +551,9 @@ mod tests {
         let g = generators::path(2);
         let mut sim =
             Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0, 1]), 0).unwrap();
-        let used = sim.run_until(10, |bs| bs.iter().all(|b| b.informed)).unwrap();
+        let used = sim
+            .run_until(10, |bs| bs.iter().all(|b| b.informed))
+            .unwrap();
         assert_eq!(used, 0, "done predicate already true at entry");
         assert_eq!(sim.round(), 0);
     }

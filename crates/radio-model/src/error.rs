@@ -1,3 +1,5 @@
+//! Error type for simulator construction and stepping.
+
 use std::error::Error;
 use std::fmt;
 
@@ -34,10 +36,16 @@ impl fmt::Display for ModelError {
                 write!(f, "fault probability {p} outside [0, 1)")
             }
             ModelError::NodeCountMismatch { supplied, expected } => {
-                write!(f, "supplied {supplied} per-node values for a graph of {expected} nodes")
+                write!(
+                    f,
+                    "supplied {supplied} per-node values for a graph of {expected} nodes"
+                )
             }
             ModelError::ActionCountMismatch { supplied, expected } => {
-                write!(f, "controller returned {supplied} actions for a graph of {expected} nodes")
+                write!(
+                    f,
+                    "controller returned {supplied} actions for a graph of {expected} nodes"
+                )
             }
         }
     }
@@ -56,11 +64,19 @@ mod tests {
             "fault probability 1 outside [0, 1)"
         );
         assert_eq!(
-            ModelError::NodeCountMismatch { supplied: 2, expected: 3 }.to_string(),
+            ModelError::NodeCountMismatch {
+                supplied: 2,
+                expected: 3
+            }
+            .to_string(),
             "supplied 2 per-node values for a graph of 3 nodes"
         );
         assert_eq!(
-            ModelError::ActionCountMismatch { supplied: 5, expected: 4 }.to_string(),
+            ModelError::ActionCountMismatch {
+                supplied: 5,
+                expected: 4
+            }
+            .to_string(),
             "controller returned 5 actions for a graph of 4 nodes"
         );
     }

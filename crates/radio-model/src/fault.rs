@@ -1,3 +1,5 @@
+//! Fault models of the paper: faultless, sender faults, receiver faults.
+
 use std::fmt;
 
 use crate::ModelError;
@@ -8,8 +10,7 @@ use crate::ModelError;
 /// [`FaultModel::sender`] / [`FaultModel::receiver`] to get validation,
 /// or use the enum variants directly when `p` is statically known to
 /// be valid.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FaultModel {
     /// The classic (faultless) radio network model of Chlamtac–Kutten.
     #[default]
@@ -92,7 +93,6 @@ impl FaultModel {
     }
 }
 
-
 impl fmt::Display for FaultModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -136,7 +136,13 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(FaultModel::Faultless.to_string(), "faultless");
-        assert_eq!(FaultModel::sender(0.5).unwrap().to_string(), "sender faults (p = 0.5)");
-        assert_eq!(FaultModel::receiver(0.25).unwrap().to_string(), "receiver faults (p = 0.25)");
+        assert_eq!(
+            FaultModel::sender(0.5).unwrap().to_string(),
+            "sender faults (p = 0.5)"
+        );
+        assert_eq!(
+            FaultModel::receiver(0.25).unwrap().to_string(),
+            "receiver faults (p = 0.25)"
+        );
     }
 }

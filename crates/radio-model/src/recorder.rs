@@ -9,7 +9,7 @@ use crate::{NodeBehavior, RoundTrace, Simulator};
 /// One recorded round, in plain-old-data form (node ids flattened to
 /// `u32` so the history serializes compactly).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RecordedRound {
     /// Round index.
     pub round: u64,
@@ -45,7 +45,7 @@ pub struct RecordedRound {
 /// assert_eq!(history.rounds[0].deliveries.len(), 3);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct History {
     /// The recorded rounds, in execution order.
     pub rounds: Vec<RecordedRound>,
@@ -65,7 +65,11 @@ impl History {
             history.rounds.push(RecordedRound {
                 round,
                 broadcasters: trace.broadcasters.iter().map(|v| v.raw()).collect(),
-                deliveries: trace.deliveries.iter().map(|&(s, r)| (s.raw(), r.raw())).collect(),
+                deliveries: trace
+                    .deliveries
+                    .iter()
+                    .map(|&(s, r)| (s.raw(), r.raw()))
+                    .collect(),
                 collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
             });
         }
@@ -95,7 +99,11 @@ impl History {
             history.rounds.push(RecordedRound {
                 round,
                 broadcasters: trace.broadcasters.iter().map(|v| v.raw()).collect(),
-                deliveries: trace.deliveries.iter().map(|&(s, r)| (s.raw(), r.raw())).collect(),
+                deliveries: trace
+                    .deliveries
+                    .iter()
+                    .map(|&(s, r)| (s.raw(), r.raw()))
+                    .collect(),
                 collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
             });
         }
@@ -116,7 +124,10 @@ impl History {
 
     /// Per-round delivery counts (a simple progress curve).
     pub fn delivery_curve(&self) -> Vec<(u64, usize)> {
-        self.rounds.iter().map(|r| (r.round, r.deliveries.len())).collect()
+        self.rounds
+            .iter()
+            .map(|r| (r.round, r.deliveries.len()))
+            .collect()
     }
 }
 
@@ -143,8 +154,9 @@ mod tests {
     }
 
     fn sim(g: &netgraph::Graph) -> Simulator<'_, (), Flood> {
-        let behaviors: Vec<Flood> =
-            (0..g.node_count()).map(|i| Flood { informed: i == 0 }).collect();
+        let behaviors: Vec<Flood> = (0..g.node_count())
+            .map(|i| Flood { informed: i == 0 })
+            .collect();
         Simulator::new(g, FaultModel::Faultless, behaviors, 3).unwrap()
     }
 
@@ -157,7 +169,10 @@ mod tests {
         assert_eq!(history.total_deliveries(), 4);
         // Node i first hears in round i-1.
         for i in 1..5u32 {
-            assert_eq!(history.first_reception(NodeId::new(i)), Some(u64::from(i) - 1));
+            assert_eq!(
+                history.first_reception(NodeId::new(i)),
+                Some(u64::from(i) - 1)
+            );
         }
         assert_eq!(history.first_reception(NodeId::new(0)), None);
     }
@@ -190,6 +205,7 @@ mod tests {
         assert_eq!(history.delivery_curve(), vec![(0, 4), (1, 0)]);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serializes_to_json() {
         let g = generators::path(3);

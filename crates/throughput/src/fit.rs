@@ -3,7 +3,7 @@
 /// A fitted line `y = slope · x + intercept` with its coefficient of
 /// determination.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fit {
     /// Fitted slope.
     pub slope: f64,
@@ -29,10 +29,20 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Fit {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|p| (p.1 - (slope * p.0 + intercept)).powi(2)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Fit { slope, intercept, r2 }
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 /// Fits `y = c · x^slope` by OLS on `(ln x, ln y)`: the returned
@@ -47,7 +57,10 @@ pub fn log_log_fit(points: &[(f64, f64)]) -> Fit {
     let logged: Vec<(f64, f64)> = points
         .iter()
         .map(|&(x, y)| {
-            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data, got ({x}, {y})");
+            assert!(
+                x > 0.0 && y > 0.0,
+                "log-log fit needs positive data, got ({x}, {y})"
+            );
             (x.ln(), y.ln())
         })
         .collect();
@@ -77,8 +90,9 @@ mod tests {
 
     #[test]
     fn power_law_slope_recovered() {
-        let pts: Vec<(f64, f64)> =
-            (1..=8).map(|i| (i as f64, 5.0 * (i as f64).powf(2.0))).collect();
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (i as f64, 5.0 * (i as f64).powf(2.0)))
+            .collect();
         let fit = log_log_fit(&pts);
         assert!((fit.slope - 2.0).abs() < 1e-9, "slope {}", fit.slope);
         assert!((fit.intercept - 5.0f64.ln()).abs() < 1e-9);
@@ -86,8 +100,7 @@ mod tests {
 
     #[test]
     fn sublinear_power_law() {
-        let pts: Vec<(f64, f64)> =
-            (1..=8).map(|i| (i as f64, (i as f64).sqrt())).collect();
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, (i as f64).sqrt())).collect();
         let fit = log_log_fit(&pts);
         assert!((fit.slope - 0.5).abs() < 1e-9);
     }

@@ -21,13 +21,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// The `serde` feature only gates `cfg_attr` derives; the offline build
+// vendors no serde, so enabling it without the real dependency must be a
+// deliberate, explained failure rather than a stray E0433 (see DESIGN.md).
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature requires the real `serde` crate (with `derive`): \
+     this offline workspace vendors none. Add `serde = { version = \"1\", \
+     features = [\"derive\"], optional = true }` to this crate and remove \
+     this guard (see DESIGN.md section 6)."
+);
+
 pub mod fit;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 pub mod throughput;
 
-pub use fit::{log_log_fit, linear_fit, Fit};
+pub use fit::{linear_fit, log_log_fit, Fit};
 pub use stats::{quantile, Percentiles, Summary};
 pub use sweep::{sweep, SweepPoint};
 pub use table::Table;

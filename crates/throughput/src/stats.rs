@@ -2,7 +2,7 @@
 
 /// Summary statistics of a set of samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -62,7 +62,11 @@ impl Summary {
 
     /// `"mean ± ci"` rendering with the given precision.
     pub fn display_mean_ci(&self, precision: usize) -> String {
-        format!("{:.precision$} ± {:.precision$}", self.mean, self.ci95_half_width())
+        format!(
+            "{:.precision$} ± {:.precision$}",
+            self.mean,
+            self.ci95_half_width()
+        )
     }
 }
 
@@ -73,7 +77,10 @@ impl Summary {
 ///
 /// Panics on an empty slice, NaN samples, or `q` outside `[0, 1]`.
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
-    assert!(!samples.is_empty(), "cannot take a quantile of zero samples");
+    assert!(
+        !samples.is_empty(),
+        "cannot take a quantile of zero samples"
+    );
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
@@ -90,7 +97,7 @@ pub fn quantile(samples: &[f64], q: f64) -> f64 {
 
 /// Tail percentiles of a sample set, for latency-style reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Percentiles {
     /// Median (p50).
     pub p50: f64,

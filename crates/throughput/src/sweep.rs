@@ -5,7 +5,7 @@ use crate::Summary;
 /// One point of a sweep: the parameter value and the summary of its
 /// trial measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// The swept parameter value.
     pub param: f64,
@@ -32,7 +32,10 @@ pub fn sweep(
         .iter()
         .map(|&param| {
             let samples: Vec<f64> = (0..trials).map(|t| measure(param, t)).collect();
-            SweepPoint { param, summary: Summary::from_samples(&samples) }
+            SweepPoint {
+                param,
+                summary: Summary::from_samples(&samples),
+            }
         })
         .collect()
 }

@@ -3,7 +3,7 @@
 /// One point of a throughput ladder: `k` messages took `rounds`
 /// rounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThroughputPoint {
     /// Number of messages broadcast.
     pub k: usize,
@@ -24,7 +24,11 @@ pub fn throughput_ladder(
     ks.iter()
         .map(|&k| {
             let rounds = measure(k);
-            ThroughputPoint { k, rounds, throughput: k as f64 / rounds }
+            ThroughputPoint {
+                k,
+                rounds,
+                throughput: k as f64 / rounds,
+            }
         })
         .collect()
 }
@@ -36,7 +40,10 @@ pub fn throughput_ladder(
 ///
 /// Panics if `routing_throughput` is not positive.
 pub fn gap_ratio(coding_throughput: f64, routing_throughput: f64) -> f64 {
-    assert!(routing_throughput > 0.0, "routing throughput must be positive");
+    assert!(
+        routing_throughput > 0.0,
+        "routing throughput must be positive"
+    );
     coding_throughput / routing_throughput
 }
 

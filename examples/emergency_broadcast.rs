@@ -39,14 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fastbc = FastbcSchedule::with_params(
         &corridor,
         source,
-        FastbcParams { phase_len: None, rank_slots: Some(log_n) },
+        FastbcParams {
+            phase_len: None,
+            rank_slots: Some(log_n),
+        },
     )?;
     let robust = RobustFastbcSchedule::new(&corridor, source)?;
 
     let mut table = Table::new(&["p", "Decay", "FASTBC", "Robust FASTBC", "winner"]);
     for p in [0.0, 0.1, 0.3, 0.5] {
-        let fault =
-            if p == 0.0 { FaultModel::Faultless } else { FaultModel::receiver(p)? };
+        let fault = if p == 0.0 {
+            FaultModel::Faultless
+        } else {
+            FaultModel::receiver(p)?
+        };
         let d = mean(
             |s| {
                 Decay::new()
@@ -57,11 +63,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             trials,
         );
         let f = mean(
-            |s| fastbc.run(fault, 20 + s, 10_000_000).expect("completes").rounds_used(),
+            |s| {
+                fastbc
+                    .run(fault, 20 + s, 10_000_000)
+                    .expect("completes")
+                    .rounds_used()
+            },
             trials,
         );
         let r = mean(
-            |s| robust.run(fault, 30 + s, 10_000_000).expect("completes").rounds_used(),
+            |s| {
+                robust
+                    .run(fault, 30 + s, 10_000_000)
+                    .expect("completes")
+                    .rounds_used()
+            },
             trials,
         );
         let winner = if f <= d && f <= r {

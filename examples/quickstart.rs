@@ -34,11 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // FASTBC and Robust FASTBC pre-agree on a GBST (known topology).
     let fastbc = FastbcSchedule::new(&network, source)?;
     let run = fastbc.run(fault, 42, 1_000_000)?;
-    println!("FASTBC:         {:>6} rounds  (fragile under faults — Lemma 10)", run.rounds_used());
+    println!(
+        "FASTBC:         {:>6} rounds  (fragile under faults — Lemma 10)",
+        run.rounds_used()
+    );
 
     let robust = RobustFastbcSchedule::new(&network, source)?;
     let run = robust.run(fault, 42, 1_000_000)?;
-    println!("Robust FASTBC:  {:>6} rounds  (Theorem 11)", run.rounds_used());
+    println!(
+        "Robust FASTBC:  {:>6} rounds  (Theorem 11)",
+        run.rounds_used()
+    );
 
     Ok(())
 }

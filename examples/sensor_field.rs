@@ -23,19 +23,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         noisy_radio::netgraph::metrics::diameter(&field).expect("connected"),
     );
 
-    let mut table =
-        Table::new(&["k records", "fault model", "rounds", "rounds/k", "payloads verified"]);
+    let mut table = Table::new(&[
+        "k records",
+        "fault model",
+        "rounds",
+        "rounds/k",
+        "payloads verified",
+    ]);
     for k in [8usize, 16, 32] {
-        for fault in [FaultModel::Faultless, FaultModel::receiver(0.3)?, FaultModel::sender(0.3)?]
-        {
-            let out = DecayRlnc { phase_len: None, payload_len: 8 }.run(
-                &field,
-                base_station,
-                k,
-                fault,
-                2024,
-                10_000_000,
-            )?;
+        for fault in [
+            FaultModel::Faultless,
+            FaultModel::receiver(0.3)?,
+            FaultModel::sender(0.3)?,
+        ] {
+            let out = DecayRlnc {
+                phase_len: None,
+                payload_len: 8,
+            }
+            .run(&field, base_station, k, fault, 2024, 10_000_000)?;
             let rounds = out.run.rounds_used();
             table.row_owned(vec![
                 k.to_string(),

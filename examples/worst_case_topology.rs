@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example worst_case_topology`
 
-use noisy_radio::core::schedules::wct::{
-    max_fraction_receiving_probe, wct_coding, wct_routing,
-};
+use noisy_radio::core::schedules::wct::{max_fraction_receiving_probe, wct_coding, wct_routing};
 use noisy_radio::model::FaultModel;
 use noisy_radio::netgraph::wct::{Wct, WctParams};
 use noisy_radio::throughput::Table;
@@ -35,10 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 11,
         })?;
         let frac = max_fraction_receiving_probe(&wct, 10, 13);
-        let routing =
-            wct_routing(&wct, k, fault, 17, 500_000_000)?.rounds.expect("routing completes");
-        let coding =
-            wct_coding(&wct, k, fault, 19, 500_000_000)?.rounds.expect("coding completes");
+        let routing = wct_routing(&wct, k, fault, 17, 500_000_000)?
+            .rounds
+            .expect("routing completes");
+        let coding = wct_coding(&wct, k, fault, 19, 500_000_000)?
+            .rounds
+            .expect("coding completes");
         table.row_owned(vec![
             senders.to_string(),
             wct.graph().node_count().to_string(),
@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", table.render());
     println!("Per-round cluster progress is Θ(1/log n) (Lemma 18);");
-    println!("routing additionally pays Θ(log n) per cluster-message (Lemma 15 inside each cluster),");
+    println!(
+        "routing additionally pays Θ(log n) per cluster-message (Lemma 15 inside each cluster),"
+    );
     println!("so the coding gap — Theorem 24 — grows as Θ(log n).");
     Ok(())
 }

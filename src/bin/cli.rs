@@ -113,14 +113,14 @@ impl Options {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = || {
-                it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
             };
             match flag.as_str() {
                 "--topology" => opts.topology = value()?,
                 "--fault" => opts.fault = parse_fault(&value()?)?,
-                "--seed" => {
-                    opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
-                }
+                "--seed" => opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
                 "--trials" => {
                     opts.trials = value()?.parse().map_err(|e| format!("bad --trials: {e}"))?
                 }
@@ -146,7 +146,9 @@ fn parse_fault(spec: &str) -> Result<FaultModel, String> {
     let (kind, p) = spec
         .split_once(':')
         .ok_or_else(|| format!("bad fault spec `{spec}` (want receiver:P or sender:P)"))?;
-    let p: f64 = p.parse().map_err(|e| format!("bad fault probability: {e}"))?;
+    let p: f64 = p
+        .parse()
+        .map_err(|e| format!("bad fault probability: {e}"))?;
     match kind {
         "receiver" => FaultModel::receiver(p).map_err(|e| e.to_string()),
         "sender" => FaultModel::sender(p).map_err(|e| e.to_string()),
@@ -175,21 +177,22 @@ fn parse_topology(spec: &str, seed: u64) -> Result<Graph, String> {
             let (r, c) = dims(parts[1])?;
             generators::torus(r, c).map_err(|e| e.to_string())?
         }
-        (Some("tree"), 3) => generators::balanced_tree(num(parts[1])?, num(parts[2])?)
-            .map_err(|e| e.to_string())?,
+        (Some("tree"), 3) => {
+            generators::balanced_tree(num(parts[1])?, num(parts[2])?).map_err(|e| e.to_string())?
+        }
         (Some("gnp"), 3) => generators::gnp_connected(num(parts[1])?, fnum(parts[2])?, seed)
             .map_err(|e| e.to_string())?,
         (Some("hypercube"), 2) => {
             generators::hypercube(num(parts[1])? as u32).map_err(|e| e.to_string())?
         }
-        (Some("caterpillar"), 3) => generators::caterpillar(num(parts[1])?, num(parts[2])?)
-            .map_err(|e| e.to_string())?,
-        (Some("spider"), 3) => generators::spider(num(parts[1])?, num(parts[2])?)
-            .map_err(|e| e.to_string())?,
-        (Some("udg"), 3) => {
-            generators::unit_disk_connected(num(parts[1])?, fnum(parts[2])?, seed)
-                .map_err(|e| e.to_string())?
+        (Some("caterpillar"), 3) => {
+            generators::caterpillar(num(parts[1])?, num(parts[2])?).map_err(|e| e.to_string())?
         }
+        (Some("spider"), 3) => {
+            generators::spider(num(parts[1])?, num(parts[2])?).map_err(|e| e.to_string())?
+        }
+        (Some("udg"), 3) => generators::unit_disk_connected(num(parts[1])?, fnum(parts[2])?, seed)
+            .map_err(|e| e.to_string())?,
         _ => return Err(usage()),
     };
     Ok(g)
@@ -248,22 +251,35 @@ fn cmd_multicast(opts: &Options) -> Result<(), String> {
     for t in 0..opts.trials {
         let seed = opts.seed + t;
         let out = match algo {
-            "decay-rlnc" => DecayRlnc { phase_len: None, payload_len: 4 }
-                .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
-                .map_err(|e| e.to_string())?,
-            "rfastbc-rlnc" => RobustFastbcRlnc { params: Default::default(), payload_len: 4 }
-                .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
-                .map_err(|e| e.to_string())?,
-            "streaming-rlnc" => StreamingRlnc { phase_len: None, payload_len: 4 }
-                .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
-                .map_err(|e| e.to_string())?,
+            "decay-rlnc" => DecayRlnc {
+                phase_len: None,
+                payload_len: 4,
+            }
+            .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
+            .map_err(|e| e.to_string())?,
+            "rfastbc-rlnc" => RobustFastbcRlnc {
+                params: Default::default(),
+                payload_len: 4,
+            }
+            .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
+            .map_err(|e| e.to_string())?,
+            "streaming-rlnc" => StreamingRlnc {
+                phase_len: None,
+                payload_len: 4,
+            }
+            .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
+            .map_err(|e| e.to_string())?,
             other => return Err(format!("unknown multicast algo `{other}`")),
         };
         let rounds = out.run.rounds_used();
         println!(
             "  trial {t}: {rounds} rounds ({:.1}/message), payloads {}",
             rounds as f64 / opts.k as f64,
-            if out.decoded_ok { "verified" } else { "MISMATCH" }
+            if out.decoded_ok {
+                "verified"
+            } else {
+                "MISMATCH"
+            }
         );
         if !out.decoded_ok {
             return Err("decoded payloads did not match the source".into());
@@ -286,8 +302,14 @@ fn cmd_gap(opts: &Options) -> Result<(), String> {
     let coding = star_coding(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
         .map_err(|e| e.to_string())?
         .rounds_used();
-    println!("  adaptive routing: {routing} rounds (τ = {:.4})", opts.k as f64 / routing as f64);
-    println!("  RS coding:        {coding} rounds (τ = {:.4})", opts.k as f64 / coding as f64);
+    println!(
+        "  adaptive routing: {routing} rounds (τ = {:.4})",
+        opts.k as f64 / routing as f64
+    );
+    println!(
+        "  RS coding:        {coding} rounds (τ = {:.4})",
+        opts.k as f64 / coding as f64
+    );
     println!("  coding gap:       {:.2}×", routing as f64 / coding as f64);
     Ok(())
 }
@@ -302,14 +324,19 @@ fn cmd_topo(opts: &Options) -> Result<(), String> {
         println!("  diameter:  {d}");
     }
     if let Some(s) = metrics::degree_stats(&g) {
-        println!("  degrees:   min {} / mean {:.2} / max {}", s.min, s.mean, s.max);
+        println!(
+            "  degrees:   min {} / mean {:.2} / max {}",
+            s.min, s.mean, s.max
+        );
     }
     match Gbst::build(&g, NodeId::new(0)) {
         Ok(t) => {
-            println!("  GBST:      r_max {}, {} fast stretches, {} demotions",
+            println!(
+                "  GBST:      r_max {}, {} fast stretches, {} demotions",
                 t.max_rank(),
                 t.stretches().len(),
-                t.demoted_count());
+                t.demoted_count()
+            );
         }
         Err(e) => println!("  GBST:      unavailable ({e})"),
     }
@@ -327,7 +354,10 @@ mod tests {
             parse_fault("receiver:0.5").unwrap(),
             FaultModel::ReceiverFaults { p: 0.5 }
         );
-        assert_eq!(parse_fault("sender:0.25").unwrap(), FaultModel::SenderFaults { p: 0.25 });
+        assert_eq!(
+            parse_fault("sender:0.25").unwrap(),
+            FaultModel::SenderFaults { p: 0.25 }
+        );
         assert!(parse_fault("receiver").is_err());
         assert!(parse_fault("gamma:0.5").is_err());
         assert!(parse_fault("receiver:1.5").is_err());

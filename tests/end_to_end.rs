@@ -15,10 +15,16 @@ fn topologies() -> Vec<(&'static str, Graph)> {
         ("star", generators::star(64)),
         ("grid", generators::grid(8, 8)),
         ("tree", generators::balanced_tree(3, 3).expect("valid")),
-        ("gnp", generators::gnp_connected(64, 0.08, 5).expect("valid")),
+        (
+            "gnp",
+            generators::gnp_connected(64, 0.08, 5).expect("valid"),
+        ),
         ("spider", generators::spider(4, 12).expect("valid")),
         ("hypercube", generators::hypercube(6).expect("valid")),
-        ("layered", generators::layered_random(8, 8, 0.3, 7).expect("valid")),
+        (
+            "layered",
+            generators::layered_random(8, 8, 0.3, 7).expect("valid"),
+        ),
     ]
 }
 
@@ -61,7 +67,10 @@ fn robust_fastbc_completes_everywhere() {
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
         for fault in fault_models() {
             let run = sched.run(fault, 3, MAX).expect("valid config");
-            assert!(run.completed(), "Robust FASTBC stalled on {name} under {fault}");
+            assert!(
+                run.completed(),
+                "Robust FASTBC stalled on {name} under {fault}"
+            );
         }
     }
 }
@@ -71,7 +80,10 @@ fn faultless_fastbc_beats_decay_on_long_paths() {
     // Lemma 8 vs Lemma 6: D + log² n < D·log n for large D.
     let g = generators::path(512);
     let fastbc = FastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
-    let f = fastbc.run(FaultModel::Faultless, 7, MAX).expect("valid").rounds_used();
+    let f = fastbc
+        .run(FaultModel::Faultless, 7, MAX)
+        .expect("valid")
+        .rounds_used();
     let d = Decay::new()
         .run(&g, NodeId::new(0), FaultModel::Faultless, 7, MAX)
         .expect("valid")
@@ -88,7 +100,10 @@ fn noisy_robust_fastbc_beats_fastbc_on_long_paths() {
     let fastbc = FastbcSchedule::with_params(
         &g,
         NodeId::new(0),
-        FastbcParams { phase_len: None, rank_slots: Some(log_n) },
+        FastbcParams {
+            phase_len: None,
+            rank_slots: Some(log_n),
+        },
     )
     .expect("connected");
     let robust = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
@@ -110,8 +125,12 @@ fn same_seed_reproduces_across_algorithms() {
     let g = generators::gnp_connected(48, 0.1, 11).expect("valid");
     let fault = FaultModel::receiver(0.4).expect("valid");
     for _ in 0..2 {
-        let a = Decay::new().run(&g, NodeId::new(0), fault, 99, MAX).expect("valid");
-        let b = Decay::new().run(&g, NodeId::new(0), fault, 99, MAX).expect("valid");
+        let a = Decay::new()
+            .run(&g, NodeId::new(0), fault, 99, MAX)
+            .expect("valid");
+        let b = Decay::new()
+            .run(&g, NodeId::new(0), fault, 99, MAX)
+            .expect("valid");
         assert_eq!(a, b);
     }
     let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("connected");

@@ -24,7 +24,9 @@ fn star_gap_coding_beats_routing() {
         .expect("valid")
         .rounds
         .expect("completes");
-    let coding = star_coding(512, 16, fault, 1, MAX).expect("valid").rounds_used();
+    let coding = star_coding(512, 16, fault, 1, MAX)
+        .expect("valid")
+        .rounds_used();
     assert!(
         routing as f64 > 2.0 * coding as f64,
         "expected a clear star gap: routing {routing}, coding {coding}"
@@ -33,9 +35,15 @@ fn star_gap_coding_beats_routing() {
 
 #[test]
 fn star_end_to_end_rs_decodes_real_payloads() {
-    let rounds =
-        star_coding_end_to_end(32, 12, 8, FaultModel::receiver(0.4).expect("valid"), 3, 50_000)
-            .expect("decodes everywhere");
+    let rounds = star_coding_end_to_end(
+        32,
+        12,
+        8,
+        FaultModel::receiver(0.4).expect("valid"),
+        3,
+        50_000,
+    )
+    .expect("decodes everywhere");
     assert!(rounds >= 12);
 }
 
@@ -50,10 +58,14 @@ fn wct_gap_coding_beats_routing() {
     })
     .expect("valid");
     let fault = FaultModel::receiver(0.5).expect("valid");
-    let routing =
-        wct_routing(&wct, 6, fault, 2, MAX).expect("valid").rounds.expect("completes");
-    let coding =
-        wct_coding(&wct, 6, fault, 2, MAX).expect("valid").rounds.expect("completes");
+    let routing = wct_routing(&wct, 6, fault, 2, MAX)
+        .expect("valid")
+        .rounds
+        .expect("completes");
+    let coding = wct_coding(&wct, 6, fault, 2, MAX)
+        .expect("valid")
+        .rounds
+        .expect("completes");
     assert!(
         routing > 2 * coding,
         "expected a clear WCT gap: routing {routing}, coding {coding}"
@@ -66,16 +78,29 @@ fn single_link_triangle_of_lemmas() {
     let fault = FaultModel::receiver(0.5).expect("valid");
     let k = 128;
     // Non-adaptive with 1 repetition: fails.
-    assert!(!single_link_nonadaptive_routing(k, 1, fault, 3).expect("valid").success);
+    assert!(
+        !single_link_nonadaptive_routing(k, 1, fault, 3)
+            .expect("valid")
+            .success
+    );
     // Non-adaptive with 3·log k repetitions: succeeds.
     let reps = 3 * 7;
-    assert!(single_link_nonadaptive_routing(k, reps, fault, 3).expect("valid").success);
+    assert!(
+        single_link_nonadaptive_routing(k, reps, fault, 3)
+            .expect("valid")
+            .success
+    );
     // Coding with 2.6k packets: succeeds in Θ(k).
     let coding = single_link_coding(k, (k as f64 * 2.6) as u64, fault, 3).expect("valid");
     assert!(coding.success);
     // Adaptive routing: Θ(k) rounds.
-    let adaptive = single_link_adaptive_routing(k, fault, 3, MAX).expect("valid").rounds_used();
-    assert!(adaptive < (k as u64) * reps, "adaptive ({adaptive}) beats non-adaptive budget");
+    let adaptive = single_link_adaptive_routing(k, fault, 3, MAX)
+        .expect("valid")
+        .rounds_used();
+    assert!(
+        adaptive < (k as u64) * reps,
+        "adaptive ({adaptive}) beats non-adaptive budget"
+    );
 }
 
 #[test]
@@ -90,9 +115,12 @@ fn rlnc_multi_message_payloads_survive_noise() {
             FaultModel::sender(0.3).expect("valid"),
             FaultModel::receiver(0.3).expect("valid"),
         ] {
-            let out = DecayRlnc { phase_len: None, payload_len: 4 }
-                .run(&g, NodeId::new(0), k, fault, 17, MAX)
-                .expect("valid");
+            let out = DecayRlnc {
+                phase_len: None,
+                payload_len: 4,
+            }
+            .run(&g, NodeId::new(0), k, fault, 17, MAX)
+            .expect("valid");
             assert!(out.run.completed(), "RLNC stalled under {fault}");
             assert!(out.decoded_ok, "payload mismatch under {fault}");
         }
@@ -106,8 +134,9 @@ fn rs_and_rlnc_substrates_compose() {
     let k = 5;
     let payload = 3;
     let mut rng = noisy_radio::model::fork_rng(7, 0);
-    let data: Vec<Vec<Gf256>> =
-        (0..k).map(|_| (0..payload).map(|_| Gf256::random(&mut rng)).collect()).collect();
+    let data: Vec<Vec<Gf256>> = (0..k)
+        .map(|_| (0..payload).map(|_| Gf256::random(&mut rng)).collect())
+        .collect();
     let rs = ReedSolomon::<Gf256>::new(k).expect("valid");
     let mut node = RlncNode::<Gf256>::new(k, payload);
     // Packet j evaluates the message polynomial at x_j: coefficients
@@ -119,7 +148,10 @@ fn rs_and_rlnc_substrates_compose() {
             coeffs,
             payload: rs.packet(&data, j).expect("valid"),
         };
-        assert!(node.absorb(packet), "RS packets at distinct points are independent");
+        assert!(
+            node.absorb(packet),
+            "RS packets at distinct points are independent"
+        );
     }
     assert_eq!(node.decode().expect("full rank"), data);
 }

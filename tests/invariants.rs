@@ -78,7 +78,11 @@ fn gbst_invariants_on_every_generator() {
         let t = Gbst::build(g, NodeId::new(0)).expect("connected");
         t.validate(g).unwrap_or_else(|e| panic!("graph {i}: {e}"));
         let bound = (g.node_count() as f64).log2().ceil() as u32 + 1;
-        assert!(t.max_rank() <= bound, "graph {i}: rank {} > {bound}", t.max_rank());
+        assert!(
+            t.max_rank() <= bound,
+            "graph {i}: rank {} > {bound}",
+            t.max_rank()
+        );
     }
 }
 

@@ -39,7 +39,10 @@ fn recorded_history_matches_broadcast_progress() {
     // On a faultless path, node i first hears in round i-1, and the
     // recorded history should say exactly that.
     for i in 1..16u32 {
-        assert_eq!(history.first_reception(NodeId::new(i)), Some(u64::from(i) - 1));
+        assert_eq!(
+            history.first_reception(NodeId::new(i)),
+            Some(u64::from(i) - 1)
+        );
     }
     assert_eq!(history.total_deliveries(), 15);
 }
@@ -51,8 +54,7 @@ fn gbst_dot_renders_every_stretch_on_generated_graphs() {
         let t = Gbst::build(&g, NodeId::new(0)).unwrap();
         let text = noisy_radio::gbst::dot::to_dot(&t, &g);
         // Every fast edge appears with the Figure-1 styling.
-        let fast_edges: usize =
-            g.nodes().filter(|&v| t.fast_child(v).is_some()).count();
+        let fast_edges: usize = g.nodes().filter(|&v| t.fast_child(v).is_some()).count();
         assert_eq!(text.matches("style=dashed color=green").count(), fast_edges);
         // Plain graph export agrees on edge count.
         let plain = dot::to_dot(&g, |_| None);

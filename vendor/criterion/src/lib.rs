@@ -1,0 +1,437 @@
+//! Offline vendored subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark API, implemented from scratch for the `noisy-radio` workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of criterion its bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a warm-up, each benchmark runs
+//! `sample_size` samples, each an adaptively sized batch of iterations, and
+//! reports min / median / mean wall-clock time per iteration to stdout. There
+//! are no HTML reports, statistical regressions, or plots — only numbers fit
+//! for eyeballing relative cost, which is all the workspace's experiment
+//! driver (`crates/bench/src/bin/experiments.rs`) relies on for tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver: holds timing configuration and runs
+/// benchmarks or [`BenchmarkGroup`]s.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`cargo bench -- <filter>`); unknown
+    /// flags (with their values, if any) are ignored so cargo's and real
+    /// criterion's harness flags pass through without being mistaken for
+    /// the benchmark-name filter.
+    pub fn configure_from_args(self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.apply_args(&args)
+    }
+
+    fn apply_args(mut self, args: &[String]) -> Self {
+        const VALUELESS: &[&str] = &[
+            "--bench",
+            "--test",
+            "--noplot",
+            "--quiet",
+            "--verbose",
+            "--exact",
+            "--list",
+        ];
+        let mut iter = args.iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(eq) = a.strip_prefix("--") {
+                // `--flag=value` carries its value; otherwise any unknown
+                // `--flag` consumes a following non-flag token as its value
+                // (e.g. `--sample-size 50` must not leave `50` behind as a
+                // filter).
+                if !VALUELESS.contains(&a.as_str()) && !eq.contains('=') {
+                    if let Some(next) = iter.peek() {
+                        if !next.starts_with("--") {
+                            iter.next();
+                        }
+                    }
+                }
+            } else {
+                self.filter = Some(a.clone());
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = self.clone();
+        cfg.run_one(id, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        if !self.matches_filter(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and, optionally,
+/// overridden timing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    fn effective(&self) -> Criterion {
+        let mut c = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            c.measurement_time = d;
+        }
+        if let Some(d) = self.warm_up_time {
+            c.warm_up_time = d;
+        }
+        c
+    }
+
+    /// Benchmarks a closure under `group_name/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.effective().run_one(&full, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.effective().run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name, a parameter,
+/// or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function: Some(function),
+            parameter: None,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Hands the routine under test to the measurement loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` samples of adaptively sized
+    /// iteration batches within the measurement budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget is spent, measuring mean
+        // iteration cost to size the sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{id:<50} min {:>12} median {:>12} mean {:>12}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a benchmark group function, in either criterion form:
+/// `criterion_group!(benches, f, g)` or
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines the `main` function of a `harness = false` bench target by
+/// running the named [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes `--test`; bench bodies
+            // are expensive, so only smoke-compile in that mode.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        quick().bench_function("counts_calls", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "routine never executed");
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+            ran = true;
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(ran);
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn arg_parsing_ignores_flag_values_and_keeps_filter() {
+        let to_vec =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
+        // An unknown flag's value must not become the filter…
+        let c = Criterion::default().apply_args(&to_vec(&["--bench", "--sample-size", "50"]));
+        assert_eq!(c.filter, None);
+        // …an `=`-joined value never could…
+        let c = Criterion::default().apply_args(&to_vec(&["--sample-size=50"]));
+        assert_eq!(c.filter, None);
+        // …and a positional filter still lands.
+        let c = Criterion::default().apply_args(&to_vec(&["--bench", "decay"]));
+        assert_eq!(c.filter.as_deref(), Some("decay"));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = quick();
+        c.filter = Some("nomatch".into());
+        let mut calls = 0u64;
+        c.bench_function("something_else", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0, "filtered benchmark still ran");
+    }
+}
