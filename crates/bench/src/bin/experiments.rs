@@ -2,33 +2,73 @@
 //! `--markdown` for EXPERIMENTS.md fragments).
 //!
 //! ```text
-//! experiments [--quick|--full] [--markdown] [IDS...]
+//! experiments [--quick|--full] [--markdown] [--jobs N] [--seed S]
+//!             [--json PATH] [IDS...]
 //! ```
 //!
 //! `IDS` filters by experiment id (e.g. `E8 E10`); default runs all.
+//! `--jobs` sets the sweep worker count (default: available
+//! parallelism) — for a fixed `--seed`, tables and the `--json`
+//! artifact are byte-identical for any `--jobs` value.
 
-use noisy_radio_bench::{experiments, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") {
-        Scale::Full
-    } else {
-        Scale::Quick
-    };
-    let markdown = args.iter().any(|a| a == "--markdown");
-    let filter: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_uppercase())
-        .collect();
+use noisy_radio_bench::{experiments, suite_json, Scale};
+use radio_sweep::SweepConfig;
 
-    let t0 = std::time::Instant::now();
-    let mut failures = 0;
-    for report in experiments::run_all(scale) {
-        if !filter.is_empty() && !filter.iter().any(|f| f == report.id) {
-            continue;
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut scale = Scale::Quick;
+    let mut markdown = false;
+    let mut jobs: Option<usize> = None;
+    let mut master_seed: u64 = 42;
+    let mut json_path: Option<String> = None;
+    let mut filter: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--markdown" => markdown = true,
+            "--jobs" => {
+                let n: usize = value()?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be ≥ 1".into());
+                }
+                jobs = Some(n);
+            }
+            "--seed" => {
+                master_seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--json" => json_path = Some(value()?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            id => filter.push(id.to_uppercase()),
+        }
+    }
+
+    let cfg = SweepConfig::new(jobs, master_seed);
+    let t0 = std::time::Instant::now();
+    let reports = experiments::run_selected(scale, &cfg, &filter)?;
+
+    let mut failures = 0;
+    for report in &reports {
         if markdown {
             print!("{}", report.render_markdown());
         } else {
@@ -39,9 +79,19 @@ fn main() {
             failures += 1;
         }
     }
-    eprintln!("(completed in {:.1?}; scale: {scale:?})", t0.elapsed());
+    if let Some(path) = &json_path {
+        let doc = suite_json(&reports, scale.name(), master_seed);
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("(wrote {path})");
+    }
+    eprintln!(
+        "(completed in {:.1?}; scale: {scale:?}, jobs: {}, seed: {master_seed})",
+        t0.elapsed(),
+        cfg.jobs
+    );
     if failures > 0 {
         eprintln!("{failures} experiment(s) had failed shape checks");
-        std::process::exit(1);
+        return Ok(ExitCode::FAILURE);
     }
+    Ok(ExitCode::SUCCESS)
 }

@@ -8,6 +8,7 @@ use noisy_radio_core::robust_fastbc::{
     default_block_size, RobustFastbcParams, RobustFastbcSchedule,
 };
 use radio_model::FaultModel;
+use radio_sweep::{Plan, SweepConfig};
 use radio_throughput::Table;
 
 use crate::{ExperimentReport, Scale};
@@ -20,7 +21,7 @@ const MAX_ROUNDS: u64 = 200_000_000;
 /// `1/polylog n`), small enough that the `r_max·c·S` activation wait
 /// stays `O(log n log log n)`. Sweeping `S` shows the trade-off: the
 /// canonical choice should be within a small factor of the best.
-pub fn a1_block_size(scale: Scale) -> ExperimentReport {
+pub fn a1_block_size(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(512, 1024);
     let trials = scale.pick(3, 6);
     let p = 0.4;
@@ -40,26 +41,38 @@ pub fn a1_block_size(scale: Scale) -> ExperimentReport {
         b.dedup();
         b
     };
+    let scheds: Vec<_> = blocks
+        .iter()
+        .map(|&s| {
+            RobustFastbcSchedule::with_params(
+                &g,
+                NodeId::new(0),
+                RobustFastbcParams {
+                    block_size: Some(s),
+                    ..Default::default()
+                },
+            )
+            .expect("valid")
+        })
+        .collect();
+    let mut plan = Plan::new();
+    let handles: Vec<_> = scheds
+        .iter()
+        .map(|sched| {
+            plan.trials(trials, move |ctx| {
+                sched
+                    .run(fault, ctx.seed, MAX_ROUNDS)
+                    .expect("valid")
+                    .rounds_used()
+            })
+        })
+        .collect();
+    let res = plan.run(cfg, "A1");
+
     let mut table = Table::new(&["block size S", "note", "rounds (mean)"]);
     let mut results = Vec::new();
-    for &s in &blocks {
-        let sched = RobustFastbcSchedule::with_params(
-            &g,
-            NodeId::new(0),
-            RobustFastbcParams {
-                block_size: Some(s),
-                ..Default::default()
-            },
-        )
-        .expect("valid");
-        let mut total = 0u64;
-        for t in 0..trials {
-            total += sched
-                .run(fault, 8000 + t, MAX_ROUNDS)
-                .expect("valid")
-                .rounds_used();
-        }
-        let mean = total as f64 / trials as f64;
+    for (&s, &h) in blocks.iter().zip(&handles) {
+        let mean = res.mean(h);
         let note = if s == canonical {
             "⌈log log n⌉+1 (canonical)"
         } else {
@@ -100,12 +113,52 @@ pub fn a1_block_size(scale: Scale) -> ExperimentReport {
 /// rounds — no `log n` factor — suggesting the conjectured
 /// `O(D + k log n + polylog)` bound is attainable at least outside
 /// high-rank interference regimes.
-pub fn a3_streaming_rlnc(scale: Scale) -> ExperimentReport {
+pub fn a3_streaming_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(96, 192);
     let ks: &[usize] = scale.pick(&[8, 24, 48], &[8, 24, 48, 96, 192]);
     let p = 0.3;
     let fault = FaultModel::receiver(p).expect("valid p");
     let g = generators::path(n);
+    let mut plan = Plan::new();
+    let handles: Vec<_> = ks
+        .iter()
+        .map(|&k| {
+            let g = &g;
+            let decay = plan.one(move |ctx| {
+                DecayRlnc {
+                    phase_len: None,
+                    payload_len: 0,
+                }
+                .run(g, NodeId::new(0), k, fault, ctx.seed, MAX_ROUNDS)
+                .expect("valid")
+                .run
+                .rounds_used()
+            });
+            let robust = plan.one(move |ctx| {
+                RobustFastbcRlnc {
+                    params: Default::default(),
+                    payload_len: 0,
+                }
+                .run(g, NodeId::new(0), k, fault, ctx.seed, MAX_ROUNDS)
+                .expect("valid")
+                .run
+                .rounds_used()
+            });
+            let streaming = plan.one(move |ctx| {
+                StreamingRlnc {
+                    phase_len: None,
+                    payload_len: 0,
+                }
+                .run(g, NodeId::new(0), k, fault, ctx.seed, MAX_ROUNDS)
+                .expect("valid")
+                .run
+                .rounds_used()
+            });
+            (decay, robust, streaming)
+        })
+        .collect();
+    let res = plan.run(cfg, "A3");
+
     let mut table = Table::new(&[
         "k",
         "Decay+RLNC (Lem 12)",
@@ -116,31 +169,10 @@ pub fn a3_streaming_rlnc(scale: Scale) -> ExperimentReport {
     let mut stream_wins_large_k = false;
     let mut decay_curve = Vec::new();
     let mut stream_curve = Vec::new();
-    for &k in ks {
-        let decay = DecayRlnc {
-            phase_len: None,
-            payload_len: 0,
-        }
-        .run(&g, NodeId::new(0), k, fault, 9300, MAX_ROUNDS)
-        .expect("valid")
-        .run
-        .rounds_used();
-        let robust = RobustFastbcRlnc {
-            params: Default::default(),
-            payload_len: 0,
-        }
-        .run(&g, NodeId::new(0), k, fault, 9400, MAX_ROUNDS)
-        .expect("valid")
-        .run
-        .rounds_used();
-        let streaming = StreamingRlnc {
-            phase_len: None,
-            payload_len: 0,
-        }
-        .run(&g, NodeId::new(0), k, fault, 9500, MAX_ROUNDS)
-        .expect("valid")
-        .run
-        .rounds_used();
+    for (&k, &(decay_h, robust_h, streaming_h)) in ks.iter().zip(&handles) {
+        let decay = res.value(decay_h) as u64;
+        let robust = res.value(robust_h) as u64;
+        let streaming = res.value(streaming_h) as u64;
         stream_wins_large_k = streaming < decay && streaming < robust;
         decay_curve.push((k as f64, decay as f64));
         stream_curve.push((k as f64, streaming as f64));
@@ -180,29 +212,56 @@ pub fn a3_streaming_rlnc(scale: Scale) -> ExperimentReport {
 /// probability of Decay drops geometrically as the budget grows —
 /// `log(1/δ)` buys budget linearly, so doubling the budget past the
 /// completion point should square away the failure mass.
-pub fn a2_failure_probability(scale: Scale) -> ExperimentReport {
+pub fn a2_failure_probability(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(64, 128);
     let trials = scale.pick(60, 200);
     let p = 0.5;
     let fault = FaultModel::receiver(p).expect("valid p");
     let g = generators::path(n);
-    // Reference: the mean adaptive completion time.
     let decay = Decay::new();
-    let mut mean_rounds = 0u64;
-    for t in 0..5 {
-        mean_rounds += decay
-            .run(&g, NodeId::new(0), fault, 9000 + t, MAX_ROUNDS)
-            .expect("valid")
-            .rounds_used();
-    }
-    let mean_rounds = mean_rounds / 5;
+
+    // Phase 1 — reference: the mean adaptive completion time.
+    let mut ref_plan = Plan::new();
+    let ref_h = {
+        let g = &g;
+        let decay = &decay;
+        ref_plan.trials(5, move |ctx| {
+            decay
+                .run(g, NodeId::new(0), fault, ctx.seed, MAX_ROUNDS)
+                .expect("valid")
+                .rounds_used()
+        })
+    };
+    let mean_rounds = ref_plan.run(cfg, "A2/ref").mean(ref_h) as u64;
+
+    // Phase 2 — failure rates at budgets scaled off that reference.
+    // Every budget reuses the SAME trial seed, so failure events are
+    // coupled across budgets (a trial that fails with a generous
+    // budget also fails with a starved one) and the monotonicity
+    // check below is structural, not statistical.
+    let rate_seed = cfg.scope_seed("A2/rates-trials");
+    let mults = [0.5f64, 0.8, 1.0, 1.3, 1.8, 2.5];
+    let mut rate_plan = Plan::new();
+    let rate_handles: Vec<_> = mults
+        .iter()
+        .map(|&mult| {
+            let budget = (mean_rounds as f64 * mult) as u64;
+            let g = &g;
+            let decay = &decay;
+            let h = rate_plan.one(move |_ctx| {
+                decay
+                    .failure_rate(g, NodeId::new(0), fault, budget, trials, rate_seed)
+                    .expect("valid")
+            });
+            (mult, budget, h)
+        })
+        .collect();
+    let res = rate_plan.run(cfg, "A2/rates");
+
     let mut table = Table::new(&["budget (× mean)", "rounds", "failure rate δ̂"]);
     let mut rates = Vec::new();
-    for mult in [0.5f64, 0.8, 1.0, 1.3, 1.8, 2.5] {
-        let budget = (mean_rounds as f64 * mult) as u64;
-        let rate = decay
-            .failure_rate(&g, NodeId::new(0), fault, budget, trials, 9100)
-            .expect("valid");
+    for &(mult, budget, h) in &rate_handles {
+        let rate = res.value(h);
         table.row_owned(vec![
             format!("{mult:.1}"),
             budget.to_string(),

@@ -1,4 +1,9 @@
 //! The experiment drivers, indexed as in `DESIGN.md` §4.
+//!
+//! Every driver takes the [`Scale`] knob and the sweep configuration
+//! ([`SweepConfig`]: worker count + master seed) and fans its trial
+//! grid out through `radio_sweep` — results are bit-identical for any
+//! `jobs` value.
 
 mod ablations;
 mod gaps;
@@ -19,26 +24,57 @@ pub use single_message::{
 pub use structure::f1_gbst_structure;
 pub use transforms::e11_transformations;
 
+use radio_sweep::SweepConfig;
+
 use crate::{ExperimentReport, Scale};
 
+/// An experiment driver: scale + sweep config → report.
+pub type Driver = fn(Scale, &SweepConfig) -> ExperimentReport;
+
+/// The experiment registry, in run order (`DESIGN.md` §4 index).
+pub const EXPERIMENTS: &[(&str, Driver)] = &[
+    ("E1", e1_decay_faultless),
+    ("E2", e2_fastbc_faultless),
+    ("E3", e3_decay_noisy),
+    ("E4", e4_fastbc_degradation),
+    ("E5", e5_robust_fastbc),
+    ("E6", e6_decay_rlnc),
+    ("E7", e7_rfastbc_rlnc),
+    ("E8", e8_star_gap),
+    ("E9", e9_wct_collision),
+    ("E10", e10_wct_gap),
+    ("E11", e11_transformations),
+    ("E12", e12_single_link),
+    ("F1", f1_gbst_structure),
+    ("A1", a1_block_size),
+    ("A2", a2_failure_probability),
+    ("A3", a3_streaming_rlnc),
+];
+
 /// Runs every experiment at the given scale, in index order.
-pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
-    vec![
-        e1_decay_faultless(scale),
-        e2_fastbc_faultless(scale),
-        e3_decay_noisy(scale),
-        e4_fastbc_degradation(scale),
-        e5_robust_fastbc(scale),
-        e6_decay_rlnc(scale),
-        e7_rfastbc_rlnc(scale),
-        e8_star_gap(scale),
-        e9_wct_collision(scale),
-        e10_wct_gap(scale),
-        e11_transformations(scale),
-        e12_single_link(scale),
-        f1_gbst_structure(scale),
-        a1_block_size(scale),
-        a2_failure_probability(scale),
-        a3_streaming_rlnc(scale),
-    ]
+pub fn run_all(scale: Scale, cfg: &SweepConfig) -> Vec<ExperimentReport> {
+    run_selected(scale, cfg, &[]).expect("empty filter never names an unknown id")
+}
+
+/// Runs the experiments whose ids appear in `ids`
+/// (case-insensitively), in registry order; an empty filter runs all.
+///
+/// # Errors
+///
+/// Returns the offending id if one matches no registered experiment.
+pub fn run_selected(
+    scale: Scale,
+    cfg: &SweepConfig,
+    ids: &[String],
+) -> Result<Vec<ExperimentReport>, String> {
+    for id in ids {
+        if !EXPERIMENTS.iter().any(|(e, _)| e.eq_ignore_ascii_case(id)) {
+            return Err(format!("unknown experiment id `{id}`"));
+        }
+    }
+    Ok(EXPERIMENTS
+        .iter()
+        .filter(|(e, _)| ids.is_empty() || ids.iter().any(|id| e.eq_ignore_ascii_case(id)))
+        .map(|(_, driver)| driver(scale, cfg))
+        .collect())
 }

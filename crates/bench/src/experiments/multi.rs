@@ -3,6 +3,7 @@
 use netgraph::{generators, NodeId};
 use noisy_radio_core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use radio_model::FaultModel;
+use radio_sweep::{Plan, SweepConfig, TrialResult};
 use radio_throughput::{linear_fit, Table};
 
 use crate::{ExperimentReport, Scale};
@@ -13,24 +14,36 @@ const MAX_ROUNDS: u64 = 100_000_000;
 /// `O(D log n + k log n + log² n)` rounds under faults, i.e. the
 /// marginal cost per message is `Θ(log n)` and the throughput is
 /// `Ω(1/log n)`.
-pub fn e6_decay_rlnc(scale: Scale) -> ExperimentReport {
+pub fn e6_decay_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(64, 128);
     let ks: &[usize] = scale.pick(&[8, 16, 32], &[8, 16, 32, 64, 128]);
     let p = 0.3;
     let fault = FaultModel::receiver(p).expect("valid p");
     let g = generators::gnp_connected(n, 4.0 / n as f64, 77).expect("valid");
     let log_n = (n as f64).log2();
+    let mut plan = Plan::new();
+    let handles: Vec<_> = ks
+        .iter()
+        .map(|&k| {
+            let g = &g;
+            plan.one(move |ctx| {
+                let out = DecayRlnc {
+                    phase_len: None,
+                    payload_len: 0,
+                }
+                .run(g, NodeId::new(0), k, fault, ctx.seed, MAX_ROUNDS)
+                .expect("valid");
+                TrialResult::flagged(out.run.rounds_used() as f64, out.decoded_ok)
+            })
+        })
+        .collect();
+    let res = plan.run(cfg, "E6");
+
     let mut table = Table::new(&["k", "rounds", "rounds/k", "(rounds/k)/log n"]);
     let mut curve = Vec::new();
-    for &k in ks {
-        let out = DecayRlnc {
-            phase_len: None,
-            payload_len: 0,
-        }
-        .run(&g, NodeId::new(0), k, fault, 4000 + k as u64, MAX_ROUNDS)
-        .expect("valid");
-        assert!(out.decoded_ok, "RLNC decode failure");
-        let rounds = out.run.rounds_used() as f64;
+    for (&k, &h) in ks.iter().zip(&handles) {
+        assert!(res.ok(h), "RLNC decode failure");
+        let rounds = res.value(h);
         table.row_owned(vec![
             k.to_string(),
             format!("{rounds:.0}"),
@@ -66,7 +79,7 @@ pub fn e6_decay_rlnc(scale: Scale) -> ExperimentReport {
 /// `O(D + k log n log log n + polylog)` rounds; the marginal cost per
 /// message is `Θ(log n log log n)`, but the additive `D`-term is
 /// linear (not `D log n` as in E6).
-pub fn e7_rfastbc_rlnc(scale: Scale) -> ExperimentReport {
+pub fn e7_rfastbc_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(64, 128);
     let ks: &[usize] = scale.pick(&[4, 8, 16], &[4, 8, 16, 32, 64]);
     let p = 0.3;
@@ -74,17 +87,29 @@ pub fn e7_rfastbc_rlnc(scale: Scale) -> ExperimentReport {
     let g = generators::path(n);
     let log_n = (n as f64).log2();
     let loglog_n = log_n.log2();
+    let mut plan = Plan::new();
+    let handles: Vec<_> = ks
+        .iter()
+        .map(|&k| {
+            let g = &g;
+            plan.one(move |ctx| {
+                let out = RobustFastbcRlnc {
+                    params: Default::default(),
+                    payload_len: 0,
+                }
+                .run(g, NodeId::new(0), k, fault, ctx.seed, MAX_ROUNDS)
+                .expect("valid");
+                TrialResult::flagged(out.run.rounds_used() as f64, out.decoded_ok)
+            })
+        })
+        .collect();
+    let res = plan.run(cfg, "E7");
+
     let mut table = Table::new(&["k", "rounds", "rounds/k", "(rounds/k)/(log n · log log n)"]);
     let mut curve = Vec::new();
-    for &k in ks {
-        let out = RobustFastbcRlnc {
-            params: Default::default(),
-            payload_len: 0,
-        }
-        .run(&g, NodeId::new(0), k, fault, 5000 + k as u64, MAX_ROUNDS)
-        .expect("valid");
-        assert!(out.decoded_ok, "RLNC decode failure");
-        let rounds = out.run.rounds_used() as f64;
+    for (&k, &h) in ks.iter().zip(&handles) {
+        assert!(res.ok(h), "RLNC decode failure");
+        let rounds = res.value(h);
         table.row_owned(vec![
             k.to_string(),
             format!("{rounds:.0}"),

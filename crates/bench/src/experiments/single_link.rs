@@ -4,6 +4,7 @@ use noisy_radio_core::schedules::single_link::{
     minimal_repetitions_for_success, single_link_adaptive_routing, single_link_coding,
 };
 use radio_model::FaultModel;
+use radio_sweep::{Plan, SweepConfig, TrialResult};
 use radio_throughput::{linear_fit, Table};
 
 use crate::{ExperimentReport, Scale};
@@ -17,12 +18,40 @@ use crate::{ExperimentReport, Scale};
 /// * adaptive routing ships them in `≈ k/(1−p)` rounds (Lemma 32);
 /// * so the non-adaptive gap is `Θ(log k)` (Lemma 31) and the adaptive
 ///   gap is `Θ(1)` (Lemma 33).
-pub fn e12_single_link(scale: Scale) -> ExperimentReport {
+pub fn e12_single_link(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let ks: &[usize] = scale.pick(&[16, 64, 256], &[16, 64, 256, 1024, 4096]);
     let p = 0.5;
     let fault = FaultModel::receiver(p).expect("valid p");
     let trials = scale.pick(10, 20);
     let required = (trials as f64 * 0.9).ceil() as u64;
+    let mut plan = Plan::new();
+    let handles: Vec<_> = ks
+        .iter()
+        .map(|&k| {
+            let reps = plan.one(move |ctx| {
+                minimal_repetitions_for_success(k, fault, trials, required, ctx.seed)
+                    .expect("valid")
+                    .expect("some repetition count must work")
+            });
+            // Coding: the Lemma 30 sizing (k/(1-p) with 30% slack);
+            // each trial flags whether that budget succeeded.
+            let coding_budget = (k as f64 / (1.0 - p) * 1.3).ceil() as u64;
+            let coding = plan.trials(trials, move |ctx| {
+                let ok = single_link_coding(k, coding_budget, fault, ctx.seed)
+                    .expect("valid")
+                    .success;
+                TrialResult::flagged(coding_budget as f64, ok)
+            });
+            let adaptive = plan.trials(trials, move |ctx| {
+                single_link_adaptive_routing(k, fault, ctx.seed, 100_000_000)
+                    .expect("valid")
+                    .rounds_used()
+            });
+            (reps, coding, coding_budget, adaptive)
+        })
+        .collect();
+    let res = plan.run(cfg, "E12");
+
     let mut table = Table::new(&[
         "k",
         "log2 k",
@@ -35,33 +64,14 @@ pub fn e12_single_link(scale: Scale) -> ExperimentReport {
     let mut reps_curve = Vec::new();
     let mut nonadaptive_gaps = Vec::new();
     let mut adaptive_gaps = Vec::new();
-    for &k in ks {
-        let reps = minimal_repetitions_for_success(k, fault, trials, required, 200)
-            .expect("valid")
-            .expect("some repetition count must work");
-        // Coding: find the packet budget reaching ≥ 95% success via
-        // the Lemma 30 sizing (k/(1-p) with 30% slack), verified.
-        let coding_budget = (k as f64 / (1.0 - p) * 1.3).ceil() as u64;
-        let mut ok = 0;
-        for t in 0..trials {
-            if single_link_coding(k, coding_budget, fault, 7000 + t)
-                .expect("valid")
-                .success
-            {
-                ok += 1;
-            }
-        }
+    for (&k, &(reps_h, coding_h, coding_budget, adaptive_h)) in ks.iter().zip(&handles) {
+        let reps = res.value(reps_h) as u64;
+        let ok = res.ok_count(coding_h);
         assert!(
             ok * 100 >= trials * 90,
             "coding budget too small: {ok}/{trials}"
         );
-        let mut adaptive_total = 0u64;
-        for t in 0..trials {
-            adaptive_total += single_link_adaptive_routing(k, fault, 7100 + t, 100_000_000)
-                .expect("valid")
-                .rounds_used();
-        }
-        let adaptive = adaptive_total as f64 / trials as f64;
+        let adaptive = res.mean(adaptive_h);
         let nonadaptive_rounds = (k as u64 * reps) as f64;
         let na_gap = nonadaptive_rounds / coding_budget as f64;
         let a_gap = adaptive / coding_budget as f64;

@@ -2,26 +2,27 @@
 
 use gbst::Gbst;
 use netgraph::{generators, NodeId};
+use radio_sweep::{run_cells, SweepConfig};
 use radio_throughput::Table;
 
 use crate::{ExperimentReport, Scale};
 
+/// Per-topology measurements of one GBST build.
+struct GbstRow {
+    nodes: usize,
+    r_max: u32,
+    log_bound: u32,
+    demoted: usize,
+    stretches: usize,
+    max_stretches: usize,
+    ok: bool,
+}
+
 /// F1 — Figure 1 / Lemma 7: GBSTs exist (after conflict demotion) on
 /// every evaluation topology, with `r_max ≤ ⌈log₂ n⌉` and few
 /// demotions; root paths decompose into `O(log n)` fast stretches.
-pub fn f1_gbst_structure(scale: Scale) -> ExperimentReport {
+pub fn f1_gbst_structure(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(256, 1024);
-    let mut table = Table::new(&[
-        "topology",
-        "n",
-        "r_max",
-        "⌈log2 n⌉",
-        "demoted",
-        "stretches",
-        "max stretches/path",
-    ]);
-    let mut all_ok = true;
-    let mut max_demote_frac = 0.0f64;
     let graphs: Vec<(&str, netgraph::Graph)> = vec![
         ("path", generators::path(n)),
         ("star", generators::star(n - 1)),
@@ -47,27 +48,51 @@ pub fn f1_gbst_structure(scale: Scale) -> ExperimentReport {
             generators::hypercube((n as f64).log2() as u32).expect("valid"),
         ),
     ];
-    for (name, g) in &graphs {
+    // One cell per topology: GBST construction, validation, and the
+    // all-nodes path decompositions are the expensive part.
+    let rows = run_cells(cfg.jobs, cfg.scope_seed("F1"), graphs.len(), |ctx| {
+        let (_, g) = &graphs[ctx.index as usize];
         let t = Gbst::build(g, NodeId::new(0)).expect("connected");
-        let ok = t.validate(g).is_ok();
-        all_ok &= ok;
         let nn = g.node_count();
         let log_bound = (nn as f64).log2().ceil() as u32;
-        all_ok &= t.max_rank() <= log_bound + 1;
         let max_stretches = g
             .nodes()
             .map(|v| t.path_decomposition(v).fast_stretches)
             .max()
             .unwrap_or(0);
-        max_demote_frac = max_demote_frac.max(t.demoted_count() as f64 / nn.max(1) as f64);
+        GbstRow {
+            nodes: nn,
+            r_max: t.max_rank(),
+            log_bound,
+            demoted: t.demoted_count(),
+            stretches: t.stretches().len(),
+            max_stretches,
+            ok: t.validate(g).is_ok() && t.max_rank() <= log_bound + 1,
+        }
+    });
+
+    let mut table = Table::new(&[
+        "topology",
+        "n",
+        "r_max",
+        "⌈log2 n⌉",
+        "demoted",
+        "stretches",
+        "max stretches/path",
+    ]);
+    let mut all_ok = true;
+    let mut max_demote_frac = 0.0f64;
+    for ((name, _), row) in graphs.iter().zip(&rows) {
+        all_ok &= row.ok;
+        max_demote_frac = max_demote_frac.max(row.demoted as f64 / row.nodes.max(1) as f64);
         table.row_owned(vec![
             name.to_string(),
-            nn.to_string(),
-            t.max_rank().to_string(),
-            log_bound.to_string(),
-            t.demoted_count().to_string(),
-            t.stretches().len().to_string(),
-            max_stretches.to_string(),
+            row.nodes.to_string(),
+            row.r_max.to_string(),
+            row.log_bound.to_string(),
+            row.demoted.to_string(),
+            row.stretches.to_string(),
+            row.max_stretches.to_string(),
         ]);
     }
     let mut report = ExperimentReport {

@@ -5,16 +5,19 @@
 //!
 //! Each driver runs a parameter sweep on the simulator and returns an
 //! [`ExperimentReport`] with the measured table and the shape checks
-//! the paper's theorems predict. The `experiments` binary prints all
-//! reports; the Criterion benches in `benches/` time miniaturized
-//! versions of the same code paths.
+//! the paper's theorems predict. Sweeps fan out over the
+//! `radio_sweep` worker pool (`--jobs`), deterministically: for a
+//! fixed master seed, every table and JSON artifact is byte-identical
+//! for any worker count. The `experiments` binary prints all reports
+//! (`--json` writes the structured artifact); the Criterion benches
+//! in `benches/` time miniaturized versions of the same code paths.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 mod report;
 
-pub use report::ExperimentReport;
+pub use report::{suite_json, ExperimentReport};
 
 /// Scale knob for experiment drivers: `Quick` keeps every sweep small
 /// enough for CI; `Full` uses the sizes recorded in `EXPERIMENTS.md`.
@@ -32,6 +35,14 @@ impl Scale {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,
+        }
+    }
+
+    /// The scale's lowercase name, as recorded in JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Rendering of experiment results as identifier + headline + table + shape checks.
 
+use radio_sweep::Json;
 use radio_throughput::Table;
 
 /// A rendered experiment: identifier, headline, measurement table,
@@ -15,6 +16,25 @@ pub struct ExperimentReport {
     /// Key findings: one line per checked shape, prefixed `[ok]` /
     /// `[!!]`.
     pub findings: Vec<String>,
+}
+
+/// Renders a full experiment suite as the pretty-printed JSON artifact
+/// the `experiments --json` flag writes.
+///
+/// The document records the scale and master seed — everything needed
+/// to reproduce it — but deliberately *not* the worker count or wall
+/// time, so artifacts stay byte-identical across `--jobs` values.
+pub fn suite_json(reports: &[ExperimentReport], scale_name: &str, master_seed: u64) -> String {
+    Json::obj([
+        ("schema", Json::str("noisy-radio/experiments/v1")),
+        ("scale", Json::str(scale_name)),
+        ("master_seed", Json::U64(master_seed)),
+        (
+            "experiments",
+            Json::arr(reports.iter().map(|r| r.to_json())),
+        ),
+    ])
+    .render_pretty()
 }
 
 impl ExperimentReport {
@@ -40,6 +60,39 @@ impl ExperimentReport {
             out.push('\n');
         }
         out
+    }
+
+    /// Converts the report to a [`Json`] value for structured
+    /// artifacts: findings are split into `{ok, text}` pairs, the
+    /// table into `columns` + string `rows`.
+    pub fn to_json(&self) -> Json {
+        let findings = self.findings.iter().map(|f| {
+            let (ok, text) = match f.split_once(' ') {
+                Some(("[ok]", rest)) => (true, rest),
+                Some(("[!!]", rest)) => (false, rest),
+                _ => (false, f.as_str()),
+            };
+            Json::obj([("ok", Json::Bool(ok)), ("text", Json::str(text))])
+        });
+        Json::obj([
+            ("id", Json::str(self.id)),
+            ("claim", Json::str(self.claim)),
+            (
+                "columns",
+                Json::arr(self.table.headers().iter().map(|h| Json::str(h.as_str()))),
+            ),
+            (
+                "rows",
+                Json::arr(
+                    self.table
+                        .rows()
+                        .iter()
+                        .map(|row| Json::arr(row.iter().map(|cell| Json::str(cell.as_str())))),
+                ),
+            ),
+            ("findings", Json::arr(findings)),
+            ("all_ok", Json::Bool(self.all_ok())),
+        ])
     }
 
     /// Renders the report as Markdown (for `EXPERIMENTS.md`).

@@ -91,4 +91,4 @@ pub use bitmat::BitMatrix;
 pub use engine::{Ctx, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator};
 pub use error::ModelError;
 pub use fault::FaultModel;
-pub use rng::fork_rng;
+pub use rng::{fork_rng, fork_seed};

@@ -1,0 +1,229 @@
+//! A dependency-free JSON value tree with deterministic rendering.
+//!
+//! The workspace is offline (no serde), but sweep runs need structured
+//! artifacts (`experiments --json out.json`). This module hand-rolls
+//! the writing half of JSON: build a [`Json`] tree, render it with
+//! [`Json::render`]. Object keys keep insertion order and numbers
+//! render via Rust's shortest-roundtrip formatting, so the output is a
+//! pure function of the tree — byte-identical across runs, platforms,
+//! and `--jobs` values.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order (no hashing), which
+/// keeps rendering deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sweep::Json;
+///
+/// let doc = Json::obj([
+///     ("id", Json::str("E1")),
+///     ("ok", Json::Bool(true)),
+///     ("rounds", Json::arr([Json::U64(12), Json::U64(17)])),
+/// ]);
+/// assert_eq!(
+///     doc.render(),
+///     r#"{"id":"E1","ok":true,"rounds":[12,17]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (exact, no float rounding).
+    U64(u64),
+    /// A finite float; non-finite values render as `null`.
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array from an iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation and a
+    /// trailing newline, for on-disk artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{}` is Rust's shortest-roundtrip formatting: deterministic,
+        // and always a valid JSON number for finite inputs.
+        let _ = write!(out, "{x}");
+    } else {
+        // JSON has no NaN/Infinity.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(false).render(), "false");
+        assert_eq!(Json::U64(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escaping() {
+        let s = Json::str("a\"b\\c\nd\te\u{1}f — τ");
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001f — τ\"");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc = Json::obj([
+            ("a", Json::arr([Json::U64(1), Json::Null])),
+            ("b", Json::obj([("c", Json::str("x"))])),
+        ]);
+        assert_eq!(doc.render(), r#"{"a":[1,null],"b":{"c":"x"}}"#);
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let doc = Json::obj([
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+            ("xs", Json::arr([Json::U64(1), Json::U64(2)])),
+        ]);
+        let pretty = doc.render_pretty();
+        assert!(pretty.starts_with("{\n"));
+        assert!(pretty.ends_with("}\n"));
+        assert!(pretty.contains("\"empty_arr\": []"));
+        assert!(pretty.contains("\"xs\": [\n    1,\n    2\n  ]"));
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let doc = Json::obj([("z", Json::U64(1)), ("a", Json::U64(2))]);
+        assert_eq!(doc.render(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -15,6 +15,17 @@ pub struct Fit {
 
 /// Ordinary least squares on `(x, y)` pairs.
 ///
+/// # Examples
+///
+/// ```
+/// use radio_throughput::linear_fit;
+///
+/// let fit = linear_fit(&[(1.0, 5.0), (2.0, 8.0), (3.0, 11.0)]);
+/// assert!((fit.slope - 3.0).abs() < 1e-9);
+/// assert!((fit.intercept - 2.0).abs() < 1e-9);
+/// assert!((fit.r2 - 1.0).abs() < 1e-9);
+/// ```
+///
 /// # Panics
 ///
 /// Panics with fewer than 2 points or zero x-variance.
@@ -49,6 +60,19 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Fit {
 /// `slope` is the empirical scaling exponent. Used to check claims
 /// like "rounds grow linearly in `D`" (slope ≈ 1) or "quadratically in
 /// `log n`".
+///
+/// # Examples
+///
+/// ```
+/// use radio_throughput::log_log_fit;
+///
+/// // y = 5·x² → scaling exponent 2.
+/// let pts: Vec<(f64, f64)> = (1..=6)
+///     .map(|i| (i as f64, 5.0 * (i * i) as f64))
+///     .collect();
+/// let fit = log_log_fit(&pts);
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// ```
 ///
 /// # Panics
 ///

@@ -22,6 +22,17 @@ pub struct Summary {
 impl Summary {
     /// Summarizes `samples`.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use radio_throughput::Summary;
+    ///
+    /// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.count, 4);
+    /// assert!((s.mean - 2.5).abs() < 1e-12);
+    /// assert_eq!((s.min, s.max), (1.0, 4.0));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
@@ -72,6 +83,17 @@ impl Summary {
 
 /// The `q`-th quantile of `samples` (nearest-rank with linear
 /// interpolation), `q ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use radio_throughput::quantile;
+///
+/// let xs = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(quantile(&xs, 0.0), 10.0);
+/// assert_eq!(quantile(&xs, 1.0), 40.0);
+/// assert!((quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+/// ```
 ///
 /// # Panics
 ///

@@ -17,7 +17,22 @@ pub struct SweepPoint {
 /// `trials` times each, and summarizes per point.
 ///
 /// The trial index doubles as a seed offset so callers get independent
-/// but reproducible randomness per trial.
+/// but reproducible randomness per trial. (For parallel grids, the
+/// `radio_sweep` crate runs the same shape of sweep across worker
+/// threads with bit-identical results.)
+///
+/// # Examples
+///
+/// ```
+/// use radio_throughput::sweep::sweep;
+///
+/// // Three parameter points, four trials each.
+/// let points = sweep(&[1.0, 2.0, 4.0], 4, |p, trial| p * 100.0 + trial as f64);
+/// assert_eq!(points.len(), 3);
+/// assert_eq!(points[0].summary.count, 4);
+/// // mean of {100, 101, 102, 103}
+/// assert!((points[0].summary.mean - 101.5).abs() < 1e-12);
+/// ```
 ///
 /// # Panics
 ///
@@ -42,6 +57,17 @@ pub fn sweep(
 
 /// Extracts `(param, mean)` pairs from sweep results, ready for
 /// [`crate::fit::log_log_fit`].
+///
+/// # Examples
+///
+/// ```
+/// use radio_throughput::sweep::{mean_curve, sweep};
+/// use radio_throughput::log_log_fit;
+///
+/// let points = sweep(&[1.0, 2.0, 4.0, 8.0], 2, |p, _| p * p);
+/// let fit = log_log_fit(&mean_curve(&points));
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// ```
 pub fn mean_curve(points: &[SweepPoint]) -> Vec<(f64, f64)> {
     points.iter().map(|p| (p.param, p.summary.mean)).collect()
 }

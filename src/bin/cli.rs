@@ -22,6 +22,7 @@ use noisy_radio::core::schedules::star::{star_coding, star_routing};
 use noisy_radio::gbst::Gbst;
 use noisy_radio::model::FaultModel;
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
+use noisy_radio::sweep::{run_cells, SweepConfig};
 
 const MAX_ROUNDS: u64 = 500_000_000;
 
@@ -46,6 +47,8 @@ COMMON OPTIONS:
   --fault SPEC      faultless | receiver:P | sender:P   (default receiver:0.3)
   --seed N          RNG seed (default 42)
   --trials N        independent trials (default 3)
+  --jobs N          worker threads for trials (default: available
+                    parallelism); results are identical for any N
 
 broadcast:
   --algo NAME       decay | fastbc | robust-fastbc      (default robust-fastbc)
@@ -94,18 +97,26 @@ struct Options {
     fault: FaultModel,
     seed: u64,
     trials: u64,
+    jobs: Option<usize>,
     algo: Option<String>,
     k: usize,
     leaves: usize,
 }
 
 impl Options {
+    /// The sweep configuration trials fan out over: `--jobs` workers
+    /// (or all available), seeds forked from `--seed` per trial.
+    fn sweep(&self) -> SweepConfig {
+        SweepConfig::new(self.jobs, self.seed)
+    }
+
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = Options {
             topology: "path:128".into(),
             fault: FaultModel::ReceiverFaults { p: 0.3 },
             seed: 42,
             trials: 3,
+            jobs: None,
             algo: None,
             k: 8,
             leaves: 1024,
@@ -123,6 +134,13 @@ impl Options {
                 "--seed" => opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
                 "--trials" => {
                     opts.trials = value()?.parse().map_err(|e| format!("bad --trials: {e}"))?
+                }
+                "--jobs" => {
+                    let n: usize = value()?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be ≥ 1".into());
+                    }
+                    opts.jobs = Some(n);
                 }
                 "--algo" => opts.algo = Some(value()?),
                 "--k" => opts.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
@@ -209,26 +227,43 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
         g.edge_count(),
         opts.fault
     );
+    // Compile the schedule once; trials fan out over the sweep pool
+    // with per-trial forked seeds (identical output for any --jobs).
+    enum Algo<'g> {
+        Decay,
+        Fastbc(FastbcSchedule<'g>),
+        Robust(RobustFastbcSchedule<'g>),
+    }
+    let algo = match algo {
+        "decay" => Algo::Decay,
+        "fastbc" => Algo::Fastbc(FastbcSchedule::new(&g, source).map_err(|e| e.to_string())?),
+        "robust-fastbc" => {
+            Algo::Robust(RobustFastbcSchedule::new(&g, source).map_err(|e| e.to_string())?)
+        }
+        other => return Err(format!("unknown broadcast algo `{other}`")),
+    };
+    let cfg = opts.sweep();
+    let per_trial: Vec<Result<u64, String>> =
+        run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
+            let rounds = match &algo {
+                Algo::Decay => Decay::new()
+                    .run(&g, source, opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?
+                    .rounds_used(),
+                Algo::Fastbc(sched) => sched
+                    .run(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?
+                    .rounds_used(),
+                Algo::Robust(sched) => sched
+                    .run(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?
+                    .rounds_used(),
+            };
+            Ok(rounds)
+        });
     let mut total = 0u64;
-    for t in 0..opts.trials {
-        let seed = opts.seed + t;
-        let rounds = match algo {
-            "decay" => Decay::new()
-                .run(&g, source, opts.fault, seed, MAX_ROUNDS)
-                .map_err(|e| e.to_string())?
-                .rounds_used(),
-            "fastbc" => FastbcSchedule::new(&g, source)
-                .map_err(|e| e.to_string())?
-                .run(opts.fault, seed, MAX_ROUNDS)
-                .map_err(|e| e.to_string())?
-                .rounds_used(),
-            "robust-fastbc" => RobustFastbcSchedule::new(&g, source)
-                .map_err(|e| e.to_string())?
-                .run(opts.fault, seed, MAX_ROUNDS)
-                .map_err(|e| e.to_string())?
-                .rounds_used(),
-            other => return Err(format!("unknown broadcast algo `{other}`")),
-        };
+    for (t, rounds) in per_trial.into_iter().enumerate() {
+        let rounds = rounds?;
         println!("  trial {t}: {rounds} rounds");
         total += rounds;
     }
@@ -247,41 +282,43 @@ fn cmd_multicast(opts: &Options) -> Result<(), String> {
         opts.k,
         opts.fault
     );
+    if !matches!(algo, "decay-rlnc" | "rfastbc-rlnc" | "streaming-rlnc") {
+        return Err(format!("unknown multicast algo `{algo}`"));
+    }
+    let cfg = opts.sweep();
+    let per_trial: Vec<Result<(u64, bool), String>> =
+        run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
+            let out = match algo {
+                "decay-rlnc" => DecayRlnc {
+                    phase_len: None,
+                    payload_len: 4,
+                }
+                .run(&g, source, opts.k, opts.fault, ctx.seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?,
+                "rfastbc-rlnc" => RobustFastbcRlnc {
+                    params: Default::default(),
+                    payload_len: 4,
+                }
+                .run(&g, source, opts.k, opts.fault, ctx.seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?,
+                _ => StreamingRlnc {
+                    phase_len: None,
+                    payload_len: 4,
+                }
+                .run(&g, source, opts.k, opts.fault, ctx.seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?,
+            };
+            Ok((out.run.rounds_used(), out.decoded_ok))
+        });
     let mut total = 0u64;
-    for t in 0..opts.trials {
-        let seed = opts.seed + t;
-        let out = match algo {
-            "decay-rlnc" => DecayRlnc {
-                phase_len: None,
-                payload_len: 4,
-            }
-            .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
-            .map_err(|e| e.to_string())?,
-            "rfastbc-rlnc" => RobustFastbcRlnc {
-                params: Default::default(),
-                payload_len: 4,
-            }
-            .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
-            .map_err(|e| e.to_string())?,
-            "streaming-rlnc" => StreamingRlnc {
-                phase_len: None,
-                payload_len: 4,
-            }
-            .run(&g, source, opts.k, opts.fault, seed, MAX_ROUNDS)
-            .map_err(|e| e.to_string())?,
-            other => return Err(format!("unknown multicast algo `{other}`")),
-        };
-        let rounds = out.run.rounds_used();
+    for (t, trial) in per_trial.into_iter().enumerate() {
+        let (rounds, decoded_ok) = trial?;
         println!(
             "  trial {t}: {rounds} rounds ({:.1}/message), payloads {}",
             rounds as f64 / opts.k as f64,
-            if out.decoded_ok {
-                "verified"
-            } else {
-                "MISMATCH"
-            }
+            if decoded_ok { "verified" } else { "MISMATCH" }
         );
-        if !out.decoded_ok {
+        if !decoded_ok {
             return Err("decoded payloads did not match the source".into());
         }
         total += rounds;
@@ -389,5 +426,19 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert!(Options::parse(&["--bogus".to_string()]).is_err());
         assert!(Options::parse(&["--k".to_string()]).is_err());
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        let args: Vec<String> = ["--jobs", "2"].iter().map(|s| s.to_string()).collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.jobs, Some(2));
+        assert_eq!(o.sweep().jobs, 2);
+        // Default: resolved from available parallelism, always ≥ 1.
+        let d = Options::parse(&[]).unwrap();
+        assert_eq!(d.jobs, None);
+        assert!(d.sweep().jobs >= 1);
+        let zero: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
+        assert!(Options::parse(&zero).is_err());
     }
 }
