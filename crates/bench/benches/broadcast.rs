@@ -8,7 +8,7 @@ use noisy_radio_core::decay::Decay;
 use noisy_radio_core::fastbc::FastbcSchedule;
 use noisy_radio_core::repetition::RepeatedFastbcSchedule;
 use noisy_radio_core::robust_fastbc::RobustFastbcSchedule;
-use radio_model::FaultModel;
+use radio_model::Channel;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -23,7 +23,7 @@ fn bench_e1_decay(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let run = Decay::new()
-                    .run(&g, NodeId::new(0), FaultModel::Faultless, seed, MAX)
+                    .run(&g, NodeId::new(0), Channel::faultless(), seed, MAX)
                     .expect("valid");
                 black_box(run.rounds_used())
             });
@@ -43,7 +43,7 @@ fn bench_e2_fastbc(c: &mut Criterion) {
                 seed += 1;
                 black_box(
                     sched
-                        .run(FaultModel::Faultless, seed, MAX)
+                        .run(Channel::faultless(), seed, MAX)
                         .expect("valid")
                         .rounds_used(),
                 )
@@ -57,7 +57,7 @@ fn bench_e3_decay_noisy(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_decay_noisy");
     let g = generators::path(128);
     for p in [0.3f64, 0.5] {
-        let fault = FaultModel::receiver(p).expect("valid p");
+        let fault = Channel::receiver(p).expect("valid p");
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             let mut seed = 0;
             b.iter(|| {
@@ -78,7 +78,7 @@ fn bench_e4_fastbc_noisy(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_fastbc_degradation");
     let g = generators::path(128);
     let sched = FastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
-    let fault = FaultModel::receiver(0.5).expect("valid p");
+    let fault = Channel::receiver(0.5).expect("valid p");
     group.bench_function("fastbc_noisy_path128", |b| {
         let mut seed = 0;
         b.iter(|| {
@@ -102,7 +102,7 @@ fn bench_e5_robust_fastbc(c: &mut Criterion) {
     for n in [128usize, 512] {
         let g = generators::path(n);
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("valid");
-        let fault = FaultModel::receiver(0.3).expect("valid p");
+        let fault = Channel::receiver(0.3).expect("valid p");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut seed = 0;
             b.iter(|| {

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netgraph::wct::{Wct, WctParams};
 use noisy_radio_core::schedules::star::{star_coding, star_routing};
 use noisy_radio_core::schedules::wct::{max_fraction_receiving_probe, wct_coding, wct_routing};
-use radio_model::FaultModel;
+use radio_model::Channel;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -13,7 +13,7 @@ const MAX: u64 = 100_000_000;
 
 fn bench_e8_star(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_star_gap");
-    let fault = FaultModel::receiver(0.5).expect("valid p");
+    let fault = Channel::receiver(0.5).expect("valid p");
     for leaves in [256usize, 1024] {
         group.bench_with_input(
             BenchmarkId::new("routing", leaves),
@@ -75,7 +75,7 @@ fn bench_e10_wct(c: &mut Criterion) {
         seed: 4242,
     })
     .expect("valid");
-    let fault = FaultModel::receiver(0.5).expect("valid p");
+    let fault = Channel::receiver(0.5).expect("valid p");
     group.bench_function("coding_k6", |b| {
         let mut seed = 0;
         b.iter(|| {

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netgraph::{generators, NodeId};
 use noisy_radio_core::multi_message::{DecayRlnc, RobustFastbcRlnc};
-use radio_model::FaultModel;
+use radio_model::Channel;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -12,7 +12,7 @@ const MAX: u64 = 100_000_000;
 fn bench_e6_decay_rlnc(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_decay_rlnc");
     let g = generators::gnp_connected(64, 0.08, 7).expect("valid");
-    let fault = FaultModel::receiver(0.3).expect("valid p");
+    let fault = Channel::receiver(0.3).expect("valid p");
     for k in [8usize, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let mut seed = 0;
@@ -34,7 +34,7 @@ fn bench_e6_decay_rlnc(c: &mut Criterion) {
 fn bench_e7_rfastbc_rlnc(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_rfastbc_rlnc");
     let g = generators::path(64);
-    let fault = FaultModel::receiver(0.3).expect("valid p");
+    let fault = Channel::receiver(0.3).expect("valid p");
     for k in [4usize, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let mut seed = 0;

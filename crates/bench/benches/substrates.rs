@@ -7,7 +7,7 @@ use netgraph::{generators, NodeId};
 use radio_coding::rlnc::RlncNode;
 use radio_coding::rs::ReedSolomon;
 use radio_coding::{Field, Gf256};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -71,7 +71,7 @@ fn bench_simulator_round(c: &mut Criterion) {
         fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<u32> {
             Action::Broadcast(7)
         }
-        fn receive(&mut self, _ctx: &mut Ctx<'_>, _p: u32) {}
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, _rx: Reception<u32>) {}
     }
     let mut group = c.benchmark_group("simulator_rounds");
     for n in [1024usize, 4096] {
@@ -80,7 +80,7 @@ fn bench_simulator_round(c: &mut Criterion) {
             b.iter(|| {
                 let behaviors = vec![Chatty; g.node_count()];
                 let mut sim =
-                    Simulator::new(&g, FaultModel::Faultless, behaviors, 1).expect("valid");
+                    Simulator::new(&g, Channel::faultless(), behaviors, 1).expect("valid");
                 sim.run(100);
                 black_box(sim.stats().broadcasts)
             });

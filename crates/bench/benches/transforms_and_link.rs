@@ -9,7 +9,7 @@ use noisy_radio_core::schedules::single_link::{
 use noisy_radio_core::transform::{
     BaseSchedule, CodingFaultTransform, SenderFaultRoutingTransform,
 };
-use radio_model::FaultModel;
+use radio_model::Channel;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -39,7 +39,7 @@ fn bench_e11_transforms(c: &mut Criterion) {
             group_size: 64,
             eta: 0.3,
         };
-        let fault = FaultModel::receiver(0.3).expect("valid p");
+        let fault = Channel::receiver(0.3).expect("valid p");
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
@@ -52,7 +52,7 @@ fn bench_e11_transforms(c: &mut Criterion) {
 
 fn bench_e12_single_link(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_single_link");
-    let fault = FaultModel::receiver(0.5).expect("valid p");
+    let fault = Channel::receiver(0.5).expect("valid p");
     for k in [64usize, 256] {
         group.bench_with_input(BenchmarkId::new("nonadaptive", k), &k, |b, &k| {
             let reps = 3 * (k as f64).log2().ceil() as u64;

@@ -4,16 +4,22 @@
 //! ```text
 //! experiments [--quick|--full] [--markdown] [--jobs N] [--seed S]
 //!             [--json PATH] [IDS...]
+//! experiments --diff OLD.json NEW.json
 //! ```
 //!
 //! `IDS` filters by experiment id (e.g. `E8 E10`); default runs all.
 //! `--jobs` sets the sweep worker count (default: available
 //! parallelism) — for a fixed `--seed`, tables and the `--json`
 //! artifact are byte-identical for any `--jobs` value.
+//!
+//! `--diff` compares two `--json` artifacts instead of running
+//! anything: it prints which findings and table cells moved and exits
+//! non-zero when the artifacts differ, turning the suite into a
+//! measured regression gate.
 
 use std::process::ExitCode;
 
-use noisy_radio_bench::{experiments, suite_json, Scale};
+use noisy_radio_bench::{diff_artifact_files, experiments, suite_json, Scale};
 use radio_sweep::SweepConfig;
 
 fn main() -> ExitCode {
@@ -32,6 +38,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut jobs: Option<usize> = None;
     let mut master_seed: u64 = 42;
     let mut json_path: Option<String> = None;
+    let mut diff_paths: Option<(String, String)> = None;
     let mut filter: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -56,11 +63,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 master_seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--json" => json_path = Some(value()?),
+            "--diff" => {
+                let old = value()?;
+                let new = it
+                    .next()
+                    .cloned()
+                    .ok_or("--diff needs two artifact paths")?;
+                diff_paths = Some((old, new));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
             }
             id => filter.push(id.to_uppercase()),
         }
+    }
+
+    if let Some((old, new)) = diff_paths {
+        let diff = diff_artifact_files(&old, &new)?;
+        print!("{}", diff.render());
+        return Ok(if diff.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
     }
 
     let cfg = SweepConfig::new(jobs, master_seed);

@@ -1,0 +1,292 @@
+//! Artifact diffing: compare two `experiments --json` documents and
+//! report which findings or table cells moved.
+//!
+//! `--json` artifacts are byte-stable for a fixed seed, so any change
+//! between two runs is a real measurement or finding change — this
+//! module turns the suite into a measured regression gate
+//! (`experiments --diff old.json new.json` exits non-zero when
+//! anything moved).
+
+use radio_sweep::Json;
+
+/// The outcome of diffing two artifacts: one human-readable line per
+/// difference, in artifact order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArtifactDiff {
+    /// One line per observed difference.
+    pub changes: Vec<String>,
+}
+
+impl ArtifactDiff {
+    /// Whether the artifacts are equivalent.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Renders the diff as text (or the "identical" line).
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            "artifacts are identical\n".to_string()
+        } else {
+            let mut out = String::new();
+            for line in &self.changes {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str(&format!("{} difference(s)\n", self.changes.len()));
+            out
+        }
+    }
+}
+
+fn scalar(doc: &Json, key: &str) -> String {
+    match doc.get(key) {
+        Some(v) => v.render(),
+        None => "<missing>".to_string(),
+    }
+}
+
+fn experiment_id(exp: &Json) -> String {
+    exp.get("id")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+/// Diffs two parsed experiment-suite artifacts.
+///
+/// Experiments are matched by id, table rows by position (grids are
+/// deterministic, so positional identity is the right notion), and
+/// findings by position. Suite-level metadata (`schema`, `scale`,
+/// `master_seed`) is compared first — a seed or scale change explains
+/// every downstream movement and is reported up front.
+pub fn diff_artifacts(old: &Json, new: &Json) -> ArtifactDiff {
+    let mut diff = ArtifactDiff::default();
+    for key in ["schema", "scale", "master_seed"] {
+        let (o, n) = (scalar(old, key), scalar(new, key));
+        if o != n {
+            diff.changes.push(format!("suite {key}: {o} -> {n}"));
+        }
+    }
+    let empty: [Json; 0] = [];
+    let old_exps = old
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let new_exps = new
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for o in old_exps {
+        let id = experiment_id(o);
+        match new_exps.iter().find(|n| experiment_id(n) == id) {
+            Some(n) => diff_experiment(&id, o, n, &mut diff),
+            None => diff.changes.push(format!("{id}: removed")),
+        }
+    }
+    for n in new_exps {
+        let id = experiment_id(n);
+        if !old_exps.iter().any(|o| experiment_id(o) == id) {
+            diff.changes.push(format!("{id}: added"));
+        }
+    }
+    diff
+}
+
+fn cells(row: &Json) -> Vec<String> {
+    row.as_arr()
+        .map(|r| {
+            r.iter()
+                .map(|c| c.as_str().unwrap_or("<non-string>").to_string())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn diff_experiment(id: &str, old: &Json, new: &Json, diff: &mut ArtifactDiff) {
+    for key in ["claim", "all_ok"] {
+        let (o, n) = (scalar(old, key), scalar(new, key));
+        if o != n {
+            diff.changes.push(format!("{id} {key}: {o} -> {n}"));
+        }
+    }
+    let empty: [Json; 0] = [];
+    let columns: Vec<String> = new
+        .get("columns")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .map(|c| c.as_str().unwrap_or("<non-string>").to_string())
+        .collect();
+    let old_columns: Vec<String> = old
+        .get("columns")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .map(|c| c.as_str().unwrap_or("<non-string>").to_string())
+        .collect();
+    if columns != old_columns {
+        diff.changes.push(format!(
+            "{id} columns: [{}] -> [{}]",
+            old_columns.join(", "),
+            columns.join(", ")
+        ));
+    }
+    let old_rows = old.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    let new_rows = new.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    if old_rows.len() != new_rows.len() {
+        diff.changes.push(format!(
+            "{id} rows: {} -> {}",
+            old_rows.len(),
+            new_rows.len()
+        ));
+    }
+    for (r, (orow, nrow)) in old_rows.iter().zip(new_rows).enumerate() {
+        let (ocells, ncells) = (cells(orow), cells(nrow));
+        for (c, (o, n)) in ocells.iter().zip(&ncells).enumerate() {
+            if o != n {
+                let col = columns
+                    .get(c)
+                    .cloned()
+                    .unwrap_or_else(|| format!("col {c}"));
+                let key = ocells.first().cloned().unwrap_or_else(|| r.to_string());
+                diff.changes
+                    .push(format!("{id} row {r} ({key}) [{col}]: {o} -> {n}"));
+            }
+        }
+        if ocells.len() != ncells.len() {
+            diff.changes.push(format!(
+                "{id} row {r}: {} cells -> {} cells",
+                ocells.len(),
+                ncells.len()
+            ));
+        }
+    }
+    let old_findings = old.get("findings").and_then(Json::as_arr).unwrap_or(&empty);
+    let new_findings = new.get("findings").and_then(Json::as_arr).unwrap_or(&empty);
+    if old_findings.len() != new_findings.len() {
+        diff.changes.push(format!(
+            "{id} findings: {} -> {}",
+            old_findings.len(),
+            new_findings.len()
+        ));
+    }
+    for (i, (of, nf)) in old_findings.iter().zip(new_findings).enumerate() {
+        let ok = |f: &Json| f.get("ok").and_then(Json::as_bool);
+        let text = |f: &Json| {
+            f.get("text")
+                .and_then(Json::as_str)
+                .unwrap_or("<missing>")
+                .to_string()
+        };
+        if ok(of) != ok(nf) {
+            diff.changes.push(format!(
+                "{id} finding {i} flipped {:?} -> {:?}: {}",
+                ok(of),
+                ok(nf),
+                text(nf)
+            ));
+        } else if text(of) != text(nf) {
+            diff.changes.push(format!(
+                "{id} finding {i} text: {} -> {}",
+                text(of),
+                text(nf)
+            ));
+        }
+    }
+}
+
+/// Reads, parses and diffs two artifact files.
+///
+/// # Errors
+///
+/// Returns a message naming the offending file on I/O or parse
+/// failure.
+pub fn diff_artifact_files(old_path: &str, new_path: &str) -> Result<ArtifactDiff, String> {
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    Ok(diff_artifacts(&read(old_path)?, &read(new_path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(seed: u64, cell: &str, finding_ok: bool) -> Json {
+        Json::obj([
+            ("schema", Json::str("noisy-radio/experiments/v1")),
+            ("scale", Json::str("quick")),
+            ("master_seed", Json::U64(seed)),
+            (
+                "experiments",
+                Json::arr([Json::obj([
+                    ("id", Json::str("E8")),
+                    ("claim", Json::str("Theorem 17")),
+                    (
+                        "columns",
+                        Json::arr([Json::str("leaves"), Json::str("gap")]),
+                    ),
+                    (
+                        "rows",
+                        Json::arr([Json::arr([Json::str("64"), Json::str(cell)])]),
+                    ),
+                    (
+                        "findings",
+                        Json::arr([Json::obj([
+                            ("ok", Json::Bool(finding_ok)),
+                            ("text", Json::str("gap grows")),
+                        ])]),
+                    ),
+                    ("all_ok", Json::Bool(finding_ok)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_artifacts_diff_empty() {
+        let a = artifact(42, "3.10", true);
+        let d = diff_artifacts(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.render(), "artifacts are identical\n");
+    }
+
+    #[test]
+    fn moved_cell_and_flipped_finding_are_reported() {
+        let old = artifact(42, "3.10", true);
+        let new = artifact(42, "2.05", false);
+        let d = diff_artifacts(&old, &new);
+        assert!(!d.is_empty());
+        let text = d.render();
+        assert!(
+            text.contains("E8 row 0 (64) [gap]: 3.10 -> 2.05"),
+            "missing cell change in:\n{text}"
+        );
+        assert!(
+            text.contains("E8 finding 0 flipped Some(true) -> Some(false): gap grows"),
+            "missing finding flip in:\n{text}"
+        );
+        assert!(text.contains("E8 all_ok: true -> false"), "{text}");
+    }
+
+    #[test]
+    fn seed_and_membership_changes_are_reported() {
+        let old = artifact(42, "3.10", true);
+        let mut new = artifact(7, "3.10", true);
+        // Rename the experiment so it reads as removed + added.
+        if let Json::Obj(pairs) = &mut new {
+            if let Some((_, Json::Arr(exps))) = pairs.iter_mut().find(|(k, _)| k == "experiments") {
+                if let Json::Obj(exp) = &mut exps[0] {
+                    exp[0].1 = Json::str("E99");
+                }
+            }
+        }
+        let d = diff_artifacts(&old, &new);
+        let text = d.render();
+        assert!(text.contains("suite master_seed: 42 -> 7"), "{text}");
+        assert!(text.contains("E8: removed"), "{text}");
+        assert!(text.contains("E99: added"), "{text}");
+    }
+}

@@ -7,7 +7,7 @@ use noisy_radio_core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use noisy_radio_core::robust_fastbc::{
     default_block_size, RobustFastbcParams, RobustFastbcSchedule,
 };
-use radio_model::FaultModel;
+use radio_model::Channel;
 use radio_sweep::{Plan, SweepConfig};
 use radio_throughput::Table;
 
@@ -25,7 +25,7 @@ pub fn a1_block_size(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(512, 1024);
     let trials = scale.pick(3, 6);
     let p = 0.4;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let g = generators::path(n);
     let canonical = default_block_size(n);
     let blocks: Vec<u32> = {
@@ -117,7 +117,7 @@ pub fn a3_streaming_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(96, 192);
     let ks: &[usize] = scale.pick(&[8, 24, 48], &[8, 24, 48, 96, 192]);
     let p = 0.3;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let g = generators::path(n);
     let mut plan = Plan::new();
     let handles: Vec<_> = ks
@@ -216,7 +216,7 @@ pub fn a2_failure_probability(scale: Scale, cfg: &SweepConfig) -> ExperimentRepo
     let n = scale.pick(64, 128);
     let trials = scale.pick(60, 200);
     let p = 0.5;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let g = generators::path(n);
     let decay = Decay::new();
 

@@ -4,7 +4,7 @@
 use netgraph::wct::{Wct, WctParams};
 use noisy_radio_core::schedules::star::{star_coding, star_routing};
 use noisy_radio_core::schedules::wct::{max_fraction_receiving_probe, wct_coding, wct_routing};
-use radio_model::FaultModel;
+use radio_model::Channel;
 use radio_sweep::{run_cells, Plan, SweepConfig};
 use radio_throughput::{gap_ratio, linear_fit, Table};
 
@@ -21,7 +21,7 @@ pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let k = scale.pick(16, 32);
     let trials = scale.pick(2, 5);
     let p = 0.5;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let mut plan = Plan::new();
     let handles: Vec<_> = sizes
         .iter()
@@ -156,7 +156,7 @@ pub fn e10_wct_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let sender_counts: &[usize] = scale.pick(&[16, 32], &[16, 32, 64, 128]);
     let k = scale.pick(6, 12);
     let p = 0.5;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let wcts: Vec<_> = sender_counts
         .iter()
         .map(|&m| {

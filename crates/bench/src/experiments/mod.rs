@@ -6,6 +6,7 @@
 //! `jobs` value.
 
 mod ablations;
+mod erasure;
 mod gaps;
 mod multi;
 mod single_link;
@@ -14,6 +15,7 @@ mod structure;
 mod transforms;
 
 pub use ablations::{a1_block_size, a2_failure_probability, a3_streaming_rlnc};
+pub use erasure::e13_erasure_gap;
 pub use gaps::{e10_wct_gap, e8_star_gap, e9_wct_collision};
 pub use multi::{e6_decay_rlnc, e7_rfastbc_rlnc};
 pub use single_link::e12_single_link;
@@ -45,6 +47,7 @@ pub const EXPERIMENTS: &[(&str, Driver)] = &[
     ("E10", e10_wct_gap),
     ("E11", e11_transformations),
     ("E12", e12_single_link),
+    ("E13", e13_erasure_gap),
     ("F1", f1_gbst_structure),
     ("A1", a1_block_size),
     ("A2", a2_failure_probability),

@@ -2,7 +2,7 @@
 
 use netgraph::{generators, NodeId};
 use noisy_radio_core::multi_message::{DecayRlnc, RobustFastbcRlnc};
-use radio_model::FaultModel;
+use radio_model::Channel;
 use radio_sweep::{Plan, SweepConfig, TrialResult};
 use radio_throughput::{linear_fit, Table};
 
@@ -18,7 +18,7 @@ pub fn e6_decay_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(64, 128);
     let ks: &[usize] = scale.pick(&[8, 16, 32], &[8, 16, 32, 64, 128]);
     let p = 0.3;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let g = generators::gnp_connected(n, 4.0 / n as f64, 77).expect("valid");
     let log_n = (n as f64).log2();
     let mut plan = Plan::new();
@@ -83,7 +83,7 @@ pub fn e7_rfastbc_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let n = scale.pick(64, 128);
     let ks: &[usize] = scale.pick(&[4, 8, 16], &[4, 8, 16, 32, 64]);
     let p = 0.3;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let g = generators::path(n);
     let log_n = (n as f64).log2();
     let loglog_n = log_n.log2();

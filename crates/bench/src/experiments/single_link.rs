@@ -3,7 +3,7 @@
 use noisy_radio_core::schedules::single_link::{
     minimal_repetitions_for_success, single_link_adaptive_routing, single_link_coding,
 };
-use radio_model::FaultModel;
+use radio_model::Channel;
 use radio_sweep::{Plan, SweepConfig, TrialResult};
 use radio_throughput::{linear_fit, Table};
 
@@ -21,17 +21,18 @@ use crate::{ExperimentReport, Scale};
 pub fn e12_single_link(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let ks: &[usize] = scale.pick(&[16, 64, 256], &[16, 64, 256, 1024, 4096]);
     let p = 0.5;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let trials = scale.pick(10, 20);
     let required = (trials as f64 * 0.9).ceil() as u64;
     let mut plan = Plan::new();
     let handles: Vec<_> = ks
         .iter()
         .map(|&k| {
-            let reps = plan.one(move |ctx| {
-                minimal_repetitions_for_success(k, fault, trials, required, ctx.seed)
+            let reps = plan.one(move |_ctx| {
+                // The last parameter is the search cap, not a seed.
+                minimal_repetitions_for_success(k, fault, trials, required, 64)
                     .expect("valid")
-                    .expect("some repetition count must work")
+                    .expect("some repetition count ≤ 64 must work")
             });
             // Coding: the Lemma 30 sizing (k/(1-p) with 30% slack);
             // each trial flags whether that budget succeeded.

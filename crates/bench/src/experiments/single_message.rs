@@ -6,7 +6,7 @@ use noisy_radio_core::decay::Decay;
 use noisy_radio_core::fastbc::{FastbcParams, FastbcSchedule};
 use noisy_radio_core::repetition::RepeatedFastbcSchedule;
 use noisy_radio_core::robust_fastbc::RobustFastbcSchedule;
-use radio_model::FaultModel;
+use radio_model::Channel;
 use radio_sweep::{Plan, SweepConfig};
 use radio_throughput::{log_log_fit, Table};
 
@@ -31,7 +31,7 @@ pub fn e1_decay_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                     .run(
                         g,
                         NodeId::new(0),
-                        FaultModel::Faultless,
+                        Channel::faultless(),
                         ctx.seed,
                         MAX_ROUNDS,
                     )
@@ -99,7 +99,7 @@ pub fn e2_fastbc_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
         .map(|(g, sched)| {
             let fast = plan.trials(trials, move |ctx| {
                 sched
-                    .run(FaultModel::Faultless, ctx.seed, MAX_ROUNDS)
+                    .run(Channel::faultless(), ctx.seed, MAX_ROUNDS)
                     .expect("valid")
                     .rounds_used()
             });
@@ -108,7 +108,7 @@ pub fn e2_fastbc_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
                     .run(
                         g,
                         NodeId::new(0),
-                        FaultModel::Faultless,
+                        Channel::faultless(),
                         ctx.seed,
                         MAX_ROUNDS,
                     )
@@ -173,20 +173,21 @@ pub fn e3_decay_noisy(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let trials = scale.pick(3, 10);
     let ps = [0.0, 0.1, 0.3, 0.5, 0.7];
     let g = generators::path(n);
-    let mut plan = Plan::new();
-    let mut cells = Vec::new();
+    // The channel's uniform Display labels the rows — no hand-made
+    // "receiver"/"sender" strings.
+    let mut channels = Vec::new();
     for &p in &ps {
-        for kind in ["receiver", "sender"] {
-            if p == 0.0 && kind == "sender" {
-                continue;
-            }
-            let fault = if p == 0.0 {
-                FaultModel::Faultless
-            } else if kind == "receiver" {
-                FaultModel::receiver(p).expect("valid p")
-            } else {
-                FaultModel::sender(p).expect("valid p")
-            };
+        if p == 0.0 {
+            channels.push(Channel::faultless());
+        } else {
+            channels.push(Channel::receiver(p).expect("valid p"));
+            channels.push(Channel::sender(p).expect("valid p"));
+        }
+    }
+    let mut plan = Plan::new();
+    let cells: Vec<_> = channels
+        .iter()
+        .map(|&fault| {
             let g = &g;
             let h = plan.trials(trials, move |ctx| {
                 Decay::new()
@@ -194,19 +195,18 @@ pub fn e3_decay_noisy(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                     .expect("valid")
                     .rounds_used()
             });
-            cells.push((p, kind, h));
-        }
-    }
+            (fault, h)
+        })
+        .collect();
     let res = plan.run(cfg, "E3");
 
-    let mut table = Table::new(&["p", "model", "rounds (mean ± ci)", "rounds × (1-p)"]);
+    let mut table = Table::new(&["channel", "rounds (mean ± ci)", "rounds × (1-p)"]);
     let mut normalized = Vec::new();
-    for &(p, kind, h) in &cells {
+    for &(fault, h) in &cells {
         let s = res.summary(h);
-        let norm = s.mean * (1.0 - p);
+        let norm = s.mean * (1.0 - fault.fault_probability());
         table.row_owned(vec![
-            format!("{p:.1}"),
-            kind.into(),
+            fault.to_string(),
             s.display_mean_ci(0),
             format!("{norm:.0}"),
         ]);
@@ -257,7 +257,7 @@ pub fn e4_fastbc_degradation(scale: Scale, cfg: &SweepConfig) -> ExperimentRepor
         .iter()
         .map(|g| RobustFastbcSchedule::new(g, NodeId::new(0)).expect("valid"))
         .collect();
-    let noisy_fault = FaultModel::receiver(p).expect("valid p");
+    let noisy_fault = Channel::receiver(p).expect("valid p");
     let mut plan = Plan::new();
     let handles: Vec<_> = scheds
         .iter()
@@ -265,7 +265,7 @@ pub fn e4_fastbc_degradation(scale: Scale, cfg: &SweepConfig) -> ExperimentRepor
         .map(|(sched, robust)| {
             let clean = plan.trials(trials, move |ctx| {
                 sched
-                    .run(FaultModel::Faultless, ctx.seed, MAX_ROUNDS)
+                    .run(Channel::faultless(), ctx.seed, MAX_ROUNDS)
                     .expect("valid")
                     .rounds_used()
             });
@@ -277,7 +277,7 @@ pub fn e4_fastbc_degradation(scale: Scale, cfg: &SweepConfig) -> ExperimentRepor
             });
             let rclean = plan.trials(trials, move |ctx| {
                 robust
-                    .run(FaultModel::Faultless, ctx.seed, MAX_ROUNDS)
+                    .run(Channel::faultless(), ctx.seed, MAX_ROUNDS)
                     .expect("valid")
                     .rounds_used()
             });
@@ -358,7 +358,7 @@ pub fn e5_robust_fastbc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let sizes: &[usize] = scale.pick(&[128, 256, 512], &[128, 256, 512, 1024, 2048]);
     let trials = scale.pick(3, 6);
     let p = 0.3;
-    let fault = FaultModel::receiver(p).expect("valid p");
+    let fault = Channel::receiver(p).expect("valid p");
     let graphs: Vec<_> = sizes.iter().map(|&n| generators::path(n)).collect();
     let robusts: Vec<_> = graphs
         .iter()

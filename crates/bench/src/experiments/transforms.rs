@@ -5,7 +5,7 @@ use netgraph::{generators, NodeId};
 use noisy_radio_core::transform::{
     BaseSchedule, CodingFaultTransform, SenderFaultRoutingTransform,
 };
-use radio_model::FaultModel;
+use radio_model::Channel;
 use radio_sweep::{Plan, SweepConfig, TrialResult};
 use radio_throughput::Table;
 
@@ -39,8 +39,8 @@ pub fn e11_transformations(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
     let mut cells = Vec::new();
     for &p in &ps {
         for (name, graph, base) in [
-            ("star/routing", &star_graph, &star_base),
-            ("path/routing", &path_graph, &path_base),
+            ("star/routing".to_string(), &star_graph, &star_base),
+            ("path/routing".to_string(), &path_graph, &path_base),
         ] {
             let h = plan.one(move |ctx| {
                 let t = SenderFaultRoutingTransform { group_size: x, eta };
@@ -52,13 +52,12 @@ pub fn e11_transformations(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
             let predicted = (1.0 - p) / (1.0 + eta);
             cells.push((name, p, base.round_count(), predicted, h));
         }
-        for (name, fault) in [
-            ("path/coding (snd)", FaultModel::sender(p).expect("valid p")),
-            (
-                "path/coding (rcv)",
-                FaultModel::receiver(p).expect("valid p"),
-            ),
+        for fault in [
+            Channel::sender(p).expect("valid p"),
+            Channel::receiver(p).expect("valid p"),
         ] {
+            // Label through the channel's uniform Display.
+            let name = format!("path/coding {fault}");
             let graph = &path_graph;
             let base = &path_base;
             let trace = &trace;
@@ -89,15 +88,15 @@ pub fn e11_transformations(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
     ]);
     let mut all_success = true;
     let mut max_err = 0.0f64;
-    for &(name, p, round_count, predicted, h) in &cells {
-        let success = res.ok(h);
-        let throughput = res.value(h);
+    for (name, p, round_count, predicted, h) in &cells {
+        let success = res.ok(*h);
+        let throughput = res.value(*h);
         all_success &= success;
-        let tau_base = k as f64 / round_count as f64;
+        let tau_base = k as f64 / *round_count as f64;
         let ratio = throughput / tau_base;
         max_err = max_err.max((ratio - predicted).abs() / predicted);
         table.row_owned(vec![
-            name.into(),
+            name.clone(),
             format!("{p:.1}"),
             success.to_string(),
             format!("{tau_base:.3}"),

@@ -14,9 +14,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod experiments;
 mod report;
 
+pub use diff::{diff_artifact_files, diff_artifacts, ArtifactDiff};
 pub use report::{suite_json, ExperimentReport};
 
 /// Scale knob for experiment drivers: `Quick` keeps every sweep small

@@ -7,13 +7,14 @@
 //! release binary is exercised the same way by the CI workflow's
 //! `--jobs` smoke steps. The subset spans every harness shape: plain
 //! replicated trials (E3), a raw `run_cells` grid (E9, F1),
-//! mixed-group plans with validity flags (E12), and a two-phase plan
+//! mixed-group plans with validity flags (E12), the erasure-vs-noise
+//! grid with its deadlock control cell (E13), and a two-phase plan
 //! whose second grid depends on the first's results (A2).
 
 use noisy_radio_bench::{experiments, suite_json, Scale};
 use radio_sweep::SweepConfig;
 
-const SUBSET: &[&str] = &["E3", "E9", "E12", "F1", "A2"];
+const SUBSET: &[&str] = &["E3", "E9", "E12", "E13", "F1", "A2"];
 
 fn run_subset(jobs: usize, seed: u64) -> (String, String) {
     let cfg = SweepConfig::new(Some(jobs), seed);

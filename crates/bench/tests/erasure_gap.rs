@@ -1,0 +1,43 @@
+//! The E13 acceptance gate at quick scale: the erasure-vs-noise table
+//! must show erasure rounds ≤ noisy-model rounds on every grid point,
+//! and every shape check must pass.
+
+use noisy_radio_bench::{experiments, Scale};
+use radio_sweep::SweepConfig;
+
+#[test]
+fn e13_erasure_rounds_never_exceed_noise_rounds() {
+    let cfg = SweepConfig::new(Some(2), 42);
+    let reports =
+        experiments::run_selected(Scale::Quick, &cfg, &["E13".to_string()]).expect("known id");
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert!(
+        report.all_ok(),
+        "E13 shape checks failed:\n{}",
+        report.render()
+    );
+    // Re-derive the ≤ claim from the table itself, so the gate does
+    // not depend on the driver's own finding logic.
+    let headers = report.table.headers();
+    let noisy_col = headers
+        .iter()
+        .position(|h| h == "noisy-model rounds")
+        .expect("noisy column");
+    let erasure_col = headers
+        .iter()
+        .position(|h| h == "erasure rounds")
+        .expect("erasure column");
+    let gap_col = headers.iter().position(|h| h == "gap").expect("gap column");
+    assert!(!report.table.rows().is_empty());
+    for row in report.table.rows() {
+        let noisy: f64 = row[noisy_col].parse().expect("numeric cell");
+        let erasure: f64 = row[erasure_col].parse().expect("numeric cell");
+        let gap: f64 = row[gap_col].parse().expect("numeric cell");
+        assert!(
+            erasure <= noisy,
+            "erasure rounds {erasure} exceed noisy rounds {noisy} in row {row:?}"
+        );
+        assert!(gap >= 1.0, "gap {gap} below 1 in row {row:?}");
+    }
+}

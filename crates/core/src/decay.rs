@@ -15,7 +15,7 @@
 //! `O((log n / (1-p)) · (D + log n + log 1/δ))` rounds.
 
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::{BroadcastRun, CoreError};
 
@@ -57,7 +57,7 @@ impl Decay {
         &self,
         graph: &Graph,
         source: NodeId,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
@@ -100,7 +100,7 @@ impl Decay {
         &self,
         graph: &Graph,
         source: NodeId,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         budget: u64,
     ) -> Result<bool, CoreError> {
@@ -117,7 +117,7 @@ impl Decay {
         &self,
         graph: &Graph,
         source: NodeId,
-        fault: FaultModel,
+        fault: Channel,
         budget: u64,
         trials: u64,
         seed0: u64,
@@ -169,8 +169,10 @@ impl NodeBehavior<()> for DecayNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
-        self.informed = true;
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+        if rx.is_packet() {
+            self.informed = true;
+        }
     }
 }
 
@@ -202,7 +204,7 @@ mod tests {
     fn faultless_path_completes() {
         let g = generators::path(32);
         let run = Decay::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 1, 100_000)
+            .run(&g, NodeId::new(0), Channel::faultless(), 1, 100_000)
             .unwrap();
         assert!(run.completed());
         assert!(run.rounds_used() > 31, "path needs at least D rounds");
@@ -212,7 +214,7 @@ mod tests {
     fn receiver_faults_completes_slower() {
         let g = generators::path(32);
         let base = Decay::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 7, 1_000_000)
+            .run(&g, NodeId::new(0), Channel::faultless(), 7, 1_000_000)
             .unwrap()
             .rounds_used();
         // Average several noisy runs to dodge variance.
@@ -222,7 +224,7 @@ mod tests {
                 .run(
                     &g,
                     NodeId::new(0),
-                    FaultModel::receiver(0.6).unwrap(),
+                    Channel::receiver(0.6).unwrap(),
                     seed,
                     1_000_000,
                 )
@@ -243,7 +245,7 @@ mod tests {
             .run(
                 &g,
                 NodeId::new(0),
-                FaultModel::sender(0.5).unwrap(),
+                Channel::sender(0.5).unwrap(),
                 11,
                 1_000_000,
             )
@@ -258,7 +260,7 @@ mod tests {
     fn star_completes_within_phases() {
         let g = generators::star(127);
         let run = Decay::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 5, 10_000)
+            .run(&g, NodeId::new(0), Channel::faultless(), 5, 10_000)
             .unwrap();
         // One hop: all leaves hear the center's first solo broadcast.
         // Decay's first broadcast at probability 1/2 happens within a
@@ -270,7 +272,7 @@ mod tests {
     fn budget_exhaustion_reports_none() {
         let g = generators::path(64);
         let run = Decay::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 1, 3)
+            .run(&g, NodeId::new(0), Channel::faultless(), 1, 3)
             .unwrap();
         assert!(!run.completed());
     }
@@ -279,7 +281,7 @@ mod tests {
     fn bad_source_rejected() {
         let g = generators::path(4);
         assert!(matches!(
-            Decay::new().run(&g, NodeId::new(9), FaultModel::Faultless, 0, 10),
+            Decay::new().run(&g, NodeId::new(9), Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -290,7 +292,7 @@ mod tests {
         assert!(matches!(
             Decay::new()
                 .with_phase_len(0)
-                .run(&g, NodeId::new(0), FaultModel::Faultless, 0, 10),
+                .run(&g, NodeId::new(0), Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -298,7 +300,7 @@ mod tests {
     #[test]
     fn determinism() {
         let g = generators::gnp_connected(40, 0.1, 2).unwrap();
-        let fault = FaultModel::receiver(0.3).unwrap();
+        let fault = Channel::receiver(0.3).unwrap();
         let a = Decay::new()
             .run(&g, NodeId::new(0), fault, 13, 100_000)
             .unwrap();
@@ -313,7 +315,7 @@ mod tests {
         // Lemma 9's δ-dependence: a larger budget lowers the failure
         // probability; a generous budget drives it to ~0.
         let g = generators::path(48);
-        let fault = FaultModel::receiver(0.5).unwrap();
+        let fault = Channel::receiver(0.5).unwrap();
         let decay = Decay::new();
         let tight = decay
             .failure_rate(&g, NodeId::new(0), fault, 300, 30, 7)
@@ -332,7 +334,7 @@ mod tests {
     #[test]
     fn run_fixed_matches_run() {
         let g = generators::path(16);
-        let fault = FaultModel::receiver(0.3).unwrap();
+        let fault = Channel::receiver(0.3).unwrap();
         let rounds = Decay::new()
             .run(&g, NodeId::new(0), fault, 5, 1_000_000)
             .unwrap()

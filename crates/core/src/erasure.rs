@@ -1,0 +1,414 @@
+//! Erasure-aware feedback protocols (Censor-Hillel–Haeupler–
+//! Hershkowitz–Zuzic, *Erasure Correction for Noisy Radio Networks*,
+//! DISC 2019, arXiv:1805.04165).
+//!
+//! In the paper's noisy model a listener cannot tell a faulted slot
+//! from silence, so reliable progress detection costs a log factor:
+//! non-adaptive single-link routing pays `Θ(log k)` repetitions per
+//! message (Lemma 29) and Decay pays `Θ(log n)` rounds per hop
+//! (Lemma 9). The erasure model gives receivers one extra bit — a lost
+//! slot is *observed* as [`Reception::Erased`] — and that bit is
+//! enough to build **perfectly reliable negative acknowledgements**:
+//!
+//! * a NACK that is itself erased still reaches the sender as
+//!   `Erased ≠ Silence`, so a sender never falsely concludes success;
+//! * a listener that observes `Erased` knows a packet was lost *now*,
+//!   so it knows exactly when to complain.
+//!
+//! The two protocols here exploit this:
+//!
+//! * [`single_link_erasure_arq`] — stop-and-wait ARQ over one edge:
+//!   data slots on even rounds, NACK-on-erasure feedback on odd
+//!   rounds. `≈ 2k/(1−p)` rounds for `k` messages — the `Θ(1)`
+//!   per-message cost of *adaptive* routing (Lemma 32), achieved by a
+//!   distributed protocol with no centralized knowledge, closing the
+//!   `Θ(log k)` non-adaptive gap of Lemma 31;
+//! * [`erasure_relay`] — hop-by-hop stop-and-wait broadcast along a
+//!   path (or star): the frontier node retransmits until its
+//!   successor's feedback slot is silent. `≈ 2D/(1−p)` rounds,
+//!   closing Decay's `Θ(log n)`-per-hop factor.
+//!
+//! Both protocols are **erasure-model protocols**: they branch on
+//! [`Reception::Erased`] but honor the noisy-model contract for
+//! `Noise` vs `Silence` (they treat noise as "no information"). Run
+//! under [`Channel::receiver`] instead of [`Channel::erasure`], the
+//! missing erasure bit makes the feedback silently unreliable and the
+//! protocols deadlock — the E13 experiment measures exactly that
+//! separation.
+
+use netgraph::{generators, Graph, NodeId};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
+
+use crate::{BroadcastRun, CoreError};
+
+/// Packets of the erasure-feedback protocols: payload data or a
+/// negative acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArqPacket {
+    /// A data packet carrying a message index.
+    Data(u64),
+    /// "I observed an erasure": retransmit.
+    Nack,
+}
+
+/// Single-link stop-and-wait node: the sender streams message indices
+/// on even rounds and advances only when the odd feedback slot is
+/// silent; the receiver NACKs whenever its data slot was erased.
+#[derive(Debug, Clone)]
+enum LinkArqNode {
+    Sender {
+        /// Next message index to send.
+        next: u64,
+        /// Total messages.
+        k: u64,
+    },
+    Receiver {
+        got: Vec<bool>,
+        pending_nack: bool,
+    },
+}
+
+impl LinkArqNode {
+    fn complete(&self) -> bool {
+        match self {
+            LinkArqNode::Sender { .. } => true,
+            LinkArqNode::Receiver { got, .. } => got.iter().all(|&b| b),
+        }
+    }
+}
+
+impl NodeBehavior<ArqPacket> for LinkArqNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<ArqPacket> {
+        match self {
+            LinkArqNode::Sender { next, k } => {
+                if ctx.round.is_multiple_of(2) && *next < *k {
+                    Action::Broadcast(ArqPacket::Data(*next))
+                } else {
+                    Action::Listen
+                }
+            }
+            LinkArqNode::Receiver { pending_nack, .. } => {
+                if !ctx.round.is_multiple_of(2) && *pending_nack {
+                    *pending_nack = false;
+                    Action::Broadcast(ArqPacket::Nack)
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+    }
+
+    fn receive(&mut self, ctx: &mut Ctx<'_>, rx: Reception<ArqPacket>) {
+        let data_slot = ctx.round.is_multiple_of(2);
+        match self {
+            LinkArqNode::Sender { next, k } => {
+                // Feedback slot: silence is the only safe "received"
+                // signal — an erased or collided NACK still reads as
+                // not-silence, so the sender never falsely advances.
+                if !data_slot && *next < *k && rx.is_silence() {
+                    *next += 1;
+                }
+            }
+            LinkArqNode::Receiver { got, pending_nack } => {
+                if !data_slot {
+                    return;
+                }
+                match rx {
+                    Reception::Packet(ArqPacket::Data(i)) => {
+                        if let Some(slot) = got.get_mut(i as usize) {
+                            *slot = true;
+                        }
+                    }
+                    // The erasure-model bit: the receiver *saw* the
+                    // loss and schedules a NACK.
+                    Reception::Erased => *pending_nack = true,
+                    // Noisy-model discipline: noise carries no
+                    // information (under `Channel::receiver` this is
+                    // where the protocol goes blind and stalls).
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Stop-and-wait erasure ARQ over a single link: `k` messages, data on
+/// even rounds, NACK-on-erasure feedback on odd rounds.
+///
+/// Under [`Channel::erasure`] every message is delivered (the run
+/// completes in `≈ 2k/(1−p)` rounds w.h.p. within any generous
+/// budget). Under [`Channel::receiver`] the receiver cannot observe
+/// losses, NACKs never fire, the sender advances past lost messages
+/// and the run reports `rounds: None` — the measured value of the
+/// erasure bit.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if `k == 0`;
+/// [`CoreError::Model`] for simulator configuration errors.
+pub fn single_link_erasure_arq(
+    k: usize,
+    channel: Channel,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastRun, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let g = generators::single_link();
+    let behaviors = vec![
+        LinkArqNode::Sender {
+            next: 0,
+            k: k as u64,
+        },
+        LinkArqNode::Receiver {
+            got: vec![false; k],
+            pending_nack: false,
+        },
+    ];
+    let mut sim = Simulator::new(&g, channel, behaviors, seed)?;
+    let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(LinkArqNode::complete));
+    Ok(BroadcastRun {
+        rounds,
+        stats: *sim.stats(),
+    })
+}
+
+/// Hop-by-hop relay node for [`erasure_relay`].
+#[derive(Debug, Clone)]
+struct RelayNode {
+    informed: bool,
+    /// The successor confirmed reception (a silent feedback slot).
+    done: bool,
+    /// Observed an erasure while uninformed; NACK next feedback slot.
+    pending_nack: bool,
+    /// Broadcast data in the previous even round (so the following
+    /// feedback slot is mine to evaluate).
+    sent_data: bool,
+}
+
+impl NodeBehavior<ArqPacket> for RelayNode {
+    fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<ArqPacket> {
+        if ctx.round.is_multiple_of(2) {
+            self.sent_data = self.informed && !self.done;
+            if self.sent_data {
+                Action::Broadcast(ArqPacket::Data(0))
+            } else {
+                Action::Listen
+            }
+        } else if self.pending_nack {
+            self.pending_nack = false;
+            Action::Broadcast(ArqPacket::Nack)
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn receive(&mut self, ctx: &mut Ctx<'_>, rx: Reception<ArqPacket>) {
+        if ctx.round.is_multiple_of(2) {
+            // Data slot.
+            match rx {
+                Reception::Packet(ArqPacket::Data(_)) => self.informed = true,
+                Reception::Erased if !self.informed => self.pending_nack = true,
+                _ => {}
+            }
+        } else if self.sent_data {
+            // My feedback slot: silence means my successor received
+            // (its NACK can be erased or collide, but never vanish
+            // into silence under the erasure channel).
+            if rx.is_silence() {
+                self.done = true;
+            }
+        }
+    }
+}
+
+/// Hop-by-hop stop-and-wait broadcast exploiting erasure detection:
+/// the frontier node repeats the message in even rounds until the odd
+/// feedback slot is silent; an uninformed node that observes
+/// [`Reception::Erased`] NACKs.
+///
+/// Collision-freedom of the feedback slots needs every uninformed
+/// frontier to have a unique active predecessor, which holds on paths
+/// (one frontier) and stars (NACK collisions at the center still read
+/// as not-silence, which is the correct signal). General graphs would
+/// need a collision-free activation schedule on top.
+///
+/// Under [`Channel::erasure`] the run completes in `≈ 2D/(1−p)`
+/// rounds — per-hop cost `O(1/(1−p))`, no `log n` factor. Under
+/// [`Channel::receiver`] frontier senders falsely conclude success on
+/// every lost hop and the broadcast deadlocks (`rounds: None`).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for an out-of-bounds source;
+/// [`CoreError::Model`] for simulator configuration errors.
+pub fn erasure_relay(
+    graph: &Graph,
+    source: NodeId,
+    channel: Channel,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastRun, CoreError> {
+    let n = graph.node_count();
+    if source.index() >= n {
+        return Err(CoreError::InvalidParameter {
+            reason: format!("source {source} out of bounds for {n} nodes"),
+        });
+    }
+    let behaviors: Vec<RelayNode> = (0..n)
+        .map(|i| RelayNode {
+            informed: i == source.index(),
+            done: false,
+            pending_nack: false,
+            sent_data: false,
+        })
+        .collect();
+    let mut sim = Simulator::new(graph, channel, behaviors, seed)?;
+    let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
+    Ok(BroadcastRun {
+        rounds,
+        stats: *sim.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_arq_streams_two_rounds_per_message() {
+        let run = single_link_erasure_arq(32, Channel::faultless(), 1, 10_000).unwrap();
+        assert_eq!(
+            run.rounds_used(),
+            2 * 32 - 1,
+            "data at even, ack by silence"
+        );
+    }
+
+    #[test]
+    fn erasure_arq_has_constant_per_message_cost() {
+        let k = 256;
+        let channel = Channel::erasure(0.5).unwrap();
+        let mut total = 0;
+        for seed in 0..5 {
+            let run = single_link_erasure_arq(k, channel, seed, 1_000_000).unwrap();
+            assert!(run.completed());
+            assert!(run.stats.erasures > 0, "p=0.5 must erase something");
+            total += run.rounds_used();
+        }
+        let per_msg = total as f64 / 5.0 / k as f64;
+        // 2 slots per attempt, E[attempts] = 1/(1-p) = 2 → ≈ 4, plus
+        // feedback-slot erasure overhead; well below log2(k) ≈ 8.
+        assert!(
+            (3.0..7.0).contains(&per_msg),
+            "per-message rounds {per_msg}"
+        );
+    }
+
+    #[test]
+    fn arq_never_skips_messages() {
+        // The safety invariant behind the ≤-gap claim: completion means
+        // every message, not just the lucky ones.
+        for seed in 0..10 {
+            let run = single_link_erasure_arq(64, Channel::erasure(0.7).unwrap(), seed, 1_000_000)
+                .unwrap();
+            assert!(run.completed(), "seed {seed} did not complete");
+        }
+    }
+
+    #[test]
+    fn arq_deadlocks_without_the_erasure_bit() {
+        // Same protocol, noisy channel: the receiver cannot see losses,
+        // so the sender falsely advances and the run cannot complete.
+        let run = single_link_erasure_arq(64, Channel::receiver(0.5).unwrap(), 3, 100_000).unwrap();
+        assert!(
+            !run.completed(),
+            "receiver noise must deadlock the erasure ARQ"
+        );
+    }
+
+    #[test]
+    fn faultless_relay_is_two_rounds_per_hop() {
+        let g = generators::path(64);
+        let run = erasure_relay(&g, NodeId::new(0), Channel::faultless(), 1, 10_000).unwrap();
+        let rounds = run.rounds_used();
+        assert!(
+            (2 * 63 - 1..=2 * 63 + 2).contains(&rounds),
+            "rounds {rounds} not ≈ 2D"
+        );
+    }
+
+    #[test]
+    fn erasure_relay_pays_constant_per_hop() {
+        let g = generators::path(128);
+        let channel = Channel::erasure(0.5).unwrap();
+        let mut total = 0;
+        for seed in 0..5 {
+            let run = erasure_relay(&g, NodeId::new(0), channel, seed, 1_000_000).unwrap();
+            assert!(run.completed());
+            total += run.rounds_used();
+        }
+        let per_hop = total as f64 / 5.0 / 127.0;
+        // 2 slots per attempt at E[attempts] = 2 → ≈ 4–5 with feedback
+        // erasures; log2(128) = 7, so anything below that is log-free.
+        assert!((3.0..6.5).contains(&per_hop), "per-hop rounds {per_hop}");
+    }
+
+    #[test]
+    fn erasure_relay_also_serves_stars() {
+        let g = generators::star(64);
+        let run = erasure_relay(
+            &g,
+            NodeId::new(0),
+            Channel::erasure(0.5).unwrap(),
+            7,
+            100_000,
+        )
+        .unwrap();
+        assert!(run.completed());
+        // Last-of-n geometrics: Θ(log n) data slots, ≈ 2× rounds.
+        assert!(run.rounds_used() >= 2, "at least one data+feedback pair");
+    }
+
+    #[test]
+    fn relay_deadlocks_without_the_erasure_bit() {
+        let g = generators::path(32);
+        let run = erasure_relay(
+            &g,
+            NodeId::new(0),
+            Channel::receiver(0.5).unwrap(),
+            3,
+            100_000,
+        )
+        .unwrap();
+        assert!(
+            !run.completed(),
+            "receiver noise must deadlock the relay (P(complete) = 2^-31)"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let g = generators::path(40);
+        let channel = Channel::erasure(0.4).unwrap();
+        let a = erasure_relay(&g, NodeId::new(0), channel, 9, 100_000).unwrap();
+        let b = erasure_relay(&g, NodeId::new(0), channel, 9, 100_000).unwrap();
+        assert_eq!(a, b);
+        let c = single_link_erasure_arq(32, channel, 9, 100_000).unwrap();
+        let d = single_link_erasure_arq(32, channel, 9, 100_000).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(matches!(
+            single_link_erasure_arq(0, Channel::faultless(), 0, 10),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        let g = generators::path(4);
+        assert!(erasure_relay(&g, NodeId::new(9), Channel::faultless(), 0, 10).is_err());
+    }
+}

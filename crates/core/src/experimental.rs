@@ -28,7 +28,7 @@
 use netgraph::{Graph, NodeId};
 use radio_coding::rlnc::{CodedPacket, RlncNode};
 use radio_coding::Gf256;
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::decay::{default_phase_len, DecayNode};
 use crate::multi_message::MultiMessageRun;
@@ -58,7 +58,7 @@ impl StreamingRlnc {
         graph: &Graph,
         source: NodeId,
         k: usize,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<MultiMessageRun, CoreError> {
@@ -138,8 +138,10 @@ impl NodeBehavior<CodedPacket<Gf256>> for StreamingNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: CodedPacket<Gf256>) {
-        self.state.absorb(packet);
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<CodedPacket<Gf256>>) {
+        if let Reception::Packet(packet) = rx {
+            self.state.absorb(packet);
+        }
     }
 }
 
@@ -160,7 +162,7 @@ mod tests {
             &g,
             NodeId::new(0),
             8,
-            FaultModel::receiver(0.3).unwrap(),
+            Channel::receiver(0.3).unwrap(),
             3,
             5_000_000,
         )
@@ -176,8 +178,8 @@ mod tests {
             generators::grid(8, 8),
         ] {
             for fault in [
-                FaultModel::sender(0.3).unwrap(),
-                FaultModel::receiver(0.3).unwrap(),
+                Channel::sender(0.3).unwrap(),
+                Channel::receiver(0.3).unwrap(),
             ] {
                 let out = StreamingRlnc {
                     phase_len: None,
@@ -197,7 +199,7 @@ mod tests {
         // topology. Streaming pays ~O(D + k); Decay-RLNC pays
         // Θ((D + k) log n).
         let g = generators::path(128);
-        let fault = FaultModel::receiver(0.3).unwrap();
+        let fault = Channel::receiver(0.3).unwrap();
         let k = 48;
         let streaming = StreamingRlnc {
             phase_len: None,
@@ -225,10 +227,10 @@ mod tests {
     fn k_bounds_enforced() {
         let g = generators::path(4);
         assert!(StreamingRlnc::default()
-            .run(&g, NodeId::new(0), 0, FaultModel::Faultless, 0, 10)
+            .run(&g, NodeId::new(0), 0, Channel::faultless(), 0, 10)
             .is_err());
         assert!(StreamingRlnc::default()
-            .run(&g, NodeId::new(0), 256, FaultModel::Faultless, 0, 10)
+            .run(&g, NodeId::new(0), 256, Channel::faultless(), 0, 10)
             .is_err());
     }
 }

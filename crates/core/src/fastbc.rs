@@ -21,7 +21,7 @@
 
 use gbst::Gbst;
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, RoundTrace, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, RoundTrace, Simulator};
 
 use crate::decay::{default_phase_len, DecayNode};
 use crate::{BroadcastRun, CoreError};
@@ -52,11 +52,11 @@ pub struct FastbcParams {
 /// ```
 /// use netgraph::{generators, NodeId};
 /// use noisy_radio_core::fastbc::FastbcSchedule;
-/// use radio_model::FaultModel;
+/// use radio_model::Channel;
 ///
 /// let g = generators::path(64);
 /// let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-/// let run = sched.run(FaultModel::Faultless, 1, 100_000).unwrap();
+/// let run = sched.run(Channel::faultless(), 1, 100_000).unwrap();
 /// assert!(run.completed());
 /// ```
 #[derive(Debug)]
@@ -170,7 +170,7 @@ impl<'g> FastbcSchedule<'g> {
     /// [`CoreError::Model`] for simulator configuration errors.
     pub fn run(
         &self,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
@@ -191,7 +191,7 @@ impl<'g> FastbcSchedule<'g> {
     /// [`CoreError::Model`] for simulator configuration errors.
     pub fn run_traced(
         &self,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
         mut inspect: impl FnMut(u64, &RoundTrace),
@@ -267,8 +267,10 @@ impl NodeBehavior<()> for FastbcNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
-        self.informed = true;
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+        if rx.is_packet() {
+            self.informed = true;
+        }
     }
 }
 
@@ -281,7 +283,7 @@ mod tests {
     fn faultless_path_is_diameter_linear() {
         let g = generators::path(200);
         let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let run = sched.run(FaultModel::Faultless, 1, 100_000).unwrap();
+        let run = sched.run(Channel::faultless(), 1, 100_000).unwrap();
         let rounds = run.rounds_used();
         // The wave advances one level per fast round (2 real rounds)
         // once started; budget 2D + startup + slack. (The final hop's
@@ -297,7 +299,7 @@ mod tests {
     fn faultless_tree_completes() {
         let g = generators::balanced_tree(3, 5).unwrap();
         let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let run = sched.run(FaultModel::Faultless, 3, 100_000).unwrap();
+        let run = sched.run(Channel::faultless(), 3, 100_000).unwrap();
         assert!(run.completed());
     }
 
@@ -306,9 +308,9 @@ mod tests {
         let g = generators::gnp_connected(128, 0.04, 5).unwrap();
         let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         for fault in [
-            FaultModel::Faultless,
-            FaultModel::sender(0.3).unwrap(),
-            FaultModel::receiver(0.3).unwrap(),
+            Channel::faultless(),
+            Channel::sender(0.3).unwrap(),
+            Channel::receiver(0.3).unwrap(),
         ] {
             let run = sched.run(fault, 7, 1_000_000).unwrap();
             assert!(run.completed(), "did not complete under {fault}");
@@ -326,13 +328,13 @@ mod tests {
         };
         let sched = FastbcSchedule::with_params(&g, NodeId::new(0), params).unwrap();
         let clean = sched
-            .run(FaultModel::Faultless, 1, 1_000_000)
+            .run(Channel::faultless(), 1, 1_000_000)
             .unwrap()
             .rounds_used();
         let mut noisy_total = 0;
         for seed in 0..3 {
             noisy_total += sched
-                .run(FaultModel::receiver(0.5).unwrap(), seed, 10_000_000)
+                .run(Channel::receiver(0.5).unwrap(), seed, 10_000_000)
                 .unwrap()
                 .rounds_used();
         }
@@ -352,7 +354,7 @@ mod tests {
         let sched = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let gbst = sched.gbst();
         let run = sched
-            .run_traced(FaultModel::Faultless, 5, 100_000, |round, trace| {
+            .run_traced(Channel::faultless(), 5, 100_000, |round, trace| {
                 if round % 2 != 0 {
                     return;
                 }

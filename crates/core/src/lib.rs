@@ -13,6 +13,7 @@
 //! | [`repetition`] | §4.1 discussion | Naive robustification baselines (`Θ(log n)` / `Θ(log log n)` repetition) |
 //! | [`multi_message`] | §4.2, Lemmas 12–13 | Multi-message broadcast via random linear network coding |
 //! | [`schedules`] | §5 & Appendix A | Adaptive routing and Reed–Solomon coding schedules for the star, single link, WCT, and the general bipartite pipeline |
+//! | [`erasure`] | DISC 2019 follow-up (arXiv:1805.04165) | Erasure-aware NACK feedback protocols that close the noisy-model log factors |
 //! | [`transform`] | §5.2, Lemmas 25–26 | Faultless → sender-fault schedule transformations |
 //!
 //! # Quick start
@@ -20,11 +21,11 @@
 //! ```
 //! use netgraph::{generators, NodeId};
 //! use noisy_radio_core::decay::Decay;
-//! use radio_model::FaultModel;
+//! use radio_model::Channel;
 //!
 //! let g = generators::path(32);
 //! let run = Decay::default()
-//!     .run(&g, NodeId::new(0), FaultModel::receiver(0.3).unwrap(), 42, 100_000)
+//!     .run(&g, NodeId::new(0), Channel::receiver(0.3).unwrap(), 42, 100_000)
 //!     .unwrap();
 //! assert!(run.completed(), "Decay is robust to receiver faults (Lemma 9)");
 //! ```
@@ -36,6 +37,7 @@ mod error;
 mod outcome;
 
 pub mod decay;
+pub mod erasure;
 pub mod experimental;
 pub mod fastbc;
 pub mod multi_message;

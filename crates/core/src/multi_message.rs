@@ -21,7 +21,7 @@
 use netgraph::{Graph, NodeId};
 use radio_coding::rlnc::{CodedPacket, RlncNode};
 use radio_coding::{Field, Gf256};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::decay::{default_phase_len, DecayNode};
 use crate::robust_fastbc::{RobustFastbcParams, RobustFastbcSchedule};
@@ -62,11 +62,11 @@ fn check_k(k: usize) -> Result<(), CoreError> {
 /// ```
 /// use netgraph::{generators, NodeId};
 /// use noisy_radio_core::multi_message::DecayRlnc;
-/// use radio_model::FaultModel;
+/// use radio_model::Channel;
 ///
 /// let g = generators::path(8);
 /// let out = DecayRlnc::default()
-///     .run(&g, NodeId::new(0), 4, FaultModel::receiver(0.2).unwrap(), 7, 200_000)
+///     .run(&g, NodeId::new(0), 4, Channel::receiver(0.2).unwrap(), 7, 200_000)
 ///     .unwrap();
 /// assert!(out.run.completed());
 /// assert!(out.decoded_ok);
@@ -93,7 +93,7 @@ impl DecayRlnc {
         graph: &Graph,
         source: NodeId,
         k: usize,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<MultiMessageRun, CoreError> {
@@ -150,7 +150,7 @@ impl DecayRlnc {
         &self,
         graph: &Graph,
         owners: &[NodeId],
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<MultiMessageRun, CoreError> {
@@ -214,8 +214,10 @@ impl NodeBehavior<CodedPacket<Gf256>> for RlncDecayNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: CodedPacket<Gf256>) {
-        self.state.absorb(packet);
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<CodedPacket<Gf256>>) {
+        if let Reception::Packet(packet) = rx {
+            self.state.absorb(packet);
+        }
     }
 }
 
@@ -241,7 +243,7 @@ impl RobustFastbcRlnc {
         graph: &Graph,
         source: NodeId,
         k: usize,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<MultiMessageRun, CoreError> {
@@ -336,8 +338,10 @@ impl NodeBehavior<CodedPacket<Gf256>> for RlncRobustNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: CodedPacket<Gf256>) {
-        self.state.absorb(packet);
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<CodedPacket<Gf256>>) {
+        if let Reception::Packet(packet) = rx {
+            self.state.absorb(packet);
+        }
     }
 }
 
@@ -353,7 +357,7 @@ mod tests {
             phase_len: None,
             payload_len: 2,
         }
-        .run(&g, NodeId::new(0), 3, FaultModel::Faultless, 1, 100_000)
+        .run(&g, NodeId::new(0), 3, Channel::faultless(), 1, 100_000)
         .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
@@ -370,7 +374,7 @@ mod tests {
             &g,
             NodeId::new(0),
             16,
-            FaultModel::receiver(0.5).unwrap(),
+            Channel::receiver(0.5).unwrap(),
             3,
             1_000_000,
         )
@@ -393,7 +397,7 @@ mod tests {
             &g,
             NodeId::new(0),
             8,
-            FaultModel::sender(0.3).unwrap(),
+            Channel::sender(0.3).unwrap(),
             7,
             1_000_000,
         )
@@ -416,7 +420,7 @@ mod tests {
             &g,
             NodeId::new(0),
             6,
-            FaultModel::receiver(0.3).unwrap(),
+            Channel::receiver(0.3).unwrap(),
             11,
             2_000_000,
         )
@@ -435,7 +439,7 @@ mod tests {
             params: Default::default(),
             payload_len: 2,
         }
-        .run(&g, NodeId::new(0), 5, FaultModel::Faultless, 13, 2_000_000)
+        .run(&g, NodeId::new(0), 5, Channel::faultless(), 13, 2_000_000)
         .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
@@ -446,7 +450,7 @@ mod tests {
         let g = generators::path(4);
         for k in [0usize, 256] {
             assert!(matches!(
-                DecayRlnc::default().run(&g, NodeId::new(0), k, FaultModel::Faultless, 0, 10),
+                DecayRlnc::default().run(&g, NodeId::new(0), k, Channel::faultless(), 0, 10),
                 Err(CoreError::InvalidParameter { .. })
             ));
         }
@@ -456,7 +460,7 @@ mod tests {
     fn bad_source_rejected() {
         let g = generators::path(4);
         assert!(matches!(
-            DecayRlnc::default().run(&g, NodeId::new(9), 2, FaultModel::Faultless, 0, 10),
+            DecayRlnc::default().run(&g, NodeId::new(9), 2, Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -476,13 +480,7 @@ mod tests {
             phase_len: None,
             payload_len: 2,
         }
-        .run_gossip(
-            &g,
-            &owners,
-            FaultModel::receiver(0.3).unwrap(),
-            5,
-            1_000_000,
-        )
+        .run_gossip(&g, &owners, Channel::receiver(0.3).unwrap(), 5, 1_000_000)
         .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
@@ -496,7 +494,7 @@ mod tests {
             phase_len: None,
             payload_len: 1,
         }
-        .run_gossip(&g, &owners, FaultModel::Faultless, 7, 1_000_000)
+        .run_gossip(&g, &owners, Channel::faultless(), 7, 1_000_000)
         .unwrap();
         assert!(out.run.completed());
         assert!(out.decoded_ok);
@@ -506,7 +504,7 @@ mod tests {
     fn gossip_rejects_bad_owner() {
         let g = generators::path(4);
         assert!(matches!(
-            DecayRlnc::default().run_gossip(&g, &[NodeId::new(9)], FaultModel::Faultless, 0, 10),
+            DecayRlnc::default().run_gossip(&g, &[NodeId::new(9)], Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -525,7 +523,7 @@ mod tests {
                 &g,
                 NodeId::new(0),
                 k,
-                FaultModel::receiver(0.5).unwrap(),
+                Channel::receiver(0.5).unwrap(),
                 21,
                 4_000_000,
             )

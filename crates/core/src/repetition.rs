@@ -16,7 +16,7 @@
 //! (Theorem 11) in the E5 experiment.
 
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::decay::DecayNode;
 use crate::fastbc::{FastbcParams, FastbcSchedule};
@@ -29,11 +29,11 @@ use crate::{BroadcastRun, CoreError};
 /// ```
 /// use netgraph::{generators, NodeId};
 /// use noisy_radio_core::repetition::RepeatedFastbcSchedule;
-/// use radio_model::FaultModel;
+/// use radio_model::Channel;
 ///
 /// let g = generators::path(32);
 /// let sched = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 3).unwrap();
-/// let run = sched.run(FaultModel::receiver(0.3).unwrap(), 1, 1_000_000).unwrap();
+/// let run = sched.run(Channel::receiver(0.3).unwrap(), 1, 1_000_000).unwrap();
 /// assert!(run.completed());
 /// ```
 #[derive(Debug)]
@@ -95,7 +95,7 @@ impl<'g> RepeatedFastbcSchedule<'g> {
     /// [`CoreError::Model`] for simulator configuration errors.
     pub fn run(
         &self,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
@@ -173,8 +173,10 @@ impl NodeBehavior<()> for DilatedFastbcNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
-        self.informed = true;
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+        if rx.is_packet() {
+            self.informed = true;
+        }
     }
 }
 
@@ -198,11 +200,11 @@ mod tests {
         let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 1).unwrap();
         let base = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let a = rep
-            .run(FaultModel::Faultless, 3, 100_000)
+            .run(Channel::faultless(), 3, 100_000)
             .unwrap()
             .rounds_used();
         let b = base
-            .run(FaultModel::Faultless, 3, 100_000)
+            .run(Channel::faultless(), 3, 100_000)
             .unwrap()
             .rounds_used();
         // Identical schedule logic; rounds may differ only through RNG
@@ -218,11 +220,11 @@ mod tests {
         let g = generators::path(128);
         let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 4).unwrap();
         let clean = rep
-            .run(FaultModel::Faultless, 1, 10_000_000)
+            .run(Channel::faultless(), 1, 10_000_000)
             .unwrap()
             .rounds_used();
         let noisy = rep
-            .run(FaultModel::receiver(0.5).unwrap(), 1, 10_000_000)
+            .run(Channel::receiver(0.5).unwrap(), 1, 10_000_000)
             .unwrap()
             .rounds_used();
         assert!(
@@ -237,11 +239,11 @@ mod tests {
         let base = FastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let rep = RepeatedFastbcSchedule::new(&g, NodeId::new(0), 4).unwrap();
         let b = base
-            .run(FaultModel::Faultless, 5, 1_000_000)
+            .run(Channel::faultless(), 5, 1_000_000)
             .unwrap()
             .rounds_used();
         let r = rep
-            .run(FaultModel::Faultless, 5, 1_000_000)
+            .run(Channel::faultless(), 5, 1_000_000)
             .unwrap()
             .rounds_used();
         assert!(

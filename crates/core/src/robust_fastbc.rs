@@ -27,7 +27,7 @@
 
 use gbst::Gbst;
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, RoundTrace, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, RoundTrace, Simulator};
 
 use crate::decay::{default_phase_len, DecayNode};
 use crate::{BroadcastRun, CoreError};
@@ -56,11 +56,11 @@ pub struct RobustFastbcParams {
 /// ```
 /// use netgraph::{generators, NodeId};
 /// use noisy_radio_core::robust_fastbc::RobustFastbcSchedule;
-/// use radio_model::FaultModel;
+/// use radio_model::Channel;
 ///
 /// let g = generators::path(64);
 /// let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-/// let run = sched.run(FaultModel::receiver(0.3).unwrap(), 1, 1_000_000).unwrap();
+/// let run = sched.run(Channel::receiver(0.3).unwrap(), 1, 1_000_000).unwrap();
 /// assert!(run.completed(), "Theorem 11: robust under faults");
 /// ```
 #[derive(Debug)]
@@ -203,7 +203,7 @@ impl<'g> RobustFastbcSchedule<'g> {
     /// [`CoreError::Model`] for simulator configuration errors.
     pub fn run(
         &self,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
@@ -223,7 +223,7 @@ impl<'g> RobustFastbcSchedule<'g> {
     /// [`CoreError::Model`] for simulator configuration errors.
     pub fn run_traced(
         &self,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
         mut inspect: impl FnMut(u64, &RoundTrace),
@@ -303,8 +303,10 @@ impl NodeBehavior<()> for RobustFastbcNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
-        self.informed = true;
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+        if rx.is_packet() {
+            self.informed = true;
+        }
     }
 }
 
@@ -324,7 +326,7 @@ mod tests {
     fn faultless_path_completes_diameter_linearly() {
         let g = generators::path(256);
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let run = sched.run(FaultModel::Faultless, 1, 1_000_000).unwrap();
+        let run = sched.run(Channel::faultless(), 1, 1_000_000).unwrap();
         let rounds = run.rounds_used();
         // Mod-3 pipeline: ≥ 6 real rounds per hop while the wave is
         // hot, plus activation waits.
@@ -342,13 +344,13 @@ mod tests {
         let g = generators::path(256);
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let clean = sched
-            .run(FaultModel::Faultless, 1, 10_000_000)
+            .run(Channel::faultless(), 1, 10_000_000)
             .unwrap()
             .rounds_used();
         let mut noisy_total = 0;
         for seed in 0..3 {
             noisy_total += sched
-                .run(FaultModel::receiver(0.5).unwrap(), seed, 10_000_000)
+                .run(Channel::receiver(0.5).unwrap(), seed, 10_000_000)
                 .unwrap()
                 .rounds_used();
         }
@@ -364,7 +366,7 @@ mod tests {
         let g = generators::balanced_tree(2, 6).unwrap();
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let run = sched
-            .run(FaultModel::sender(0.4).unwrap(), 9, 1_000_000)
+            .run(Channel::sender(0.4).unwrap(), 9, 1_000_000)
             .unwrap();
         assert!(run.completed());
     }
@@ -374,8 +376,8 @@ mod tests {
         let g = generators::gnp_connected(128, 0.05, 17).unwrap();
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         for fault in [
-            FaultModel::sender(0.3).unwrap(),
-            FaultModel::receiver(0.3).unwrap(),
+            Channel::sender(0.3).unwrap(),
+            Channel::receiver(0.3).unwrap(),
         ] {
             let run = sched.run(fault, 23, 1_000_000).unwrap();
             assert!(run.completed(), "did not complete under {fault}");
@@ -390,7 +392,7 @@ mod tests {
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
         let gbst = sched.gbst();
         let run = sched
-            .run_traced(FaultModel::Faultless, 2, 200_000, |round, trace| {
+            .run_traced(Channel::faultless(), 2, 200_000, |round, trace| {
                 if round % 2 != 0 {
                     return;
                 }
@@ -446,7 +448,7 @@ mod tests {
     fn determinism() {
         let g = generators::gnp_connected(60, 0.08, 3).unwrap();
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).unwrap();
-        let fault = FaultModel::receiver(0.4).unwrap();
+        let fault = Channel::receiver(0.4).unwrap();
         let a = sched.run(fault, 5, 1_000_000).unwrap();
         let b = sched.run(fault, 5, 1_000_000).unwrap();
         assert_eq!(a, b);

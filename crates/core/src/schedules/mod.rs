@@ -68,7 +68,7 @@ mod tests {
     use super::*;
     use netgraph::generators;
     use radio_model::adaptive::run_routing;
-    use radio_model::FaultModel;
+    use radio_model::Channel;
 
     #[test]
     fn sequential_source_on_faultless_star_uses_k_rounds() {
@@ -76,16 +76,8 @@ mod tests {
         let mut c = SequentialSourceController {
             source: NodeId::new(0),
         };
-        let out = run_routing(
-            &g,
-            FaultModel::Faultless,
-            NodeId::new(0),
-            8,
-            &mut c,
-            1,
-            1000,
-        )
-        .unwrap();
+        let out =
+            run_routing(&g, Channel::faultless(), NodeId::new(0), 8, &mut c, 1, 1000).unwrap();
         assert_eq!(out.rounds, Some(8));
     }
 }

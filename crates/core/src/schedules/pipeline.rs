@@ -21,7 +21,7 @@ use netgraph::{Graph, NodeId};
 use radio_model::adaptive::{
     run_routing, Knowledge, MsgId, RoutingAction, RoutingController, RoutingOutcome,
 };
-use radio_model::FaultModel;
+use radio_model::Channel;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -180,7 +180,7 @@ pub fn pipeline_routing(
     graph: &Graph,
     source: NodeId,
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<RoutingOutcome, CoreError> {
@@ -205,7 +205,7 @@ mod tests {
     fn faultless_path_completes() {
         let g = generators::path(12);
         let out =
-            pipeline_routing(&g, NodeId::new(0), 4, FaultModel::Faultless, 1, 200_000).unwrap();
+            pipeline_routing(&g, NodeId::new(0), 4, Channel::faultless(), 1, 200_000).unwrap();
         assert!(out.rounds.is_some());
     }
 
@@ -216,7 +216,7 @@ mod tests {
             &g,
             NodeId::new(0),
             8,
-            FaultModel::receiver(0.5).unwrap(),
+            Channel::receiver(0.5).unwrap(),
             3,
             1_000_000,
         )
@@ -231,7 +231,7 @@ mod tests {
             &g,
             NodeId::new(0),
             6,
-            FaultModel::receiver(0.3).unwrap(),
+            Channel::receiver(0.3).unwrap(),
             7,
             2_000_000,
         )
@@ -252,7 +252,7 @@ mod tests {
                 &g,
                 NodeId::new(0),
                 k,
-                FaultModel::receiver(0.3).unwrap(),
+                Channel::receiver(0.3).unwrap(),
                 11,
                 4_000_000,
             )

@@ -16,7 +16,7 @@
 
 use netgraph::{generators, NodeId};
 use radio_model::adaptive::run_routing;
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::schedules::SequentialSourceController;
 use crate::{BroadcastRun, CoreError};
@@ -65,7 +65,8 @@ impl NodeBehavior<u64> for LinkNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: u64) {
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<u64>) {
+        let Some(packet) = rx.packet() else { return };
         match self {
             LinkNode::RoutingReceiver { got } => {
                 if let Some(slot) = got.get_mut(packet as usize) {
@@ -88,7 +89,7 @@ impl NodeBehavior<u64> for LinkNode {
 pub fn single_link_nonadaptive_routing(
     k: usize,
     repetitions: u64,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
 ) -> Result<FixedLengthRun, CoreError> {
     if k == 0 || repetitions == 0 {
@@ -125,7 +126,7 @@ pub fn single_link_nonadaptive_routing(
 pub fn single_link_coding(
     k: usize,
     total_packets: u64,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
 ) -> Result<FixedLengthRun, CoreError> {
     if k == 0 || total_packets == 0 {
@@ -159,7 +160,7 @@ pub fn single_link_coding(
 /// Propagates simulator errors.
 pub fn single_link_adaptive_routing(
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastRun, CoreError> {
@@ -183,7 +184,7 @@ pub fn single_link_adaptive_routing(
 /// Propagates [`single_link_nonadaptive_routing`] errors.
 pub fn minimal_repetitions_for_success(
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     trials: u64,
     required: u64,
     max_repetitions: u64,
@@ -208,7 +209,7 @@ mod tests {
 
     #[test]
     fn faultless_nonadaptive_needs_one_repetition() {
-        let run = single_link_nonadaptive_routing(16, 1, FaultModel::Faultless, 1).unwrap();
+        let run = single_link_nonadaptive_routing(16, 1, Channel::faultless(), 1).unwrap();
         assert!(run.success);
         assert_eq!(run.rounds, 16);
     }
@@ -218,7 +219,7 @@ mod tests {
         // With p = 1/2 and one repetition, all k messages survive with
         // probability 2^-k: k = 64 fails essentially always.
         let run =
-            single_link_nonadaptive_routing(64, 1, FaultModel::receiver(0.5).unwrap(), 3).unwrap();
+            single_link_nonadaptive_routing(64, 1, Channel::receiver(0.5).unwrap(), 3).unwrap();
         assert!(!run.success);
     }
 
@@ -233,7 +234,7 @@ mod tests {
             if single_link_nonadaptive_routing(
                 k,
                 reps as u64,
-                FaultModel::receiver(0.5).unwrap(),
+                Channel::receiver(0.5).unwrap(),
                 seed,
             )
             .unwrap()
@@ -249,7 +250,7 @@ mod tests {
     fn minimal_repetitions_grow_with_k() {
         // The Θ(log k) shape: the required repetition count increases
         // from k = 4 to k = 256.
-        let fault = FaultModel::receiver(0.5).unwrap();
+        let fault = Channel::receiver(0.5).unwrap();
         let small = minimal_repetitions_for_success(4, fault, 10, 9, 64)
             .unwrap()
             .unwrap();
@@ -266,7 +267,7 @@ mod tests {
         let total = (k as f64 / 0.5 * 1.3) as u64;
         let mut ok = 0;
         for seed in 0..20 {
-            if single_link_coding(k, total, FaultModel::receiver(0.5).unwrap(), seed)
+            if single_link_coding(k, total, Channel::receiver(0.5).unwrap(), seed)
                 .unwrap()
                 .success
             {
@@ -279,7 +280,7 @@ mod tests {
     #[test]
     fn coding_with_k_packets_fails_under_faults() {
         let k = 64;
-        let run = single_link_coding(k, k as u64, FaultModel::receiver(0.5).unwrap(), 5).unwrap();
+        let run = single_link_coding(k, k as u64, Channel::receiver(0.5).unwrap(), 5).unwrap();
         assert!(!run.success, "k packets cannot survive p=1/2 erasures");
     }
 
@@ -287,8 +288,8 @@ mod tests {
     fn adaptive_routing_is_constant_throughput() {
         // Lemma 32: ≈ k/(1-p) = 2k rounds at p = 1/2.
         let k = 256;
-        let run = single_link_adaptive_routing(k, FaultModel::sender(0.5).unwrap(), 7, 1_000_000)
-            .unwrap();
+        let run =
+            single_link_adaptive_routing(k, Channel::sender(0.5).unwrap(), 7, 1_000_000).unwrap();
         let rounds = run.rounds_used();
         let per_msg = rounds as f64 / k as f64;
         assert!(
@@ -299,9 +300,9 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        assert!(single_link_nonadaptive_routing(0, 1, FaultModel::Faultless, 0).is_err());
-        assert!(single_link_nonadaptive_routing(1, 0, FaultModel::Faultless, 0).is_err());
-        assert!(single_link_coding(0, 1, FaultModel::Faultless, 0).is_err());
-        assert!(single_link_coding(1, 0, FaultModel::Faultless, 0).is_err());
+        assert!(single_link_nonadaptive_routing(0, 1, Channel::faultless(), 0).is_err());
+        assert!(single_link_nonadaptive_routing(1, 0, Channel::faultless(), 0).is_err());
+        assert!(single_link_coding(0, 1, Channel::faultless(), 0).is_err());
+        assert!(single_link_coding(1, 0, Channel::faultless(), 0).is_err());
     }
 }

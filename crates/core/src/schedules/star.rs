@@ -14,7 +14,7 @@
 
 use netgraph::{generators, Graph, NodeId};
 use radio_model::adaptive::{run_routing, RoutingOutcome};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::schedules::SequentialSourceController;
 use crate::{BroadcastRun, CoreError};
@@ -29,7 +29,7 @@ use crate::{BroadcastRun, CoreError};
 pub fn star_routing(
     leaves: usize,
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<RoutingOutcome, CoreError> {
@@ -69,7 +69,10 @@ impl NodeBehavior<u64> for CodingNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: u64) {
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<u64>) {
+        if !rx.is_packet() {
+            return;
+        }
         if let CodingNode::Leaf { received } = self {
             *received += 1;
         }
@@ -87,7 +90,7 @@ impl NodeBehavior<u64> for CodingNode {
 pub fn star_coding(
     leaves: usize,
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastRun, CoreError> {
@@ -126,7 +129,7 @@ pub fn star_coding_fixed_length(
     leaves: usize,
     k: usize,
     total_packets: u64,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
 ) -> Result<bool, CoreError> {
     let g = generators::star(leaves);
@@ -155,7 +158,7 @@ pub fn star_coding_end_to_end(
     leaves: usize,
     k: usize,
     payload_len: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<u64, CoreError> {
@@ -197,7 +200,8 @@ pub fn star_coding_end_to_end(
                 Action::Listen
             }
         }
-        fn receive(&mut self, _ctx: &mut Ctx<'_>, packet: (u64, Vec<Gf65536>)) {
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<(u64, Vec<Gf65536>)>) {
+            let Some(packet) = rx.packet() else { return };
             if self.packets.len() < self.k {
                 self.packets.push((packet.0 as usize, packet.1));
             }
@@ -244,7 +248,7 @@ mod tests {
 
     #[test]
     fn faultless_routing_is_k_rounds() {
-        let out = star_routing(32, 10, FaultModel::Faultless, 1, 10_000).unwrap();
+        let out = star_routing(32, 10, Channel::faultless(), 1, 10_000).unwrap();
         assert_eq!(out.rounds, Some(10));
     }
 
@@ -252,8 +256,7 @@ mod tests {
     fn noisy_routing_pays_log_n_per_message() {
         let leaves = 256;
         let k = 32;
-        let out =
-            star_routing(leaves, k, FaultModel::receiver(0.5).unwrap(), 3, 1_000_000).unwrap();
+        let out = star_routing(leaves, k, Channel::receiver(0.5).unwrap(), 3, 1_000_000).unwrap();
         let per_msg = out.rounds.unwrap() as f64 / k as f64;
         // E[per message] ≈ log2(256) + O(1) = 8..12.
         assert!(
@@ -266,7 +269,7 @@ mod tests {
     fn noisy_coding_is_constant_per_message() {
         let leaves = 256;
         let k = 64;
-        let run = star_coding(leaves, k, FaultModel::receiver(0.5).unwrap(), 5, 1_000_000).unwrap();
+        let run = star_coding(leaves, k, Channel::receiver(0.5).unwrap(), 5, 1_000_000).unwrap();
         let per_msg = run.rounds_used() as f64 / k as f64;
         // Each leaf needs k receptions at rate (1-p) = 1/2: ~2 rounds
         // per message plus a log n tail.
@@ -282,11 +285,11 @@ mod tests {
         // n=1024.
         let k = 24;
         let gap_at = |leaves: usize| {
-            let r = star_routing(leaves, k, FaultModel::receiver(0.5).unwrap(), 7, 1_000_000)
+            let r = star_routing(leaves, k, Channel::receiver(0.5).unwrap(), 7, 1_000_000)
                 .unwrap()
                 .rounds
                 .unwrap() as f64;
-            let c = star_coding(leaves, k, FaultModel::receiver(0.5).unwrap(), 7, 1_000_000)
+            let c = star_coding(leaves, k, Channel::receiver(0.5).unwrap(), 7, 1_000_000)
                 .unwrap()
                 .rounds_used() as f64;
             r / c
@@ -309,7 +312,7 @@ mod tests {
         let total = 4 * k as u64 + 4 * 7;
         let mut successes = 0;
         for seed in 0..20 {
-            if star_coding_fixed_length(leaves, k, total, FaultModel::receiver(0.5).unwrap(), seed)
+            if star_coding_fixed_length(leaves, k, total, Channel::receiver(0.5).unwrap(), seed)
                 .unwrap()
             {
                 successes += 1;
@@ -324,24 +327,23 @@ mod tests {
     #[test]
     fn end_to_end_rs_decoding_matches_counting_abstraction() {
         let rounds =
-            star_coding_end_to_end(16, 8, 4, FaultModel::receiver(0.3).unwrap(), 11, 10_000)
-                .unwrap();
+            star_coding_end_to_end(16, 8, 4, Channel::receiver(0.3).unwrap(), 11, 10_000).unwrap();
         assert!(rounds >= 8, "at least k rounds required, got {rounds}");
     }
 
     #[test]
     fn zero_k_rejected() {
         assert!(matches!(
-            star_coding(4, 0, FaultModel::Faultless, 0, 10),
+            star_coding(4, 0, Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
 
     #[test]
     fn sender_faults_also_handled() {
-        let out = star_routing(64, 8, FaultModel::sender(0.5).unwrap(), 9, 1_000_000).unwrap();
+        let out = star_routing(64, 8, Channel::sender(0.5).unwrap(), 9, 1_000_000).unwrap();
         assert!(out.rounds.is_some());
-        let run = star_coding(64, 8, FaultModel::sender(0.5).unwrap(), 9, 1_000_000).unwrap();
+        let run = star_coding(64, 8, Channel::sender(0.5).unwrap(), 9, 1_000_000).unwrap();
         assert!(run.completed());
     }
 }

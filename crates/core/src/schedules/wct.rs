@@ -22,7 +22,7 @@
 use netgraph::wct::Wct;
 use netgraph::NodeId;
 use radio_model::adaptive::RoutingOutcome;
-use radio_model::{fork_rng, FaultModel};
+use radio_model::{fork_rng, Channel};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -62,7 +62,7 @@ pub fn max_fraction_receiving_probe(wct: &Wct, trials: u64, seed: u64) -> f64 {
 pub fn wct_routing(
     wct: &Wct,
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<RoutingOutcome, CoreError> {
@@ -102,7 +102,7 @@ pub struct WctCodingRun {
 pub fn wct_coding(
     wct: &Wct,
     k: usize,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     max_rounds: u64,
 ) -> Result<WctCodingRun, CoreError> {
@@ -111,7 +111,6 @@ pub fn wct_coding(
             reason: "k must be ≥ 1".into(),
         });
     }
-    fault.validate().map_err(CoreError::Model)?;
     let p = fault.fault_probability();
     let mut fault_rng = fork_rng(seed, 1);
     let mut sched_rng = fork_rng(seed, 2);
@@ -175,7 +174,7 @@ pub fn wct_coding(
                 if broadcasting_senders[s] {
                     continue; // half-duplex: broadcasting senders miss the source
                 }
-                if fault.is_receiver() && fault_rng.gen_bool(p) {
+                if (fault.is_receiver() || fault.is_erasure()) && fault_rng.gen_bool(p) {
                     continue;
                 }
                 sender_count[s] += 1;
@@ -205,7 +204,7 @@ pub fn wct_coding(
                 continue;
             }
             for cnt in member_count[c].iter_mut() {
-                if fault.is_receiver() && fault_rng.gen_bool(p) {
+                if (fault.is_receiver() || fault.is_erasure()) && fault_rng.gen_bool(p) {
                     continue;
                 }
                 *cnt += 1;
@@ -244,7 +243,7 @@ mod tests {
     #[test]
     fn coding_completes_and_scales_linearly_in_k() {
         let wct = small_wct(2);
-        let fault = FaultModel::receiver(0.5).unwrap();
+        let fault = Channel::receiver(0.5).unwrap();
         let r8 = wct_coding(&wct, 8, fault, 5, 10_000_000)
             .unwrap()
             .rounds
@@ -263,7 +262,7 @@ mod tests {
     #[test]
     fn routing_completes() {
         let wct = small_wct(3);
-        let out = wct_routing(&wct, 4, FaultModel::receiver(0.5).unwrap(), 7, 20_000_000).unwrap();
+        let out = wct_routing(&wct, 4, Channel::receiver(0.5).unwrap(), 7, 20_000_000).unwrap();
         assert!(
             out.rounds.is_some(),
             "pipeline routing must finish on the WCT"
@@ -276,7 +275,7 @@ mod tests {
         // exceed coding rounds for the same k.
         let wct = small_wct(4);
         let k = 8;
-        let fault = FaultModel::receiver(0.5).unwrap();
+        let fault = Channel::receiver(0.5).unwrap();
         let coding = wct_coding(&wct, k, fault, 9, 10_000_000)
             .unwrap()
             .rounds
@@ -294,7 +293,7 @@ mod tests {
     #[test]
     fn sender_phase_is_reported() {
         let wct = small_wct(5);
-        let run = wct_coding(&wct, 8, FaultModel::receiver(0.3).unwrap(), 3, 1_000_000).unwrap();
+        let run = wct_coding(&wct, 8, Channel::receiver(0.3).unwrap(), 3, 1_000_000).unwrap();
         assert!(run.rounds.is_some());
         assert!(run.sender_phase_rounds >= 8, "senders need ≥ k rounds");
         assert!(run.sender_phase_rounds <= run.rounds.unwrap());
@@ -304,7 +303,7 @@ mod tests {
     fn zero_k_rejected() {
         let wct = small_wct(6);
         assert!(matches!(
-            wct_coding(&wct, 0, FaultModel::Faultless, 0, 10),
+            wct_coding(&wct, 0, Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
     }
@@ -312,7 +311,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_none() {
         let wct = small_wct(7);
-        let run = wct_coding(&wct, 64, FaultModel::receiver(0.5).unwrap(), 1, 10).unwrap();
+        let run = wct_coding(&wct, 64, Channel::receiver(0.5).unwrap(), 1, 10).unwrap();
         assert_eq!(run.rounds, None);
     }
 }

@@ -21,7 +21,7 @@
 //! tests pin down both regimes.
 
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 
 use crate::{BroadcastRun, CoreError};
 
@@ -47,7 +47,7 @@ impl Tdma {
         &self,
         graph: &Graph,
         source: NodeId,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
@@ -90,8 +90,10 @@ impl NodeBehavior<()> for TdmaNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
-        self.informed = true;
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+        if rx.is_packet() {
+            self.informed = true;
+        }
     }
 }
 
@@ -105,7 +107,7 @@ mod tests {
     fn completes_on_paths_and_scales_with_n_times_d() {
         let g = generators::path(32);
         let run = Tdma::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 1, 1_000_000)
+            .run(&g, NodeId::new(0), Channel::faultless(), 1, 1_000_000)
             .unwrap();
         let rounds = run.rounds_used();
         // Each hop takes ≤ one frame of 32 rounds; 31 hops.
@@ -118,7 +120,7 @@ mod tests {
     fn never_collides_even_on_dense_graphs() {
         let g = generators::complete(24);
         let run = Tdma::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 2, 10_000)
+            .run(&g, NodeId::new(0), Channel::faultless(), 2, 10_000)
             .unwrap();
         assert!(run.completed());
         assert_eq!(run.stats.collisions, 0);
@@ -128,8 +130,8 @@ mod tests {
     fn tolerates_faults() {
         let g = generators::gnp_connected(40, 0.1, 3).unwrap();
         for fault in [
-            FaultModel::sender(0.5).unwrap(),
-            FaultModel::receiver(0.5).unwrap(),
+            Channel::sender(0.5).unwrap(),
+            Channel::receiver(0.5).unwrap(),
         ] {
             let run = Tdma::new()
                 .run(&g, NodeId::new(0), fault, 4, 10_000_000)
@@ -145,7 +147,7 @@ mod tests {
         // in about one frame (O(n), not O(n·D)).
         let g = generators::path(128);
         let tdma = Tdma::new()
-            .run(&g, NodeId::new(0), FaultModel::Faultless, 5, 100_000_000)
+            .run(&g, NodeId::new(0), Channel::faultless(), 5, 100_000_000)
             .unwrap()
             .rounds_used();
         assert!(
@@ -161,11 +163,11 @@ mod tests {
         // regime, where Decay's O(D log n) wins big.
         let g = generators::path(128);
         let tdma = Tdma::new()
-            .run(&g, NodeId::new(127), FaultModel::Faultless, 5, 100_000_000)
+            .run(&g, NodeId::new(127), Channel::faultless(), 5, 100_000_000)
             .unwrap()
             .rounds_used();
         let decay = crate::decay::Decay::new()
-            .run(&g, NodeId::new(127), FaultModel::Faultless, 5, 100_000_000)
+            .run(&g, NodeId::new(127), Channel::faultless(), 5, 100_000_000)
             .unwrap()
             .rounds_used();
         assert!(decay * 4 < tdma, "Decay {decay} vs TDMA {tdma}");
@@ -185,7 +187,7 @@ mod tests {
                 frame: 25,
             })
             .collect();
-        let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 1).unwrap();
+        let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 1).unwrap();
         let mut trace = RoundTrace::default();
         for _ in 0..50 {
             sim.step_traced(&mut trace);
@@ -197,7 +199,7 @@ mod tests {
     fn bad_source_rejected() {
         let g = generators::path(4);
         assert!(Tdma::new()
-            .run(&g, NodeId::new(7), FaultModel::Faultless, 0, 10)
+            .run(&g, NodeId::new(7), Channel::faultless(), 0, 10)
             .is_err());
     }
 }

@@ -22,7 +22,7 @@
 //! in sharp contrast to receiver faults (Theorem 24).
 
 use netgraph::{Graph, NodeId};
-use radio_model::{fork_rng, BitMatrix, FaultModel};
+use radio_model::{fork_rng, BitMatrix, Channel};
 use rand::Rng;
 
 use crate::CoreError;
@@ -347,7 +347,7 @@ impl CodingFaultTransform {
         graph: &Graph,
         base: &BaseSchedule,
         trace: &FaultlessTrace,
-        fault: FaultModel,
+        fault: Channel,
         seed: u64,
     ) -> Result<TransformRun, CoreError> {
         if self.group_size == 0 {
@@ -360,7 +360,6 @@ impl CodingFaultTransform {
                 reason: "η must be in (0, 1)".into(),
             });
         }
-        fault.validate().map_err(CoreError::Model)?;
         let p = fault.fault_probability();
         let n = graph.node_count();
         let x = self.group_size as u64;
@@ -411,7 +410,7 @@ impl CodingFaultTransform {
                     if faulted[u.index()] {
                         continue;
                     }
-                    if fault.is_receiver() && rng.gen_bool(p) {
+                    if (fault.is_receiver() || fault.is_erasure()) && rng.gen_bool(p) {
                         continue;
                     }
                     if let Some(count) = required.get_mut(&(r as u64, u.raw(), v as u32)) {
@@ -512,8 +511,8 @@ mod tests {
             eta: 0.3,
         };
         for fault in [
-            FaultModel::sender(0.4).unwrap(),
-            FaultModel::receiver(0.4).unwrap(),
+            Channel::sender(0.4).unwrap(),
+            Channel::receiver(0.4).unwrap(),
         ] {
             let run = t.run(&g, &base, &trace, fault, 9).unwrap();
             assert!(run.success, "coding transform must succeed under {fault}");
@@ -538,7 +537,7 @@ mod tests {
             eta: 1e-9,
         };
         let run = t
-            .run(&g, &base, &trace, FaultModel::receiver(0.5).unwrap(), 11)
+            .run(&g, &base, &trace, Channel::receiver(0.5).unwrap(), 11)
             .unwrap();
         assert!(!run.success);
     }
@@ -570,13 +569,13 @@ mod tests {
             group_size: 0,
             eta: 0.5
         }
-        .run(&g, &base, &trace, FaultModel::Faultless, 0)
+        .run(&g, &base, &trace, Channel::faultless(), 0)
         .is_err());
         assert!(CodingFaultTransform {
             group_size: 4,
             eta: 1.5
         }
-        .run(&g, &base, &trace, FaultModel::Faultless, 0)
+        .run(&g, &base, &trace, Channel::faultless(), 0)
         .is_err());
     }
 

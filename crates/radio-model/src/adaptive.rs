@@ -18,7 +18,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::rng::fork_rng;
-use crate::{BitMatrix, FaultModel, ModelError};
+use crate::{BitMatrix, Channel, ModelError};
 
 /// Index of one of the `k` broadcast messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -146,34 +146,37 @@ pub struct RoutingOutcome {
     pub fresh_deliveries: u64,
 }
 
-/// Runs a [`RoutingController`] on `graph` under `fault` until all
+/// Runs a [`RoutingController`] on `graph` under `channel` until all
 /// nodes know all `k` messages or `max_rounds` elapse.
 ///
 /// `source` initially knows all `k` messages; everyone else knows
 /// nothing.
 ///
+/// In this centralized model the controller already sees the full
+/// knowledge matrix, so a lost delivery grants nothing whether the
+/// channel presents it as noise or as a detected erasure —
+/// [`Channel::erasure`] and [`Channel::receiver`] behave identically
+/// here (and lose identical slots under the same seed).
+///
 /// # Errors
 ///
-/// * [`ModelError::InvalidFaultProbability`] for an invalid fault
-///   model;
-/// * [`ModelError::ActionCountMismatch`] if the controller returns a
-///   wrong-sized action vector.
+/// [`ModelError::ActionCountMismatch`] if the controller returns a
+/// wrong-sized action vector.
 pub fn run_routing(
     graph: &Graph,
-    fault: FaultModel,
+    channel: Channel,
     source: NodeId,
     k: usize,
     controller: &mut dyn RoutingController,
     seed: u64,
     max_rounds: u64,
 ) -> Result<RoutingOutcome, ModelError> {
-    fault.validate()?;
     let n = graph.node_count();
     let mut knowledge = Knowledge::new(n, k);
     knowledge.grant_all(source);
     let mut ctrl_rng = fork_rng(seed, 0);
     let mut fault_rng = fork_rng(seed, 1);
-    let p = fault.fault_probability();
+    let p = channel.fault_probability();
 
     let mut broadcasts = 0u64;
     let mut fresh = 0u64;
@@ -218,7 +221,7 @@ pub fn run_routing(
         }
         // Sender faults: one draw per broadcaster.
         let mut sender_ok = vec![true; n];
-        if fault.is_sender() {
+        if channel.is_sender() {
             for (i, s) in sending.iter().enumerate() {
                 if s.is_some() && fault_rng.gen_bool(p) {
                     sender_ok[i] = false;
@@ -247,7 +250,7 @@ pub fn run_routing(
                 if !sender_ok[s.index()] {
                     continue;
                 }
-                if fault.is_receiver() && fault_rng.gen_bool(p) {
+                if (channel.is_receiver() || channel.is_erasure()) && fault_rng.gen_bool(p) {
                     continue;
                 }
                 let m = sending[s.index()].expect("sender has a message");
@@ -308,16 +311,8 @@ mod tests {
         let mut c = SourceSweep {
             source: NodeId::new(0),
         };
-        let out = run_routing(
-            &g,
-            FaultModel::Faultless,
-            NodeId::new(0),
-            5,
-            &mut c,
-            3,
-            1000,
-        )
-        .unwrap();
+        let out =
+            run_routing(&g, Channel::faultless(), NodeId::new(0), 5, &mut c, 3, 1000).unwrap();
         assert_eq!(out.rounds, Some(5));
         assert_eq!(out.broadcasts, 5);
         assert_eq!(out.fresh_deliveries, 50);
@@ -330,7 +325,7 @@ mod tests {
         let mut c = SourceSweep {
             source: NodeId::new(0),
         };
-        let fault = FaultModel::receiver(0.5).unwrap();
+        let fault = Channel::receiver(0.5).unwrap();
         let k = 20;
         let out = run_routing(&g, fault, NodeId::new(0), k, &mut c, 3, 1_000_000).unwrap();
         let rounds = out.rounds.expect("must complete") as f64;
@@ -352,7 +347,7 @@ mod tests {
                 RoutingAction::Silent,
             ]
         };
-        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap();
+        let out = run_routing(&g, Channel::faultless(), NodeId::new(0), 1, &mut c, 0, 10).unwrap();
         assert_eq!(out.rounds, None);
         assert_eq!(out.broadcasts, 0);
     }
@@ -364,7 +359,7 @@ mod tests {
             vec![RoutingAction::Silent] // wrong length
         };
         let err =
-            run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap_err();
+            run_routing(&g, Channel::faultless(), NodeId::new(0), 1, &mut c, 0, 10).unwrap_err();
         assert_eq!(
             err,
             ModelError::ActionCountMismatch {
@@ -401,7 +396,7 @@ mod tests {
                 ]
             }
         };
-        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 1, &mut c, 0, 10).unwrap();
+        let out = run_routing(&g, Channel::faultless(), NodeId::new(0), 1, &mut c, 0, 10).unwrap();
         assert_eq!(out.rounds, Some(1));
     }
 
@@ -423,7 +418,7 @@ mod tests {
     #[test]
     fn sender_faults_slow_single_link() {
         let g = generators::single_link();
-        let fault = FaultModel::sender(0.5).unwrap();
+        let fault = Channel::sender(0.5).unwrap();
         let mut c = SourceSweep {
             source: NodeId::new(0),
         };
@@ -442,7 +437,7 @@ mod tests {
         let mut c = SourceSweep {
             source: NodeId::new(0),
         };
-        let out = run_routing(&g, FaultModel::Faultless, NodeId::new(0), 0, &mut c, 0, 10).unwrap();
+        let out = run_routing(&g, Channel::faultless(), NodeId::new(0), 0, &mut c, 0, 10).unwrap();
         assert_eq!(out.rounds, Some(0));
     }
 }

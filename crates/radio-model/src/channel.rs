@@ -1,0 +1,337 @@
+//! The channel layer: loss models ([`Channel`]) and per-slot listener
+//! observations ([`Reception`]).
+//!
+//! This replaces the original closed `FaultModel` enum. A [`Channel`]
+//! is an opaque, always-valid description of the loss process the
+//! engine consults per delivery; constructors validate the fault
+//! probability once, so an in-hand `Channel` never needs re-checking.
+//! Keeping the kind private leaves room for composed channels (e.g.
+//! sender faults *and* erasures) without another breaking change.
+
+use std::fmt;
+
+use crate::ModelError;
+
+/// What a listening node observes in one slot (round).
+///
+/// The engine hands every listener exactly one `Reception` per round —
+/// the *physical* outcome of its slot:
+///
+/// * [`Packet`](Reception::Packet) — exactly one neighbor broadcast
+///   and the channel delivered the packet;
+/// * [`Noise`](Reception::Noise) — the slot carried energy but no
+///   decodable packet: a collision (≥ 2 broadcasting neighbors) or a
+///   sender/receiver fault of the paper's noisy model;
+/// * [`Erased`](Reception::Erased) — a packet was transmitted to this
+///   node but the channel erased it, *and the node knows it* (the
+///   erasure model of Censor-Hillel–Haeupler–Hershkowitz–Zuzic,
+///   DISC 2019);
+/// * [`Silence`](Reception::Silence) — no neighbor broadcast.
+///
+/// **Model-fidelity contract.** In the PODC 2017 noisy radio model,
+/// silence, collisions and faults are indistinguishable to a node (no
+/// collision detection). Protocols claiming to run in that model must
+/// therefore treat `Noise`, `Silence` and `Erased` identically —
+/// typically by only matching `Packet`. Branching on the non-packet
+/// kinds is what the *erasure* model (and stronger carrier-sensing
+/// models) permits; [`crate::Channel::erasure`] is the channel under
+/// which that distinction is meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reception<P> {
+    /// A cleanly delivered packet.
+    Packet(P),
+    /// Collision or fault noise (indistinguishable in the paper's
+    /// noisy model).
+    Noise,
+    /// A transmission aimed at this node was erased; the node learns
+    /// *that* the loss happened (DISC 2019 erasure semantics).
+    Erased,
+    /// No broadcasting neighbor this round.
+    Silence,
+}
+
+impl<P> Reception<P> {
+    /// The delivered packet, if any (consuming).
+    pub fn packet(self) -> Option<P> {
+        match self {
+            Reception::Packet(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The delivered packet by reference, if any.
+    pub fn as_packet(&self) -> Option<&P> {
+        match self {
+            Reception::Packet(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether a packet was delivered.
+    pub fn is_packet(&self) -> bool {
+        matches!(self, Reception::Packet(_))
+    }
+
+    /// Whether the slot was noise (collision or fault).
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Reception::Noise)
+    }
+
+    /// Whether the slot was a detected erasure.
+    pub fn is_erased(&self) -> bool {
+        matches!(self, Reception::Erased)
+    }
+
+    /// Whether the slot was silent.
+    pub fn is_silence(&self) -> bool {
+        matches!(self, Reception::Silence)
+    }
+
+    /// The payload-free kind of this reception.
+    pub fn kind(&self) -> ReceptionKind {
+        match self {
+            Reception::Packet(_) => ReceptionKind::Packet,
+            Reception::Noise => ReceptionKind::Noise,
+            Reception::Erased => ReceptionKind::Erased,
+            Reception::Silence => ReceptionKind::Silence,
+        }
+    }
+
+    /// Maps the packet payload type.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Reception<Q> {
+        match self {
+            Reception::Packet(p) => Reception::Packet(f(p)),
+            Reception::Noise => Reception::Noise,
+            Reception::Erased => Reception::Erased,
+            Reception::Silence => Reception::Silence,
+        }
+    }
+}
+
+/// The payload-free kinds of [`Reception`], for counting and test
+/// generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReceptionKind {
+    /// A packet was delivered.
+    Packet,
+    /// Collision or fault noise.
+    Noise,
+    /// A detected erasure.
+    Erased,
+    /// An empty slot.
+    Silence,
+}
+
+impl ReceptionKind {
+    /// All four kinds, for exhaustive test sweeps.
+    pub const ALL: [ReceptionKind; 4] = [
+        ReceptionKind::Packet,
+        ReceptionKind::Noise,
+        ReceptionKind::Erased,
+        ReceptionKind::Silence,
+    ];
+}
+
+/// The loss process of a (possibly noisy) radio channel.
+///
+/// Construct through the validated constructors; the fault probability
+/// is checked once (`p ∈ [0, 1)`), so every `Channel` value is valid
+/// by construction:
+///
+/// * [`Channel::faultless`] — the classic Chlamtac–Kutten radio model;
+/// * [`Channel::sender`] — each broadcaster transmits noise with
+///   probability `p` per round; the transmission still occupies the
+///   channel (paper §3.1);
+/// * [`Channel::receiver`] — each would-be delivery is replaced by
+///   noise with probability `p`, independently per listener (§3.1);
+/// * [`Channel::erasure`] — each would-be delivery is *erased* with
+///   probability `p`, and the listener observes
+///   [`Reception::Erased`] — the DISC 2019 erasure model, under which
+///   receivers learn that a slot was lost.
+///
+/// `receiver(p)` and `erasure(p)` drop the same slots under the same
+/// seed (the engine draws from one stream in the same order); they
+/// differ only in what the listener *learns*.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Channel {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+enum Kind {
+    #[default]
+    Faultless,
+    Sender {
+        p: f64,
+    },
+    Receiver {
+        p: f64,
+    },
+    Erasure {
+        p: f64,
+    },
+}
+
+impl Channel {
+    /// The faultless radio channel (classic model, `p = 0`).
+    pub fn faultless() -> Self {
+        Channel {
+            kind: Kind::Faultless,
+        }
+    }
+
+    /// Sender-fault channel: broadcasts become noise with probability
+    /// `p` each round.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFaultProbability`] unless `p ∈ [0, 1)`.
+    pub fn sender(p: f64) -> Result<Self, ModelError> {
+        Self::check(p)?;
+        Ok(Channel {
+            kind: Kind::Sender { p },
+        })
+    }
+
+    /// Receiver-fault channel: each delivery becomes noise with
+    /// probability `p`, independently per listener.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFaultProbability`] unless `p ∈ [0, 1)`.
+    pub fn receiver(p: f64) -> Result<Self, ModelError> {
+        Self::check(p)?;
+        Ok(Channel {
+            kind: Kind::Receiver { p },
+        })
+    }
+
+    /// Erasure channel: each delivery is erased with probability `p`,
+    /// and the listener observes [`Reception::Erased`] (it learns
+    /// *that* the slot was lost — DISC 2019, arXiv:1805.04165).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFaultProbability`] unless `p ∈ [0, 1)`.
+    pub fn erasure(p: f64) -> Result<Self, ModelError> {
+        Self::check(p)?;
+        Ok(Channel {
+            kind: Kind::Erasure { p },
+        })
+    }
+
+    fn check(p: f64) -> Result<(), ModelError> {
+        if !(0.0..1.0).contains(&p) || p.is_nan() {
+            return Err(ModelError::InvalidFaultProbability { p });
+        }
+        Ok(())
+    }
+
+    /// The per-round loss probability `p` (0 for the faultless
+    /// channel).
+    pub fn fault_probability(&self) -> f64 {
+        match self.kind {
+            Kind::Faultless => 0.0,
+            Kind::Sender { p } | Kind::Receiver { p } | Kind::Erasure { p } => p,
+        }
+    }
+
+    /// Whether losses strike at the sender side (one draw per
+    /// broadcaster, shared by all its listeners).
+    pub fn is_sender(&self) -> bool {
+        matches!(self.kind, Kind::Sender { .. })
+    }
+
+    /// Whether losses strike per delivery and present as noise.
+    pub fn is_receiver(&self) -> bool {
+        matches!(self.kind, Kind::Receiver { .. })
+    }
+
+    /// Whether losses strike per delivery and present as detected
+    /// erasures.
+    pub fn is_erasure(&self) -> bool {
+        matches!(self.kind, Kind::Erasure { .. })
+    }
+
+    /// Whether this channel never loses anything.
+    pub fn is_faultless(&self) -> bool {
+        matches!(self.kind, Kind::Faultless)
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Kind::Faultless => write!(f, "faultless"),
+            Kind::Sender { p } => write!(f, "sender(p={p})"),
+            Kind::Receiver { p } => write!(f, "receiver(p={p})"),
+            Kind::Erasure { p } => write!(f, "erasure(p={p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Channel::sender(0.0).is_ok());
+        assert!(Channel::sender(0.999).is_ok());
+        assert!(Channel::sender(1.0).is_err());
+        assert!(Channel::receiver(-0.1).is_err());
+        assert!(Channel::receiver(f64::NAN).is_err());
+        assert!(Channel::erasure(0.5).is_ok());
+        assert!(Channel::erasure(1.0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Channel::faultless().fault_probability(), 0.0);
+        assert!(Channel::faultless().is_faultless());
+        let s = Channel::sender(0.3).unwrap();
+        assert_eq!(s.fault_probability(), 0.3);
+        assert!(s.is_sender() && !s.is_receiver() && !s.is_erasure());
+        let r = Channel::receiver(0.3).unwrap();
+        assert!(r.is_receiver() && !r.is_sender());
+        let e = Channel::erasure(0.3).unwrap();
+        assert!(e.is_erasure() && !e.is_receiver() && !e.is_faultless());
+        assert_eq!(Channel::default(), Channel::faultless());
+    }
+
+    #[test]
+    fn display_is_uniform() {
+        assert_eq!(Channel::faultless().to_string(), "faultless");
+        assert_eq!(Channel::sender(0.5).unwrap().to_string(), "sender(p=0.5)");
+        assert_eq!(
+            Channel::receiver(0.25).unwrap().to_string(),
+            "receiver(p=0.25)"
+        );
+        assert_eq!(
+            Channel::erasure(0.125).unwrap().to_string(),
+            "erasure(p=0.125)"
+        );
+    }
+
+    #[test]
+    fn reception_predicates_and_map() {
+        let p: Reception<u8> = Reception::Packet(7);
+        assert!(p.is_packet());
+        assert_eq!(p.as_packet(), Some(&7));
+        assert_eq!(p.kind(), ReceptionKind::Packet);
+        assert_eq!(p.map(|x| u32::from(x) * 2), Reception::Packet(14));
+        assert_eq!(p.packet(), Some(7));
+        let n: Reception<u8> = Reception::Noise;
+        assert!(n.is_noise() && !n.is_packet());
+        assert_eq!(n.packet(), None);
+        assert_eq!(n.map(u32::from), Reception::Noise);
+        let e: Reception<u8> = Reception::Erased;
+        assert!(e.is_erased());
+        assert_eq!(e.kind(), ReceptionKind::Erased);
+        assert_eq!(e.map(u32::from), Reception::Erased);
+        let s: Reception<u8> = Reception::Silence;
+        assert!(s.is_silence());
+        assert_eq!(s.map(u32::from), Reception::Silence);
+        assert_eq!(ReceptionKind::ALL.len(), 4);
+    }
+}

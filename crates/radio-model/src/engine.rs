@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::rng::fork_rng;
-use crate::{Action, FaultModel, ModelError};
+use crate::{Action, Channel, ModelError, Reception};
 
 /// Per-round context handed to a [`NodeBehavior`].
 #[derive(Debug)]
@@ -21,24 +21,32 @@ pub struct Ctx<'a> {
 }
 
 /// A distributed per-node protocol: decides an action each round and
-/// consumes delivered packets.
+/// observes its slot outcome.
 ///
 /// The engine calls [`NodeBehavior::act`] for every node at the start
 /// of a round (before any delivery of that round), resolves the radio
-/// semantics, then calls [`NodeBehavior::receive`] on each successful
-/// delivery. State updated in `receive` is visible from the *next*
-/// round's `act`, matching the synchronous model.
+/// semantics, then calls [`NodeBehavior::receive`] on **every
+/// listening node** with its [`Reception`] for the round — a packet,
+/// noise, a detected erasure, or silence. Broadcasters receive nothing
+/// (the model is half-duplex). State updated in `receive` is visible
+/// from the *next* round's `act`, matching the synchronous model.
+///
+/// **Model fidelity.** Protocols for the paper's noisy model must not
+/// distinguish [`Reception::Noise`], [`Reception::Silence`] and
+/// [`Reception::Erased`] (see the [`Reception`] contract); erasure-
+/// model protocols may branch on [`Reception::Erased`].
 pub trait NodeBehavior<P> {
     /// Decide this round's action. Must not depend on this round's
     /// receptions (the engine enforces this by calling `act` first).
     fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<P>;
 
-    /// Called when a packet is successfully received this round
-    /// (exactly one broadcasting neighbor, no fault, node listening).
-    fn receive(&mut self, ctx: &mut Ctx<'_>, packet: P);
+    /// Called once per round for every listening node with the slot's
+    /// outcome.
+    fn receive(&mut self, ctx: &mut Ctx<'_>, rx: Reception<P>);
 }
 
-/// Aggregate statistics over an entire simulation.
+/// Aggregate statistics over an entire simulation, with one counter
+/// per channel loss kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimStats {
@@ -50,10 +58,22 @@ pub struct SimStats {
     pub deliveries: u64,
     /// Listener-rounds that saw ≥ 2 broadcasting neighbors.
     pub collisions: u64,
-    /// Broadcasts replaced by noise (sender-fault model).
+    /// Broadcasts replaced by noise (sender channel; one per faulted
+    /// broadcaster draw, shared by all its listeners).
     pub sender_faults: u64,
-    /// Deliveries replaced by noise (receiver-fault model).
+    /// Deliveries replaced by noise (receiver channel; one per lost
+    /// delivery).
     pub receiver_faults: u64,
+    /// Deliveries erased with the listener aware (erasure channel; one
+    /// per lost delivery).
+    pub erasures: u64,
+}
+
+impl SimStats {
+    /// Total channel-induced losses across all kinds.
+    pub fn losses(&self) -> u64 {
+        self.sender_faults + self.receiver_faults + self.erasures
+    }
 }
 
 /// What happened in one round.
@@ -72,11 +92,14 @@ pub struct RoundReport {
     pub sender_faults: u64,
     /// Receiver faults drawn this round.
     pub receiver_faults: u64,
+    /// Erasures drawn this round.
+    pub erasures: u64,
 }
 
 /// A detailed trace of one round, for invariant checking in tests:
-/// who broadcast, and which (sender → receiver) deliveries succeeded.
-#[derive(Debug, Clone, Default)]
+/// who broadcast, and which (sender → receiver) deliveries succeeded
+/// or were erased.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundTrace {
     /// Nodes that broadcast this round (sorted by id).
     pub broadcasters: Vec<NodeId>,
@@ -84,6 +107,8 @@ pub struct RoundTrace {
     pub deliveries: Vec<(NodeId, NodeId)>,
     /// Listeners that had ≥ 2 broadcasting neighbors.
     pub collided_listeners: Vec<NodeId>,
+    /// Listeners whose delivery was erased (erasure channel only).
+    pub erased_listeners: Vec<NodeId>,
 }
 
 /// The radio-network simulator driving one [`NodeBehavior`] per node.
@@ -92,7 +117,7 @@ pub struct RoundTrace {
 /// and an example.
 pub struct Simulator<'g, P, B> {
     graph: &'g Graph,
-    fault: FaultModel,
+    channel: Channel,
     behaviors: Vec<B>,
     node_rngs: Vec<SmallRng>,
     fault_rng: SmallRng,
@@ -106,7 +131,7 @@ impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("graph", &self.graph)
-            .field("fault", &self.fault)
+            .field("channel", &self.channel)
             .field("round", &self.round)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
@@ -117,21 +142,18 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
     /// Creates a simulator over `graph` with one behavior per node.
     ///
     /// `seed` drives all randomness: per-node behavior RNGs and the
-    /// fault process are independently forked from it.
+    /// channel loss process are independently forked from it.
     ///
     /// # Errors
     ///
-    /// * [`ModelError::NodeCountMismatch`] if `behaviors.len()` differs
-    ///   from the node count;
-    /// * [`ModelError::InvalidFaultProbability`] if the fault model is
-    ///   invalid.
+    /// [`ModelError::NodeCountMismatch`] if `behaviors.len()` differs
+    /// from the node count. (A [`Channel`] is valid by construction.)
     pub fn new(
         graph: &'g Graph,
-        fault: FaultModel,
+        channel: Channel,
         behaviors: Vec<B>,
         seed: u64,
     ) -> Result<Self, ModelError> {
-        fault.validate()?;
         let n = graph.node_count();
         if behaviors.len() != n {
             return Err(ModelError::NodeCountMismatch {
@@ -143,7 +165,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         let fault_rng = fork_rng(seed, u64::MAX / 2);
         Ok(Simulator {
             graph,
-            fault,
+            channel,
             behaviors,
             node_rngs,
             fault_rng,
@@ -158,9 +180,9 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.graph
     }
 
-    /// The fault model in force.
-    pub fn fault_model(&self) -> FaultModel {
-        self.fault
+    /// The channel in force.
+    pub fn channel(&self) -> Channel {
+        self.channel
     }
 
     /// The next round to execute (0-based; equals rounds executed).
@@ -199,6 +221,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         trace.broadcasters.clear();
         trace.deliveries.clear();
         trace.collided_listeners.clear();
+        trace.erased_listeners.clear();
         self.step_inner(Some(trace))
     }
 
@@ -225,14 +248,17 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
 
         // Phase 2: sample sender faults (one draw per broadcaster) and
         // mark broadcasters. A faulted sender still occupies the channel.
-        let p = self.fault.fault_probability();
+        let p = self.channel.fault_probability();
+        // receiver(p) and erasure(p) draw from the same stream in the
+        // same order, so they lose identical slots under one seed.
+        let per_delivery_loss = self.channel.is_receiver() || self.channel.is_erasure();
         let mut is_broadcasting = vec![false; n];
         let mut sender_ok = vec![true; n];
         for (i, action) in self.actions.iter().enumerate() {
             if action.is_broadcast() {
                 is_broadcasting[i] = true;
                 report.broadcasters += 1;
-                if self.fault.is_sender() && self.fault_rng.gen_bool(p) {
+                if self.channel.is_sender() && self.fault_rng.gen_bool(p) {
                     sender_ok[i] = false;
                     report.sender_faults += 1;
                 }
@@ -242,10 +268,10 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             }
         }
 
-        // Phase 3: resolve receptions for listeners.
+        // Phase 3: resolve every listener's slot outcome and deliver it.
         for i in 0..n {
             if is_broadcasting[i] {
-                continue; // broadcasters do not receive
+                continue; // broadcasters do not receive (half-duplex)
             }
             let node = NodeId::from_index(i);
             let mut sender: Option<NodeId> = None;
@@ -259,31 +285,35 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
                     sender = Some(u);
                 }
             }
-            match count {
-                0 => {}
+            let rx: Reception<P> = match count {
+                0 => Reception::Silence,
                 1 => {
                     let s = sender.expect("count == 1 implies a sender");
                     if !sender_ok[s.index()] {
-                        continue; // sender transmitted noise
-                    }
-                    if self.fault.is_receiver() && self.fault_rng.gen_bool(p) {
-                        report.receiver_faults += 1;
-                        continue;
-                    }
-                    let packet = self.actions[s.index()]
-                        .payload()
-                        .expect("broadcasting sender has a payload")
-                        .clone();
-                    let mut ctx = Ctx {
-                        node,
-                        round,
-                        rng: &mut self.node_rngs[i],
-                        degree: self.graph.degree(node),
-                    };
-                    self.behaviors[i].receive(&mut ctx, packet);
-                    report.deliveries += 1;
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.deliveries.push((s, node));
+                        // The sender transmitted noise; every listener
+                        // of this broadcaster hears noise.
+                        Reception::Noise
+                    } else if per_delivery_loss && self.fault_rng.gen_bool(p) {
+                        if self.channel.is_erasure() {
+                            report.erasures += 1;
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.erased_listeners.push(node);
+                            }
+                            Reception::Erased
+                        } else {
+                            report.receiver_faults += 1;
+                            Reception::Noise
+                        }
+                    } else {
+                        let packet = self.actions[s.index()]
+                            .payload()
+                            .expect("broadcasting sender has a payload")
+                            .clone();
+                        report.deliveries += 1;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.deliveries.push((s, node));
+                        }
+                        Reception::Packet(packet)
                     }
                 }
                 _ => {
@@ -291,8 +321,16 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
                     if let Some(t) = trace.as_deref_mut() {
                         t.collided_listeners.push(node);
                     }
+                    Reception::Noise
                 }
-            }
+            };
+            let mut ctx = Ctx {
+                node,
+                round,
+                rng: &mut self.node_rngs[i],
+                degree: self.graph.degree(node),
+            };
+            self.behaviors[i].receive(&mut ctx, rx);
         }
 
         self.round += 1;
@@ -302,6 +340,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.stats.collisions += report.collisions;
         self.stats.sender_faults += report.sender_faults;
         self.stats.receiver_faults += report.receiver_faults;
+        self.stats.erasures += report.erasures;
         report
     }
 
@@ -342,7 +381,7 @@ mod tests {
     use netgraph::generators;
 
     /// Flood protocol used across engine tests: informed nodes always
-    /// broadcast `()`; reception informs.
+    /// broadcast `()`; packet reception informs.
     struct AlwaysFlood {
         informed: bool,
     }
@@ -355,8 +394,10 @@ mod tests {
                 Action::Listen
             }
         }
-        fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: ()) {
-            self.informed = true;
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+            if rx.is_packet() {
+                self.informed = true;
+            }
         }
     }
 
@@ -372,7 +413,7 @@ mod tests {
     fn single_broadcaster_delivers_to_all_neighbors() {
         let g = generators::star(5);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(6, &[0]), 1).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(6, &[0]), 1).unwrap();
         let r = sim.step();
         assert_eq!(r.broadcasters, 1);
         assert_eq!(r.deliveries, 5);
@@ -386,7 +427,7 @@ mod tests {
         // hears a collision and never receives.
         let g = generators::path(3);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(3, &[0, 2]), 1).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(3, &[0, 2]), 1).unwrap();
         let r = sim.step();
         assert_eq!(r.broadcasters, 2);
         assert_eq!(r.deliveries, 0);
@@ -400,7 +441,7 @@ mod tests {
         // deliveries (half-duplex), no collisions.
         let g = generators::path(2);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0, 1]), 1).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(2, &[0, 1]), 1).unwrap();
         let r = sim.step();
         assert_eq!(r.deliveries, 0);
         assert_eq!(r.collisions, 0);
@@ -410,7 +451,7 @@ mod tests {
     fn flood_crosses_path_one_hop_per_round() {
         let g = generators::path(5);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(5, &[0]), 1).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(5, &[0]), 1).unwrap();
         let used = sim
             .run_until(100, |bs| bs.iter().all(|b| b.informed))
             .expect("faultless flood must finish");
@@ -426,8 +467,8 @@ mod tests {
     #[test]
     fn receiver_faults_delay_but_do_not_block() {
         let g = generators::path(2);
-        let fault = FaultModel::receiver(0.9).unwrap();
-        let mut sim = Simulator::new(&g, fault, flood_behaviors(2, &[0]), 3).unwrap();
+        let channel = Channel::receiver(0.9).unwrap();
+        let mut sim = Simulator::new(&g, channel, flood_behaviors(2, &[0]), 3).unwrap();
         let used = sim
             .run_until(10_000, |bs| bs[1].informed)
             .expect("must eventually deliver");
@@ -436,13 +477,14 @@ mod tests {
             sim.stats().receiver_faults > 0,
             "with p=0.9 some faults should occur"
         );
+        assert_eq!(sim.stats().erasures, 0, "receiver noise is not an erasure");
     }
 
     #[test]
     fn sender_faults_recorded_and_consistent() {
         let g = generators::star(8);
-        let fault = FaultModel::sender(0.5).unwrap();
-        let mut sim = Simulator::new(&g, fault, flood_behaviors(9, &[0]), 5).unwrap();
+        let channel = Channel::sender(0.5).unwrap();
+        let mut sim = Simulator::new(&g, channel, flood_behaviors(9, &[0]), 5).unwrap();
         // One broadcaster: each round either all 8 leaves receive
         // (sender ok) or none (sender fault) — sender faults are a
         // single draw shared by all receivers.
@@ -455,13 +497,132 @@ mod tests {
             );
         }
         assert!(sim.stats().sender_faults > 0);
+        assert_eq!(sim.stats().losses(), sim.stats().sender_faults);
+    }
+
+    #[test]
+    fn erasures_are_observed_and_counted() {
+        /// A listener that tallies every reception kind it observes.
+        struct Tally {
+            packets: u64,
+            noise: u64,
+            erased: u64,
+            silence: u64,
+        }
+        impl NodeBehavior<()> for Tally {
+            fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
+                if ctx.node == NodeId::new(0) {
+                    Action::Broadcast(())
+                } else {
+                    Action::Listen
+                }
+            }
+            fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+                match rx {
+                    Reception::Packet(()) => self.packets += 1,
+                    Reception::Noise => self.noise += 1,
+                    Reception::Erased => self.erased += 1,
+                    Reception::Silence => self.silence += 1,
+                }
+            }
+        }
+        let g = generators::single_link();
+        let behaviors = || {
+            vec![
+                Tally {
+                    packets: 0,
+                    noise: 0,
+                    erased: 0,
+                    silence: 0,
+                },
+                Tally {
+                    packets: 0,
+                    noise: 0,
+                    erased: 0,
+                    silence: 0,
+                },
+            ]
+        };
+        let mut sim = Simulator::new(&g, Channel::erasure(0.5).unwrap(), behaviors(), 7).unwrap();
+        sim.run(200);
+        let listener = sim.behavior(NodeId::new(1));
+        assert_eq!(listener.packets, sim.stats().deliveries);
+        assert_eq!(listener.erased, sim.stats().erasures);
+        assert_eq!(listener.noise, 0, "erasure channel never emits noise here");
+        assert!(listener.packets > 0 && listener.erased > 0);
+        assert_eq!(sim.stats().receiver_faults, 0);
+        // Same seed under the receiver channel: identical loss slots,
+        // but presented as noise.
+        let mut noisy =
+            Simulator::new(&g, Channel::receiver(0.5).unwrap(), behaviors(), 7).unwrap();
+        noisy.run(200);
+        let nl = noisy.behavior(NodeId::new(1));
+        assert_eq!(nl.noise, listener.erased);
+        assert_eq!(nl.packets, listener.packets);
+        assert_eq!(noisy.stats().receiver_faults, sim.stats().erasures);
+    }
+
+    #[test]
+    fn listeners_observe_silence_and_collisions() {
+        struct Observe {
+            last: Option<Reception<()>>,
+            broadcast: bool,
+        }
+        impl NodeBehavior<()> for Observe {
+            fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+                if self.broadcast {
+                    Action::Broadcast(())
+                } else {
+                    Action::Listen
+                }
+            }
+            fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+                self.last = Some(rx);
+            }
+        }
+        // Path 0-1-2: both endpoints broadcast, middle node hears a
+        // collision (Noise); a lone pair hears Silence.
+        let g = generators::path(3);
+        let behaviors = vec![
+            Observe {
+                last: None,
+                broadcast: true,
+            },
+            Observe {
+                last: None,
+                broadcast: false,
+            },
+            Observe {
+                last: None,
+                broadcast: true,
+            },
+        ];
+        let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 1).unwrap();
+        sim.step();
+        assert_eq!(sim.behavior(NodeId::new(1)).last, Some(Reception::Noise));
+
+        let g2 = generators::path(2);
+        let behaviors = vec![
+            Observe {
+                last: None,
+                broadcast: false,
+            },
+            Observe {
+                last: None,
+                broadcast: false,
+            },
+        ];
+        let mut sim2 = Simulator::new(&g2, Channel::faultless(), behaviors, 1).unwrap();
+        sim2.step();
+        assert_eq!(sim2.behavior(NodeId::new(0)).last, Some(Reception::Silence));
+        assert_eq!(sim2.behavior(NodeId::new(1)).last, Some(Reception::Silence));
     }
 
     #[test]
     fn faultless_star_informs_everyone_in_one_round() {
         let g = generators::star(100);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(101, &[0]), 9).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(101, &[0]), 9).unwrap();
         let used = sim
             .run_until(10, |bs| bs.iter().all(|b| b.informed))
             .unwrap();
@@ -474,7 +635,7 @@ mod tests {
         let run = |seed| {
             let mut sim = Simulator::new(
                 &g,
-                FaultModel::receiver(0.4).unwrap(),
+                Channel::receiver(0.4).unwrap(),
                 flood_behaviors(30, &[0]),
                 seed,
             )
@@ -493,7 +654,7 @@ mod tests {
     #[test]
     fn behavior_count_mismatch_rejected() {
         let g = generators::path(3);
-        let err = Simulator::<(), _>::new(&g, FaultModel::Faultless, flood_behaviors(2, &[]), 0)
+        let err = Simulator::<(), _>::new(&g, Channel::faultless(), flood_behaviors(2, &[]), 0)
             .unwrap_err();
         assert_eq!(
             err,
@@ -505,38 +666,55 @@ mod tests {
     }
 
     #[test]
-    fn invalid_fault_rejected() {
-        let g = generators::path(2);
-        let err = Simulator::<(), _>::new(
-            &g,
-            FaultModel::SenderFaults { p: 1.0 },
-            flood_behaviors(2, &[]),
-            0,
-        )
-        .unwrap_err();
+    fn invalid_probability_rejected_at_construction() {
+        // The old engine validated a FaultModel at Simulator::new; the
+        // Channel constructors now reject bad probabilities up front.
+        let err = Channel::sender(1.0).unwrap_err();
         assert_eq!(err, ModelError::InvalidFaultProbability { p: 1.0 });
+        assert!(Channel::erasure(-0.5).is_err());
     }
 
     #[test]
     fn traced_step_matches_report() {
         let g = generators::star(4);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(5, &[0]), 2).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(5, &[0]), 2).unwrap();
         let mut trace = RoundTrace::default();
         let r = sim.step_traced(&mut trace);
         assert_eq!(trace.broadcasters, vec![NodeId::new(0)]);
         assert_eq!(trace.deliveries.len() as u64, r.deliveries);
         assert!(trace.collided_listeners.is_empty());
+        assert!(trace.erased_listeners.is_empty());
         for &(s, _) in &trace.deliveries {
             assert_eq!(s, NodeId::new(0));
         }
     }
 
     #[test]
+    fn traced_step_records_erasures() {
+        let g = generators::star(6);
+        let mut sim = Simulator::new(
+            &g,
+            Channel::erasure(0.6).unwrap(),
+            flood_behaviors(7, &[0]),
+            3,
+        )
+        .unwrap();
+        let mut trace = RoundTrace::default();
+        let r = sim.step_traced(&mut trace);
+        assert_eq!(trace.erased_listeners.len() as u64, r.erasures);
+        assert_eq!(
+            trace.deliveries.len() + trace.erased_listeners.len(),
+            6,
+            "every leaf slot either delivers or erases"
+        );
+    }
+
+    #[test]
     fn stats_accumulate_over_rounds() {
         let g = generators::star(3);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(4, &[0]), 2).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(4, &[0]), 2).unwrap();
         sim.run(5);
         assert_eq!(sim.stats().rounds, 5);
         assert_eq!(sim.round(), 5);
@@ -550,7 +728,7 @@ mod tests {
     fn run_until_checks_before_first_round() {
         let g = generators::path(2);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0, 1]), 0).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(2, &[0, 1]), 0).unwrap();
         let used = sim
             .run_until(10, |bs| bs.iter().all(|b| b.informed))
             .unwrap();
@@ -562,8 +740,7 @@ mod tests {
     fn run_until_returns_none_when_budget_exhausted() {
         let g = generators::path(2);
         // Nobody informed: nothing ever happens.
-        let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[]), 0).unwrap();
+        let mut sim = Simulator::new(&g, Channel::faultless(), flood_behaviors(2, &[]), 0).unwrap();
         assert_eq!(sim.run_until(5, |bs| bs.iter().all(|b| b.informed)), None);
         assert_eq!(sim.round(), 5);
     }
@@ -572,9 +749,17 @@ mod tests {
     fn into_behaviors_returns_state() {
         let g = generators::path(2);
         let mut sim =
-            Simulator::new(&g, FaultModel::Faultless, flood_behaviors(2, &[0]), 0).unwrap();
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(2, &[0]), 0).unwrap();
         sim.step();
         let bs = sim.into_behaviors();
         assert!(bs[1].informed);
+    }
+
+    #[test]
+    fn channel_accessor() {
+        let g = generators::path(2);
+        let channel = Channel::erasure(0.25).unwrap();
+        let sim = Simulator::<(), _>::new(&g, channel, flood_behaviors(2, &[]), 0).unwrap();
+        assert_eq!(sim.channel(), channel);
     }
 }

@@ -1,5 +1,6 @@
 //! Discrete-round simulator for the (noisy) radio network model of
-//! Censor-Hillel, Haeupler, Hershkowitz and Zuzic (PODC 2017).
+//! Censor-Hillel, Haeupler, Hershkowitz and Zuzic (PODC 2017), with
+//! the erasure extension of their DISC 2019 follow-up.
 //!
 //! # The model
 //!
@@ -7,25 +8,38 @@
 //! Each round every node either *listens* or *broadcasts* a packet to
 //! all of its neighbors. A listening node receives a packet **iff
 //! exactly one** of its neighbors broadcasts; with zero broadcasting
-//! neighbors it hears silence and with two or more it hears a
-//! collision. Silence, collisions, and faults are indistinguishable
-//! noise to the node (no collision detection).
+//! neighbors its slot is empty and with two or more it hears a
+//! collision. The engine reports each listener's slot outcome as a
+//! [`Reception`]: `Packet`, `Noise` (collision or fault), `Erased`
+//! (a detected loss) or `Silence` (empty slot).
 //!
-//! The *noisy* model adds independent random faults with probability
-//! `p` (see [`FaultModel`]):
+//! The loss process is a [`Channel`]:
 //!
-//! * **sender faults** — each broadcasting node transmits noise instead
-//!   of its packet with probability `p`; the transmission still
-//!   occupies the channel (it still collides with others);
-//! * **receiver faults** — each listening node that would receive a
-//!   packet (exactly one broadcasting neighbor) receives noise with
-//!   probability `p` instead.
+//! * [`Channel::faultless`] — the classic Chlamtac–Kutten model;
+//! * [`Channel::sender`] — each broadcasting node transmits noise
+//!   instead of its packet with probability `p`; the transmission
+//!   still occupies the channel (it still collides with others);
+//! * [`Channel::receiver`] — each would-be delivery independently
+//!   becomes noise with probability `p`;
+//! * [`Channel::erasure`] — each would-be delivery is independently
+//!   *erased* with probability `p` and the listener observes
+//!   [`Reception::Erased`]: it learns *that* the slot was lost
+//!   (the erasure model of DISC 2019, arXiv:1805.04165).
+//!
+//! **Model-fidelity contract.** In the paper's noisy model, silence,
+//! collisions and faults are indistinguishable to a node (no collision
+//! detection). The engine nevertheless reports the *physical* outcome;
+//! protocols claiming the noisy model must only match
+//! [`Reception::Packet`] and treat everything else identically.
+//! Erasure-model protocols may additionally branch on
+//! [`Reception::Erased`] — that extra bit is exactly what separates
+//! the two models (see `noisy_radio_core::erasure`).
 //!
 //! # Two execution styles
 //!
 //! * [`Simulator`] runs *distributed protocols*: each node owns a
 //!   [`NodeBehavior`] state machine that decides an [`Action`] per
-//!   round and is fed delivered packets. This is how Decay, FASTBC,
+//!   round and observes a [`Reception`]. This is how Decay, FASTBC,
 //!   Robust FASTBC, and the RLNC multi-message algorithms run.
 //! * [`adaptive::run_routing`] runs *centralized adaptive routing
 //!   schedules* (paper Definition 14): a [`adaptive::RoutingController`]
@@ -37,7 +51,7 @@
 //!
 //! ```
 //! use netgraph::{generators, NodeId};
-//! use radio_model::{Action, Ctx, FaultModel, NodeBehavior, Simulator};
+//! use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
 //!
 //! /// Trivial flooding: node 0 always broadcasts "1"; everyone else listens.
 //! struct Flood { informed: bool }
@@ -49,17 +63,25 @@
 //!             Action::Listen
 //!         }
 //!     }
-//!     fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: u32) {
-//!         self.informed = true;
+//!     fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<u32>) {
+//!         // Noisy-model discipline: only a packet means anything.
+//!         if rx.is_packet() {
+//!             self.informed = true;
+//!         }
 //!     }
 //! }
 //!
 //! let g = generators::path(2);
 //! let behaviors = vec![Flood { informed: true }, Flood { informed: false }];
-//! let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 7).unwrap();
+//! let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 7).unwrap();
 //! let report = sim.step();
 //! assert_eq!(report.deliveries, 1);
 //! assert!(sim.behavior(NodeId::new(1)).informed);
+//!
+//! // The erasure channel loses the same slots as `Channel::receiver`
+//! // under the same seed, but listeners *observe* each loss:
+//! let noisy = Channel::erasure(0.5).unwrap();
+//! assert_eq!(noisy.to_string(), "erasure(p=0.5)");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -78,9 +100,9 @@ compile_error!(
 
 mod action;
 mod bitmat;
+mod channel;
 mod engine;
 mod error;
-mod fault;
 mod rng;
 
 pub mod adaptive;
@@ -88,7 +110,7 @@ pub mod recorder;
 
 pub use action::Action;
 pub use bitmat::BitMatrix;
+pub use channel::{Channel, Reception, ReceptionKind};
 pub use engine::{Ctx, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator};
 pub use error::ModelError;
-pub use fault::FaultModel;
 pub use rng::{fork_rng, fork_seed};

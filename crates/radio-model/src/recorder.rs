@@ -19,6 +19,8 @@ pub struct RecordedRound {
     pub deliveries: Vec<(u32, u32)>,
     /// Listeners that observed a collision.
     pub collisions: Vec<u32>,
+    /// Listeners whose delivery was erased (erasure channel).
+    pub erasures: Vec<u32>,
 }
 
 /// A recorded execution: every round's broadcast/delivery/collision
@@ -28,18 +30,18 @@ pub struct RecordedRound {
 ///
 /// ```
 /// use netgraph::{generators, NodeId};
-/// use radio_model::{recorder::History, Action, Ctx, FaultModel, NodeBehavior, Simulator};
+/// use radio_model::{recorder::History, Action, Ctx, Channel, NodeBehavior, Reception, Simulator};
 ///
 /// struct Shout;
 /// impl NodeBehavior<()> for Shout {
 ///     fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<()> {
 ///         if ctx.node == NodeId::new(0) { Action::Broadcast(()) } else { Action::Listen }
 ///     }
-///     fn receive(&mut self, _: &mut Ctx<'_>, _: ()) {}
+///     fn receive(&mut self, _: &mut Ctx<'_>, _: Reception<()>) {}
 /// }
 ///
 /// let g = generators::star(3);
-/// let mut sim = Simulator::new(&g, FaultModel::Faultless, vec![Shout, Shout, Shout, Shout], 1).unwrap();
+/// let mut sim = Simulator::new(&g, Channel::faultless(), vec![Shout, Shout, Shout, Shout], 1).unwrap();
 /// let history = History::record(&mut sim, 2);
 /// assert_eq!(history.rounds.len(), 2);
 /// assert_eq!(history.rounds[0].deliveries.len(), 3);
@@ -71,6 +73,7 @@ impl History {
                     .map(|&(s, r)| (s.raw(), r.raw()))
                     .collect(),
                 collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
+                erasures: trace.erased_listeners.iter().map(|v| v.raw()).collect(),
             });
         }
         history
@@ -105,6 +108,7 @@ impl History {
                     .map(|&(s, r)| (s.raw(), r.raw()))
                     .collect(),
                 collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
+                erasures: trace.erased_listeners.iter().map(|v| v.raw()).collect(),
             });
         }
     }
@@ -112,6 +116,11 @@ impl History {
     /// Total deliveries across the history.
     pub fn total_deliveries(&self) -> u64 {
         self.rounds.iter().map(|r| r.deliveries.len() as u64).sum()
+    }
+
+    /// Total observed erasures across the history.
+    pub fn total_erasures(&self) -> u64 {
+        self.rounds.iter().map(|r| r.erasures.len() as u64).sum()
     }
 
     /// The first round in which `v` received a packet, if any.
@@ -134,7 +143,7 @@ impl History {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Action, Ctx, FaultModel};
+    use crate::{Action, Channel, Ctx};
     use netgraph::generators;
 
     struct Flood {
@@ -148,8 +157,10 @@ mod tests {
                 Action::Listen
             }
         }
-        fn receive(&mut self, _ctx: &mut Ctx<'_>, _p: ()) {
-            self.informed = true;
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: crate::Reception<()>) {
+            if rx.is_packet() {
+                self.informed = true;
+            }
         }
     }
 
@@ -157,7 +168,7 @@ mod tests {
         let behaviors: Vec<Flood> = (0..g.node_count())
             .map(|i| Flood { informed: i == 0 })
             .collect();
-        Simulator::new(g, FaultModel::Faultless, behaviors, 3).unwrap()
+        Simulator::new(g, Channel::faultless(), behaviors, 3).unwrap()
     }
 
     #[test]
@@ -195,6 +206,16 @@ mod tests {
             History::record_until(&mut s, 3, |bs| bs.iter().all(|b| b.informed));
         assert_eq!(rounds, None);
         assert_eq!(history.rounds.len(), 3);
+    }
+
+    #[test]
+    fn records_erasures_under_erasure_channel() {
+        let g = generators::single_link();
+        let behaviors: Vec<Flood> = (0..2).map(|i| Flood { informed: i == 0 }).collect();
+        let mut s = Simulator::new(&g, Channel::erasure(0.8).unwrap(), behaviors, 5).unwrap();
+        let history = History::record(&mut s, 50);
+        assert_eq!(history.total_erasures(), s.stats().erasures);
+        assert!(history.total_erasures() > 0, "p=0.8 should erase something");
     }
 
     #[test]

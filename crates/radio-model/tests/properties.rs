@@ -1,16 +1,36 @@
 //! Property-based tests for the simulator engine: conservation laws
-//! and fault-model semantics that every run must satisfy.
+//! and channel semantics that every run must satisfy — including the
+//! new `Channel`/`Reception` laws (erasure ≡ receiver losses per seed,
+//! `erasure(0)` ≡ `faultless`, and full reception-kind coverage).
 
 use netgraph::{generators, Graph, NodeId};
 use proptest::prelude::*;
-use radio_model::{Action, Ctx, FaultModel, NodeBehavior, RoundTrace, Simulator};
+use radio_model::{
+    Action, Channel, Ctx, NodeBehavior, Reception, ReceptionKind, RoundTrace, SimStats, Simulator,
+};
 
 /// Behavior that broadcasts with a fixed per-node probability — a
-/// generic random traffic source.
-#[derive(Debug, Clone)]
+/// generic random traffic source that tallies every reception kind.
+#[derive(Debug, Clone, Default)]
 struct RandomChatter {
     probability: f64,
-    received: u64,
+    packets: u64,
+    noise: u64,
+    erased: u64,
+    silence: u64,
+}
+
+impl RandomChatter {
+    fn new(probability: f64) -> Self {
+        RandomChatter {
+            probability,
+            ..Default::default()
+        }
+    }
+
+    fn receptions(&self) -> u64 {
+        self.packets + self.noise + self.erased + self.silence
+    }
 }
 
 impl NodeBehavior<u64> for RandomChatter {
@@ -21,16 +41,24 @@ impl NodeBehavior<u64> for RandomChatter {
             Action::Listen
         }
     }
-    fn receive(&mut self, _ctx: &mut Ctx<'_>, _packet: u64) {
-        self.received += 1;
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<u64>) {
+        match rx.kind() {
+            ReceptionKind::Packet => self.packets += 1,
+            ReceptionKind::Noise => self.noise += 1,
+            ReceptionKind::Erased => self.erased += 1,
+            ReceptionKind::Silence => self.silence += 1,
+        }
     }
 }
 
-fn arb_fault() -> impl Strategy<Value = FaultModel> {
+/// Every channel constructor, including the erasure channel — so the
+/// generators exercise every `Reception` variant across the suite.
+fn arb_channel() -> impl Strategy<Value = Channel> {
     prop_oneof![
-        Just(FaultModel::Faultless),
-        (0.0..0.9f64).prop_map(|p| FaultModel::SenderFaults { p }),
-        (0.0..0.9f64).prop_map(|p| FaultModel::ReceiverFaults { p }),
+        Just(Channel::faultless()),
+        (0.0..0.9f64).prop_map(|p| Channel::sender(p).expect("valid p")),
+        (0.0..0.9f64).prop_map(|p| Channel::receiver(p).expect("valid p")),
+        (0.0..0.9f64).prop_map(|p| Channel::erasure(p).expect("valid p")),
     ]
 }
 
@@ -39,20 +67,40 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         .prop_map(|(n, seed, p)| generators::gnp_connected(n, p, seed).unwrap())
 }
 
+fn chatter(n: usize, prob: f64) -> Vec<RandomChatter> {
+    (0..n).map(|_| RandomChatter::new(prob)).collect()
+}
+
+/// Full per-round traces of a run, for bit-identity comparisons.
+fn traced_run(
+    g: &Graph,
+    channel: Channel,
+    seed: u64,
+    rounds: u64,
+    prob: f64,
+) -> (Vec<RoundTrace>, SimStats) {
+    let mut sim = Simulator::new(g, channel, chatter(g.node_count(), prob), seed).unwrap();
+    let mut traces = Vec::new();
+    for _ in 0..rounds {
+        let mut t = RoundTrace::default();
+        sim.step_traced(&mut t);
+        traces.push(t);
+    }
+    (traces, *sim.stats())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn traced_rounds_satisfy_radio_semantics(
         g in arb_graph(),
-        fault in arb_fault(),
+        channel in arb_channel(),
         seed in any::<u64>(),
         prob in 0.05..0.9f64,
     ) {
-        let behaviors: Vec<RandomChatter> = (0..g.node_count())
-            .map(|_| RandomChatter { probability: prob, received: 0 })
-            .collect();
-        let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+        let behaviors = chatter(g.node_count(), prob);
+        let mut sim = Simulator::new(&g, channel, behaviors, seed).unwrap();
         let mut trace = RoundTrace::default();
         for _ in 0..30 {
             let report = sim.step_traced(&mut trace);
@@ -60,6 +108,7 @@ proptest! {
             prop_assert_eq!(report.broadcasters as usize, trace.broadcasters.len());
             prop_assert_eq!(report.deliveries as usize, trace.deliveries.len());
             prop_assert_eq!(report.collisions as usize, trace.collided_listeners.len());
+            prop_assert_eq!(report.erasures as usize, trace.erased_listeners.len());
             // (2) Every delivery edge exists, the sender broadcast, the
             //     receiver did not.
             for &(s, r) in &trace.deliveries {
@@ -74,16 +123,22 @@ proptest! {
             let before = receivers.len();
             receivers.dedup();
             prop_assert_eq!(before, receivers.len(), "a node received twice in one round");
-            // (4) Exactly-one-broadcasting-neighbor rule (modulo faults):
-            //     every delivered receiver has exactly one broadcasting
-            //     neighbor; every collided listener has at least two.
-            for &(s, r) in &trace.deliveries {
+            // (4) Exactly-one-broadcasting-neighbor rule (modulo channel
+            //     losses): every delivered or erased receiver has exactly
+            //     one broadcasting neighbor; every collided listener has
+            //     at least two.
+            let singles = trace
+                .deliveries
+                .iter()
+                .map(|&(_, r)| r)
+                .chain(trace.erased_listeners.iter().copied());
+            for r in singles {
                 let b = g
                     .neighbors(r)
                     .iter()
                     .filter(|&&u| trace.broadcasters.binary_search(&u).is_ok())
                     .count();
-                prop_assert_eq!(b, 1, "delivered receiver {} had {} broadcasting neighbors (from {})", r, b, s);
+                prop_assert_eq!(b, 1, "receiver {} had {} broadcasting neighbors", r, b);
             }
             for &c in &trace.collided_listeners {
                 let b = g
@@ -93,9 +148,13 @@ proptest! {
                     .count();
                 prop_assert!(b >= 2, "collided listener {} had {} broadcasting neighbors", c, b);
             }
-            // (5) Faultless runs lose nothing: every listener with
+            // (5) Erasures only occur on the erasure channel.
+            if !channel.is_erasure() {
+                prop_assert!(trace.erased_listeners.is_empty());
+            }
+            // (6) Faultless runs lose nothing: every listener with
             //     exactly one broadcasting neighbor receives.
-            if fault == FaultModel::Faultless {
+            if channel == Channel::faultless() {
                 for v in g.nodes() {
                     if trace.broadcasters.binary_search(&v).is_ok() {
                         continue;
@@ -120,14 +179,12 @@ proptest! {
     #[test]
     fn stats_are_sums_of_reports(
         g in arb_graph(),
-        fault in arb_fault(),
+        channel in arb_channel(),
         seed in any::<u64>(),
     ) {
-        let behaviors: Vec<RandomChatter> = (0..g.node_count())
-            .map(|_| RandomChatter { probability: 0.3, received: 0 })
-            .collect();
-        let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
-        let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let behaviors = chatter(g.node_count(), 0.3);
+        let mut sim = Simulator::new(&g, channel, behaviors, seed).unwrap();
+        let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
         for _ in 0..25 {
             let r = sim.step();
             totals.0 += r.broadcasters;
@@ -135,6 +192,7 @@ proptest! {
             totals.2 += r.collisions;
             totals.3 += r.sender_faults;
             totals.4 += r.receiver_faults;
+            totals.5 += r.erasures;
         }
         let s = sim.stats();
         prop_assert_eq!(s.rounds, 25);
@@ -143,44 +201,147 @@ proptest! {
         prop_assert_eq!(s.collisions, totals.2);
         prop_assert_eq!(s.sender_faults, totals.3);
         prop_assert_eq!(s.receiver_faults, totals.4);
-        // Receptions recorded by behaviors equal total deliveries.
-        let received: u64 = sim.behaviors().iter().map(|b| b.received).sum();
-        prop_assert_eq!(received, s.deliveries);
+        prop_assert_eq!(s.erasures, totals.5);
+        prop_assert_eq!(s.losses(), totals.3 + totals.4 + totals.5);
+        // Reception conservation: packets seen by behaviors equal
+        // deliveries, erasures equal the erasure counter, and every
+        // listener-round observed exactly one reception.
+        let packets: u64 = sim.behaviors().iter().map(|b| b.packets).sum();
+        let erased: u64 = sim.behaviors().iter().map(|b| b.erased).sum();
+        let receptions: u64 = sim.behaviors().iter().map(|b| b.receptions()).sum();
+        prop_assert_eq!(packets, s.deliveries);
+        prop_assert_eq!(erased, s.erasures);
+        prop_assert_eq!(
+            receptions,
+            s.rounds * g.node_count() as u64 - s.broadcasts,
+            "every non-broadcasting node-round observes exactly one Reception"
+        );
     }
 
     #[test]
-    fn fault_kinds_only_occur_in_their_model(
+    fn loss_kinds_only_occur_on_their_channel(
         g in arb_graph(),
         seed in any::<u64>(),
         p in 0.1..0.9f64,
     ) {
-        let run = |fault: FaultModel| {
-            let behaviors: Vec<RandomChatter> = (0..g.node_count())
-                .map(|_| RandomChatter { probability: 0.4, received: 0 })
-                .collect();
-            let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+        let run = |channel: Channel| {
+            let behaviors = chatter(g.node_count(), 0.4);
+            let mut sim = Simulator::new(&g, channel, behaviors, seed).unwrap();
             sim.run(40);
             *sim.stats()
         };
-        let faultless = run(FaultModel::Faultless);
+        let faultless = run(Channel::faultless());
         prop_assert_eq!(faultless.sender_faults, 0);
         prop_assert_eq!(faultless.receiver_faults, 0);
-        let snd = run(FaultModel::SenderFaults { p });
+        prop_assert_eq!(faultless.erasures, 0);
+        let snd = run(Channel::sender(p).expect("valid p"));
         prop_assert_eq!(snd.receiver_faults, 0);
-        let rcv = run(FaultModel::ReceiverFaults { p });
+        prop_assert_eq!(snd.erasures, 0);
+        let rcv = run(Channel::receiver(p).expect("valid p"));
         prop_assert_eq!(rcv.sender_faults, 0);
+        prop_assert_eq!(rcv.erasures, 0);
+        let ers = run(Channel::erasure(p).expect("valid p"));
+        prop_assert_eq!(ers.sender_faults, 0);
+        prop_assert_eq!(ers.receiver_faults, 0);
     }
 
     #[test]
-    fn determinism_per_seed(g in arb_graph(), fault in arb_fault(), seed in any::<u64>()) {
+    fn erasure_zero_is_bit_identical_to_faultless(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        prob in 0.05..0.9f64,
+    ) {
+        let (clean_traces, clean_stats) =
+            traced_run(&g, Channel::faultless(), seed, 25, prob);
+        let (erased_traces, erased_stats) =
+            traced_run(&g, Channel::erasure(0.0).expect("valid p"), seed, 25, prob);
+        prop_assert_eq!(clean_traces, erased_traces);
+        prop_assert_eq!(clean_stats, erased_stats);
+    }
+
+    #[test]
+    fn erasure_loses_the_same_slots_as_receiver_faults(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        p in 0.05..0.9f64,
+        prob in 0.05..0.9f64,
+    ) {
+        let (noisy_traces, noisy_stats) =
+            traced_run(&g, Channel::receiver(p).expect("valid p"), seed, 25, prob);
+        let (erased_traces, erased_stats) =
+            traced_run(&g, Channel::erasure(p).expect("valid p"), seed, 25, prob);
+        // Identical loss frequency and identical loss *slots*: the
+        // channels draw from the same stream in the same order.
+        prop_assert_eq!(noisy_stats.receiver_faults, erased_stats.erasures);
+        prop_assert_eq!(noisy_stats.deliveries, erased_stats.deliveries);
+        prop_assert_eq!(noisy_stats.broadcasts, erased_stats.broadcasts);
+        prop_assert_eq!(noisy_stats.collisions, erased_stats.collisions);
+        for (n, e) in noisy_traces.iter().zip(&erased_traces) {
+            prop_assert_eq!(&n.broadcasters, &e.broadcasters);
+            prop_assert_eq!(&n.deliveries, &e.deliveries);
+            prop_assert_eq!(&n.collided_listeners, &e.collided_listeners);
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed(g in arb_graph(), channel in arb_channel(), seed in any::<u64>()) {
         let run = || {
-            let behaviors: Vec<RandomChatter> = (0..g.node_count())
-                .map(|_| RandomChatter { probability: 0.25, received: 0 })
-                .collect();
-            let mut sim = Simulator::new(&g, fault, behaviors, seed).unwrap();
+            let behaviors = chatter(g.node_count(), 0.25);
+            let mut sim = Simulator::new(&g, channel, behaviors, seed).unwrap();
             sim.run(30);
             *sim.stats()
         };
         prop_assert_eq!(run(), run());
     }
+}
+
+/// A designed scenario in which all four `Reception` variants must
+/// appear: on the path 0-1-2-3-4 with nodes 0 and 2 always
+/// broadcasting under `erasure(0.5)`, node 1 always hears a collision
+/// (Noise), node 3 hears node 2 alone (Packet or Erased — both occur
+/// over 60 rounds), and node 4 hears nobody (Silence).
+#[test]
+fn every_reception_kind_is_observable() {
+    struct Fixed {
+        broadcast: bool,
+        counts: [u64; 4],
+    }
+    impl NodeBehavior<()> for Fixed {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+            if self.broadcast {
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+            let i = match rx.kind() {
+                ReceptionKind::Packet => 0,
+                ReceptionKind::Noise => 1,
+                ReceptionKind::Erased => 2,
+                ReceptionKind::Silence => 3,
+            };
+            self.counts[i] += 1;
+        }
+    }
+    let g = generators::path(5);
+    let behaviors: Vec<Fixed> = (0..5)
+        .map(|i| Fixed {
+            broadcast: i == 0 || i == 2,
+            counts: [0; 4],
+        })
+        .collect();
+    let mut sim = Simulator::new(&g, Channel::erasure(0.5).unwrap(), behaviors, 11).unwrap();
+    sim.run(60);
+    let b = sim.behaviors();
+    assert_eq!(b[1].counts, [0, 60, 0, 0], "node 1 hears only collisions");
+    assert!(b[3].counts[0] > 0, "node 3 must receive some packets");
+    assert!(b[3].counts[2] > 0, "node 3 must observe some erasures");
+    assert_eq!(
+        b[3].counts[0] + b[3].counts[2],
+        60,
+        "node 3's slots are packets or erasures only"
+    );
+    assert_eq!(b[4].counts, [0, 0, 0, 60], "node 4 hears only silence");
+    assert_eq!(sim.stats().erasures, b[3].counts[2]);
 }

@@ -1,9 +1,11 @@
-//! A dependency-free JSON value tree with deterministic rendering.
+//! A dependency-free JSON value tree with deterministic rendering and
+//! a small reader.
 //!
 //! The workspace is offline (no serde), but sweep runs need structured
-//! artifacts (`experiments --json out.json`). This module hand-rolls
-//! the writing half of JSON: build a [`Json`] tree, render it with
-//! [`Json::render`]. Object keys keep insertion order and numbers
+//! artifacts (`experiments --json out.json`) and the artifact-diff
+//! mode (`experiments --diff`) needs to read them back. This module
+//! hand-rolls both halves of JSON: build a [`Json`] tree, render it
+//! with [`Json::render`], and parse a document with [`Json::parse`]. Object keys keep insertion order and numbers
 //! render via Rust's shortest-roundtrip formatting, so the output is a
 //! pure function of the tree — byte-identical across runs, platforms,
 //! and `--jobs` values.
@@ -143,6 +145,262 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parses a JSON document (the reading half of the artifact
+    /// round-trip). Numbers parse as [`Json::U64`] when they are plain
+    /// unsigned integers and as [`Json::F64`] otherwise; objects keep
+    /// key order. One normalization follows: a [`Json::F64`] holding a
+    /// whole value renders as an integer literal (`3.0` → `"3"`) and
+    /// re-parses as [`Json::U64`], so compare parsed trees against
+    /// parsed trees (or via [`Json::render`]), not against hand-built
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax
+    /// error, or on trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("dangling escape at byte {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    format!("truncated \\u escape at byte {}", self.pos)
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our
+                            // artifacts (the writer only \u-escapes
+                            // control characters); reject them rather
+                            // than decode them wrongly.
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                format!("unsupported \\u escape at byte {}", self.pos)
+                            })?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown escape `\\{}` at byte {}",
+                                char::from(other),
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
@@ -225,5 +483,70 @@ mod tests {
     fn key_order_is_insertion_order() {
         let doc = Json::obj([("z", Json::U64(1)), ("a", Json::U64(2))]);
         assert_eq!(doc.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn whole_valued_f64_normalizes_to_u64_on_reparse() {
+        assert_eq!(Json::F64(3.0).render(), "3");
+        assert_eq!(Json::parse("3").unwrap(), Json::U64(3));
+        // Parsed-vs-parsed comparison is stable even so.
+        assert_eq!(
+            Json::parse(&Json::F64(3.0).render()).unwrap(),
+            Json::parse("3").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let doc = Json::obj([
+            ("schema", Json::str("noisy-radio/experiments/v1")),
+            ("seed", Json::U64(42)),
+            ("pi", Json::F64(3.25)),
+            ("neg", Json::F64(-7.0)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "rows",
+                Json::arr([Json::arr([Json::str("a — τ\n")]), Json::arr([])]),
+            ),
+            ("empty", Json::obj::<String>([])),
+        ]);
+        for text in [doc.render(), doc.render_pretty()] {
+            let back = Json::parse(&text).expect("round trip");
+            assert_eq!(back, doc, "failed on {text}");
+        }
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let doc = Json::parse(r#"{"a": [1, 2], "b": "x", "ok": false}"#).unwrap();
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::U64(3).get("a"), None);
+        assert_eq!(Json::U64(3).as_str(), None);
+        assert_eq!(Json::U64(3).as_arr(), None);
+        assert_eq!(Json::U64(3).as_bool(), None);
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let back = Json::parse(r#""a\"b\\c\nd\te\u0001f""#).unwrap();
+        assert_eq!(back, Json::str("a\"b\\c\nd\te\u{1}f"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nulllll").is_err());
+        assert!(Json::parse("{\"a\": 1} x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("tru").is_err());
     }
 }

@@ -12,7 +12,7 @@
 use noisy_radio::core::decay::Decay;
 use noisy_radio::core::fastbc::{FastbcParams, FastbcSchedule};
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, NodeId};
 use noisy_radio::throughput::Table;
 
@@ -49,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(&["p", "Decay", "FASTBC", "Robust FASTBC", "winner"]);
     for p in [0.0, 0.1, 0.3, 0.5] {
         let fault = if p == 0.0 {
-            FaultModel::Faultless
+            Channel::faultless()
         } else {
-            FaultModel::receiver(p)?
+            Channel::receiver(p)?
         };
         let d = mean(
             |s| {

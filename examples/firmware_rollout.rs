@@ -12,12 +12,12 @@
 //! Run with: `cargo run --release --example firmware_rollout`
 
 use noisy_radio::core::schedules::star::{star_coding_end_to_end, star_routing};
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::throughput::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 24; // firmware chunks
-    let fault = FaultModel::receiver(0.5)?;
+    let fault = Channel::receiver(0.5)?;
     println!("rolling out k = {k} chunks, receiver-fault probability 0.5\n");
 
     let mut table = Table::new(&["clients", "routing rounds", "RS coding rounds", "gap"]);

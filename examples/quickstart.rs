@@ -10,7 +10,7 @@
 use noisy_radio::core::decay::Decay;
 use noisy_radio::core::fastbc::FastbcSchedule;
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, metrics, NodeId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         network.edge_count()
     );
 
-    let fault = FaultModel::receiver(0.4)?;
+    let fault = Channel::receiver(0.4)?;
     println!("fault model: {fault}\n");
 
     // Decay needs no topology knowledge.

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example sensor_field`
 
 use noisy_radio::core::multi_message::DecayRlnc;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, NodeId};
 use noisy_radio::throughput::Table;
 
@@ -32,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     for k in [8usize, 16, 32] {
         for fault in [
-            FaultModel::Faultless,
-            FaultModel::receiver(0.3)?,
-            FaultModel::sender(0.3)?,
+            Channel::faultless(),
+            Channel::receiver(0.3)?,
+            Channel::sender(0.3)?,
         ] {
             let out = DecayRlnc {
                 phase_len: None,

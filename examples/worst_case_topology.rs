@@ -9,13 +9,13 @@
 //! Run with: `cargo run --release --example worst_case_topology`
 
 use noisy_radio::core::schedules::wct::{max_fraction_receiving_probe, wct_coding, wct_routing};
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::wct::{Wct, WctParams};
 use noisy_radio::throughput::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 8;
-    let fault = FaultModel::receiver(0.5)?;
+    let fault = Channel::receiver(0.5)?;
     let mut table = Table::new(&[
         "senders",
         "nodes",

@@ -20,7 +20,7 @@ use noisy_radio::core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
 use noisy_radio::core::schedules::star::{star_coding, star_routing};
 use noisy_radio::gbst::Gbst;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
 use noisy_radio::sweep::{run_cells, SweepConfig};
 
@@ -44,7 +44,8 @@ COMMON OPTIONS:
                     tree:ARITY:DEPTH | gnp:N:P | hypercube:D |
                     caterpillar:SPINE:LEGS | spider:LEGS:LEN | udg:N:R
                     (default path:128)
-  --fault SPEC      faultless | receiver:P | sender:P   (default receiver:0.3)
+  --fault SPEC      faultless | receiver:P | sender:P | erasure:P
+                    (default receiver:0.3)
   --seed N          RNG seed (default 42)
   --trials N        independent trials (default 3)
   --jobs N          worker threads for trials (default: available
@@ -94,7 +95,7 @@ fn run(args: &[String]) -> Result<(), String> {
 /// Parsed command-line options with defaults.
 struct Options {
     topology: String,
-    fault: FaultModel,
+    fault: Channel,
     seed: u64,
     trials: u64,
     jobs: Option<usize>,
@@ -113,7 +114,7 @@ impl Options {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = Options {
             topology: "path:128".into(),
-            fault: FaultModel::ReceiverFaults { p: 0.3 },
+            fault: Channel::receiver(0.3).expect("valid default"),
             seed: 42,
             trials: 3,
             jobs: None,
@@ -157,19 +158,20 @@ impl Options {
     }
 }
 
-fn parse_fault(spec: &str) -> Result<FaultModel, String> {
+fn parse_fault(spec: &str) -> Result<Channel, String> {
     if spec == "faultless" {
-        return Ok(FaultModel::Faultless);
+        return Ok(Channel::faultless());
     }
-    let (kind, p) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("bad fault spec `{spec}` (want receiver:P or sender:P)"))?;
+    let (kind, p) = spec.split_once(':').ok_or_else(|| {
+        format!("bad fault spec `{spec}` (want receiver:P, sender:P or erasure:P)")
+    })?;
     let p: f64 = p
         .parse()
         .map_err(|e| format!("bad fault probability: {e}"))?;
     match kind {
-        "receiver" => FaultModel::receiver(p).map_err(|e| e.to_string()),
-        "sender" => FaultModel::sender(p).map_err(|e| e.to_string()),
+        "receiver" => Channel::receiver(p).map_err(|e| e.to_string()),
+        "sender" => Channel::sender(p).map_err(|e| e.to_string()),
+        "erasure" => Channel::erasure(p).map_err(|e| e.to_string()),
         other => Err(format!("unknown fault kind `{other}`")),
     }
 }
@@ -386,14 +388,18 @@ mod tests {
 
     #[test]
     fn fault_specs() {
-        assert_eq!(parse_fault("faultless").unwrap(), FaultModel::Faultless);
+        assert_eq!(parse_fault("faultless").unwrap(), Channel::faultless());
         assert_eq!(
             parse_fault("receiver:0.5").unwrap(),
-            FaultModel::ReceiverFaults { p: 0.5 }
+            Channel::receiver(0.5).unwrap()
         );
         assert_eq!(
             parse_fault("sender:0.25").unwrap(),
-            FaultModel::SenderFaults { p: 0.25 }
+            Channel::sender(0.25).unwrap()
+        );
+        assert_eq!(
+            parse_fault("erasure:0.5").unwrap(),
+            Channel::erasure(0.5).unwrap()
         );
         assert!(parse_fault("receiver").is_err());
         assert!(parse_fault("gamma:0.5").is_err());

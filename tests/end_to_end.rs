@@ -4,7 +4,7 @@
 use noisy_radio::core::decay::Decay;
 use noisy_radio::core::fastbc::FastbcSchedule;
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, Graph, NodeId};
 
 const MAX: u64 = 50_000_000;
@@ -28,13 +28,13 @@ fn topologies() -> Vec<(&'static str, Graph)> {
     ]
 }
 
-fn fault_models() -> Vec<FaultModel> {
+fn fault_models() -> Vec<Channel> {
     vec![
-        FaultModel::Faultless,
-        FaultModel::sender(0.3).expect("valid"),
-        FaultModel::receiver(0.3).expect("valid"),
-        FaultModel::sender(0.6).expect("valid"),
-        FaultModel::receiver(0.6).expect("valid"),
+        Channel::faultless(),
+        Channel::sender(0.3).expect("valid"),
+        Channel::receiver(0.3).expect("valid"),
+        Channel::sender(0.6).expect("valid"),
+        Channel::receiver(0.6).expect("valid"),
     ]
 }
 
@@ -81,11 +81,11 @@ fn faultless_fastbc_beats_decay_on_long_paths() {
     let g = generators::path(512);
     let fastbc = FastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
     let f = fastbc
-        .run(FaultModel::Faultless, 7, MAX)
+        .run(Channel::faultless(), 7, MAX)
         .expect("valid")
         .rounds_used();
     let d = Decay::new()
-        .run(&g, NodeId::new(0), FaultModel::Faultless, 7, MAX)
+        .run(&g, NodeId::new(0), Channel::faultless(), 7, MAX)
         .expect("valid")
         .rounds_used();
     assert!(f < d, "FASTBC ({f}) should beat Decay ({d}) faultlessly");
@@ -107,7 +107,7 @@ fn noisy_robust_fastbc_beats_fastbc_on_long_paths() {
     )
     .expect("connected");
     let robust = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
-    let fault = FaultModel::receiver(0.5).expect("valid");
+    let fault = Channel::receiver(0.5).expect("valid");
     let mut f_total = 0;
     let mut r_total = 0;
     for seed in 0..3 {
@@ -123,7 +123,7 @@ fn noisy_robust_fastbc_beats_fastbc_on_long_paths() {
 #[test]
 fn same_seed_reproduces_across_algorithms() {
     let g = generators::gnp_connected(48, 0.1, 11).expect("valid");
-    let fault = FaultModel::receiver(0.4).expect("valid");
+    let fault = Channel::receiver(0.4).expect("valid");
     for _ in 0..2 {
         let a = Decay::new()
             .run(&g, NodeId::new(0), fault, 99, MAX)

@@ -10,7 +10,7 @@ use noisy_radio::core::schedules::single_link::{
 };
 use noisy_radio::core::schedules::star::{star_coding, star_coding_end_to_end, star_routing};
 use noisy_radio::core::schedules::wct::{wct_coding, wct_routing};
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::wct::{Wct, WctParams};
 use noisy_radio::netgraph::{generators, NodeId};
 
@@ -19,7 +19,7 @@ const MAX: u64 = 100_000_000;
 #[test]
 fn star_gap_coding_beats_routing() {
     // Theorem 17 at n = 512, k = 16, p = 1/2.
-    let fault = FaultModel::receiver(0.5).expect("valid");
+    let fault = Channel::receiver(0.5).expect("valid");
     let routing = star_routing(512, 16, fault, 1, MAX)
         .expect("valid")
         .rounds
@@ -35,15 +35,9 @@ fn star_gap_coding_beats_routing() {
 
 #[test]
 fn star_end_to_end_rs_decodes_real_payloads() {
-    let rounds = star_coding_end_to_end(
-        32,
-        12,
-        8,
-        FaultModel::receiver(0.4).expect("valid"),
-        3,
-        50_000,
-    )
-    .expect("decodes everywhere");
+    let rounds =
+        star_coding_end_to_end(32, 12, 8, Channel::receiver(0.4).expect("valid"), 3, 50_000)
+            .expect("decodes everywhere");
     assert!(rounds >= 12);
 }
 
@@ -57,7 +51,7 @@ fn wct_gap_coding_beats_routing() {
         seed: 21,
     })
     .expect("valid");
-    let fault = FaultModel::receiver(0.5).expect("valid");
+    let fault = Channel::receiver(0.5).expect("valid");
     let routing = wct_routing(&wct, 6, fault, 2, MAX)
         .expect("valid")
         .rounds
@@ -75,7 +69,7 @@ fn wct_gap_coding_beats_routing() {
 #[test]
 fn single_link_triangle_of_lemmas() {
     // Lemma 29 vs 30 vs 32 at k = 128, p = 1/2.
-    let fault = FaultModel::receiver(0.5).expect("valid");
+    let fault = Channel::receiver(0.5).expect("valid");
     let k = 128;
     // Non-adaptive with 1 repetition: fails.
     assert!(
@@ -112,8 +106,8 @@ fn rlnc_multi_message_payloads_survive_noise() {
         (generators::gnp_connected(40, 0.1, 3).expect("valid"), 10),
     ] {
         for fault in [
-            FaultModel::sender(0.3).expect("valid"),
-            FaultModel::receiver(0.3).expect("valid"),
+            Channel::sender(0.3).expect("valid"),
+            Channel::receiver(0.3).expect("valid"),
         ] {
             let out = DecayRlnc {
                 phase_len: None,

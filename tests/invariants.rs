@@ -4,7 +4,7 @@
 use noisy_radio::core::fastbc::FastbcSchedule;
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
 use noisy_radio::gbst::Gbst;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, NodeId};
 
 #[test]
@@ -17,7 +17,7 @@ fn fastbc_fast_rounds_collision_free_across_seeds() {
         let sched = FastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
         let gbst = sched.gbst();
         sched
-            .run_traced(FaultModel::Faultless, seed, 50_000, |round, trace| {
+            .run_traced(Channel::faultless(), seed, 50_000, |round, trace| {
                 if round % 2 != 0 {
                     return;
                 }
@@ -41,7 +41,7 @@ fn robust_fastbc_block_waves_collision_free_across_seeds() {
         let sched = RobustFastbcSchedule::new(&g, NodeId::new(0)).expect("connected");
         let gbst = sched.gbst();
         sched
-            .run_traced(FaultModel::Faultless, seed, 100_000, |round, trace| {
+            .run_traced(Channel::faultless(), seed, 100_000, |round, trace| {
                 if round % 2 != 0 {
                     return;
                 }
@@ -92,9 +92,9 @@ fn broadcast_round_counts_are_monotone_in_fault_probability_on_average() {
     let g = generators::path(96);
     let mean = |p: f64| -> f64 {
         let fault = if p == 0.0 {
-            FaultModel::Faultless
+            Channel::faultless()
         } else {
-            FaultModel::receiver(p).expect("valid")
+            Channel::receiver(p).expect("valid")
         };
         let mut total = 0u64;
         for seed in 0..8 {

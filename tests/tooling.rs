@@ -5,13 +5,13 @@
 use noisy_radio::core::decay::Decay;
 use noisy_radio::gbst::Gbst;
 use noisy_radio::model::recorder::History;
-use noisy_radio::model::FaultModel;
+use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{dot, generators, NodeId};
 use noisy_radio::throughput::Percentiles;
 
 #[test]
 fn recorded_history_matches_broadcast_progress() {
-    use noisy_radio::model::{Action, Ctx, NodeBehavior, Simulator};
+    use noisy_radio::model::{Action, Ctx, NodeBehavior, Reception, Simulator};
 
     struct Flood {
         informed: bool,
@@ -24,14 +24,16 @@ fn recorded_history_matches_broadcast_progress() {
                 Action::Listen
             }
         }
-        fn receive(&mut self, _ctx: &mut Ctx<'_>, _p: ()) {
-            self.informed = true;
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+            if rx.is_packet() {
+                self.informed = true;
+            }
         }
     }
 
     let g = generators::path(16);
     let behaviors: Vec<Flood> = (0..16).map(|i| Flood { informed: i == 0 }).collect();
-    let mut sim = Simulator::new(&g, FaultModel::Faultless, behaviors, 9).unwrap();
+    let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 9).unwrap();
     let (history, rounds) =
         History::record_until(&mut sim, 1_000, |bs| bs.iter().all(|b| b.informed));
     let rounds = rounds.expect("flood completes");
@@ -65,7 +67,7 @@ fn gbst_dot_renders_every_stretch_on_generated_graphs() {
 #[test]
 fn percentiles_of_broadcast_latency_are_ordered() {
     let g = generators::gnp_connected(48, 0.08, 7).unwrap();
-    let fault = FaultModel::receiver(0.4).unwrap();
+    let fault = Channel::receiver(0.4).unwrap();
     let samples: Vec<f64> = (0..24)
         .map(|seed| {
             Decay::new()
