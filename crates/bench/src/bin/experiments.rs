@@ -2,15 +2,17 @@
 //! `--markdown` for EXPERIMENTS.md fragments).
 //!
 //! ```text
-//! experiments [--quick|--full] [--markdown] [--jobs N] [--seed S]
-//!             [--json PATH] [IDS...]
+//! experiments [--quick|--full] [--markdown] [--jobs N] [--shards K]
+//!             [--seed S] [--json PATH] [IDS...]
 //! experiments --diff OLD.json NEW.json
 //! ```
 //!
 //! `IDS` filters by experiment id (e.g. `E8 E10`); default runs all.
 //! `--jobs` sets the sweep worker count (default: available
-//! parallelism) — for a fixed `--seed`, tables and the `--json`
-//! artifact are byte-identical for any `--jobs` value.
+//! parallelism); `--shards` sets the intra-run engine shard count for
+//! the scaling sweeps (default 1 = sequential, `0` = auto) — for a
+//! fixed `--seed`, tables and the `--json` artifact are byte-identical
+//! for any `--jobs` and any `--shards` value (DESIGN.md §4b/§4c).
 //!
 //! `--diff` compares two `--json` artifacts instead of running
 //! anything: it prints which findings and table cells moved and exits
@@ -36,6 +38,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut scale = Scale::Quick;
     let mut markdown = false;
     let mut jobs: Option<usize> = None;
+    let mut shards: usize = 1;
     let mut master_seed: u64 = 42;
     let mut json_path: Option<String> = None;
     let mut diff_paths: Option<(String, String)> = None;
@@ -58,6 +61,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--jobs must be ≥ 1".into());
                 }
                 jobs = Some(n);
+            }
+            "--shards" => {
+                // 0 = auto (available parallelism), resolved by the
+                // SweepConfig builder.
+                shards = value()?.parse().map_err(|e| format!("bad --shards: {e}"))?;
             }
             "--seed" => {
                 master_seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
@@ -88,7 +96,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         });
     }
 
-    let cfg = SweepConfig::new(jobs, master_seed);
+    let cfg = SweepConfig::new(jobs, master_seed).with_shards(shards);
     let t0 = std::time::Instant::now();
     let reports = experiments::run_selected(scale, &cfg, &filter)?;
 
@@ -110,9 +118,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("(wrote {path})");
     }
     eprintln!(
-        "(completed in {:.1?}; scale: {scale:?}, jobs: {}, seed: {master_seed})",
+        "(completed in {:.1?}; scale: {scale:?}, jobs: {}, shards: {}, seed: {master_seed})",
         t0.elapsed(),
-        cfg.jobs
+        cfg.jobs,
+        cfg.shards
     );
     if failures > 0 {
         eprintln!("{failures} experiment(s) had failed shape checks");

@@ -2,7 +2,7 @@
 //! Theorems 17 and 24).
 
 use netgraph::wct::{Wct, WctParams};
-use noisy_radio_core::schedules::star::{star_coding, star_routing};
+use noisy_radio_core::schedules::star::{star_coding_sharded, star_routing};
 use noisy_radio_core::schedules::wct::{max_fraction_receiving_probe, wct_coding, wct_routing};
 use radio_model::Channel;
 use radio_sweep::{run_cells, Plan, SweepConfig};
@@ -17,11 +17,21 @@ const MAX_ROUNDS: u64 = 200_000_000;
 /// `Θ(log n)` (Theorem 17): the ratio should grow linearly in
 /// `log₂ n`.
 pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
-    let sizes: &[usize] = scale.pick(&[64, 256, 1024], &[64, 256, 1024, 4096, 16384]);
+    // Full grid extended two doublings past 16384 (the n ≥ 10⁵-regime
+    // ROADMAP item: 32768- and 65536-leaf stars, i.e. log₂ n up to 16).
+    // The coding arm runs the engine over `cfg.shards` CSR shards —
+    // bit-identical results for any shard count (§4c); the routing arm
+    // is the centralized adaptive controller, which is not a
+    // `Simulator` and stays sequential.
+    let sizes: &[usize] = scale.pick(
+        &[64, 256, 1024],
+        &[64, 256, 1024, 4096, 16384, 32768, 65536],
+    );
     let k = scale.pick(16, 32);
     let trials = scale.pick(2, 5);
     let p = 0.5;
     let fault = Channel::receiver(p).expect("valid p");
+    let shards = cfg.shards;
     let mut plan = Plan::new();
     let handles: Vec<_> = sizes
         .iter()
@@ -33,7 +43,7 @@ pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                     .expect("must finish")
             });
             let coding = plan.trials(trials, move |ctx| {
-                star_coding(n, k, fault, ctx.seed, MAX_ROUNDS)
+                star_coding_sharded(n, k, fault, ctx.seed, MAX_ROUNDS, shards)
                     .expect("valid")
                     .rounds_used()
             });

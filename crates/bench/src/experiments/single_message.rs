@@ -19,15 +19,23 @@ const MAX_ROUNDS: u64 = 200_000_000;
 /// Sweep path lengths; the measured rounds should grow as `D·log n`:
 /// the log–log slope of rounds against `D·log₂ n` is ≈ 1.
 pub fn e1_decay_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
-    let sizes: &[usize] = scale.pick(&[32, 64, 128, 256], &[32, 64, 128, 256, 512, 1024]);
+    // Full grid extended two doublings past the original 1024 (the
+    // ROADMAP "larger-n grids" item); the per-cell engine shards over
+    // `cfg.shards` threads, which never changes the measured rounds
+    // (§4c shard-count independence).
+    let sizes: &[usize] = scale.pick(
+        &[32, 64, 128, 256],
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096],
+    );
     let trials = scale.pick(3, 10);
+    let decay = Decay::new().with_shards(cfg.shards);
     let graphs: Vec<_> = sizes.iter().map(|&n| generators::path(n)).collect();
     let mut plan = Plan::new();
     let handles: Vec<_> = graphs
         .iter()
         .map(|g| {
             plan.trials(trials, move |ctx| {
-                Decay::new()
+                decay
                     .run(
                         g,
                         NodeId::new(0),
@@ -85,12 +93,22 @@ pub fn e1_decay_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
 /// dependence on `D` is linear with slope ≈ 2 rounds per hop (the
 /// schedule interleaves fast and slow rounds).
 pub fn e2_fastbc_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
-    let sizes: &[usize] = scale.pick(&[64, 128, 256], &[64, 128, 256, 512, 1024, 2048]);
+    // Full grid extended two doublings (2048 → 8192); cells shard the
+    // engine over `cfg.shards` threads.
+    let sizes: &[usize] = scale.pick(
+        &[64, 128, 256],
+        &[64, 128, 256, 512, 1024, 2048, 4096, 8192],
+    );
     let trials = scale.pick(3, 8);
+    let decay = Decay::new().with_shards(cfg.shards);
     let graphs: Vec<_> = sizes.iter().map(|&n| generators::path(n)).collect();
     let scheds: Vec<_> = graphs
         .iter()
-        .map(|g| FastbcSchedule::new(g, NodeId::new(0)).expect("path is connected"))
+        .map(|g| {
+            FastbcSchedule::new(g, NodeId::new(0))
+                .expect("path is connected")
+                .with_shards(cfg.shards)
+        })
         .collect();
     let mut plan = Plan::new();
     let handles: Vec<_> = graphs
@@ -104,7 +122,7 @@ pub fn e2_fastbc_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
                     .rounds_used()
             });
             let decay = plan.trials(trials, move |ctx| {
-                Decay::new()
+                decay
                     .run(
                         g,
                         NodeId::new(0),
@@ -355,21 +373,30 @@ pub fn e4_fastbc_degradation(scale: Scale, cfg: &SweepConfig) -> ExperimentRepor
 /// E5 — Theorem 11: Robust FASTBC is diameter-linear under faults and
 /// beats Decay and the naive repetition baselines for large `D`.
 pub fn e5_robust_fastbc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
-    let sizes: &[usize] = scale.pick(&[128, 256, 512], &[128, 256, 512, 1024, 2048]);
+    // Full grid extended two doublings (2048 → 8192); cells shard the
+    // engine over `cfg.shards` threads.
+    let sizes: &[usize] = scale.pick(&[128, 256, 512], &[128, 256, 512, 1024, 2048, 4096, 8192]);
     let trials = scale.pick(3, 6);
     let p = 0.3;
     let fault = Channel::receiver(p).expect("valid p");
+    let decay = Decay::new().with_shards(cfg.shards);
     let graphs: Vec<_> = sizes.iter().map(|&n| generators::path(n)).collect();
     let robusts: Vec<_> = graphs
         .iter()
-        .map(|g| RobustFastbcSchedule::new(g, NodeId::new(0)).expect("valid"))
+        .map(|g| {
+            RobustFastbcSchedule::new(g, NodeId::new(0))
+                .expect("valid")
+                .with_shards(cfg.shards)
+        })
         .collect();
     let repeateds: Vec<_> = sizes
         .iter()
         .zip(&graphs)
         .map(|(&n, g)| {
             let reps = (n as f64).log2().ceil() as u32;
-            RepeatedFastbcSchedule::new(g, NodeId::new(0), reps).expect("valid")
+            RepeatedFastbcSchedule::new(g, NodeId::new(0), reps)
+                .expect("valid")
+                .with_shards(cfg.shards)
         })
         .collect();
     let mut plan = Plan::new();
@@ -384,7 +411,7 @@ pub fn e5_robust_fastbc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                     .rounds_used()
             });
             let decay = plan.trials(trials, move |ctx| {
-                Decay::new()
+                decay
                     .run(g, NodeId::new(0), fault, ctx.seed, MAX_ROUNDS)
                     .expect("valid")
                     .rounds_used()

@@ -66,6 +66,8 @@ pub struct FastbcSchedule<'g> {
     phase_len: u32,
     /// Fast-round modulus `6R`.
     modulus: u64,
+    /// Simulator shard count (1 = sequential, 0 = auto).
+    shards: usize,
 }
 
 impl<'g> FastbcSchedule<'g> {
@@ -117,7 +119,15 @@ impl<'g> FastbcSchedule<'g> {
             gbst,
             phase_len,
             modulus: 6 * u64::from(rank_slots),
+            shards: 1,
         })
+    }
+
+    /// Sets the simulator shard count (1 = sequential, 0 = auto);
+    /// results are bit-identical for any value.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The underlying GBST.
@@ -174,7 +184,8 @@ impl<'g> FastbcSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
-        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let mut sim =
+            Simulator::new(self.graph, fault, self.behaviors(), seed)?.with_shards(self.shards);
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
         Ok(BroadcastRun {
             rounds,
@@ -196,7 +207,8 @@ impl<'g> FastbcSchedule<'g> {
         max_rounds: u64,
         mut inspect: impl FnMut(u64, &RoundTrace),
     ) -> Result<BroadcastRun, CoreError> {
-        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let mut sim =
+            Simulator::new(self.graph, fault, self.behaviors(), seed)?.with_shards(self.shards);
         let mut trace = RoundTrace::default();
         let mut rounds = None;
         for used in 0..=max_rounds {

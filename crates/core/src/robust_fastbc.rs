@@ -72,6 +72,8 @@ pub struct RobustFastbcSchedule<'g> {
     window: u32,
     /// Superround modulus `6R`.
     modulus: u64,
+    /// Simulator shard count (1 = sequential, 0 = auto).
+    shards: usize,
 }
 
 /// Derives the canonical block size `max(2, ⌈log₂ log₂ n⌉ + 1)`.
@@ -133,7 +135,15 @@ impl<'g> RobustFastbcSchedule<'g> {
             block_size,
             window,
             modulus: 6 * u64::from(rank_slots),
+            shards: 1,
         })
+    }
+
+    /// Sets the simulator shard count (1 = sequential, 0 = auto);
+    /// results are bit-identical for any value.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The underlying GBST.
@@ -207,7 +217,8 @@ impl<'g> RobustFastbcSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
-        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let mut sim =
+            Simulator::new(self.graph, fault, self.behaviors(), seed)?.with_shards(self.shards);
         let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
         Ok(BroadcastRun {
             rounds,
@@ -228,7 +239,8 @@ impl<'g> RobustFastbcSchedule<'g> {
         max_rounds: u64,
         mut inspect: impl FnMut(u64, &RoundTrace),
     ) -> Result<BroadcastRun, CoreError> {
-        let mut sim = Simulator::new(self.graph, fault, self.behaviors(), seed)?;
+        let mut sim =
+            Simulator::new(self.graph, fault, self.behaviors(), seed)?.with_shards(self.shards);
         let mut trace = RoundTrace::default();
         let mut rounds = None;
         for used in 0..=max_rounds {

@@ -1,4 +1,18 @@
 //! The behavior-driven simulation engine.
+//!
+//! # Intra-run sharding
+//!
+//! [`Simulator::with_shards`] splits each round's work — the `act`
+//! sweep and the delivery/`receive` sweep — across contiguous CSR node
+//! ranges ([`Graph::shard_ranges`]) evaluated on scoped threads. The
+//! results are **bit-identical for every shard count** (see
+//! `DESIGN.md` §4c): all randomness is drawn from *per-node* streams
+//! forked from the master seed via [`crate::fork_seed`] — behavior
+//! streams at index `i`, channel-loss streams at
+//! `FAULT_STREAM_BASE + i` — so no draw depends on how nodes are
+//! partitioned or on cross-node evaluation order.
+
+use std::ops::Range;
 
 use netgraph::{Graph, NodeId};
 use rand::rngs::SmallRng;
@@ -6,6 +20,12 @@ use rand::Rng;
 
 use crate::rng::fork_rng;
 use crate::{Action, Channel, ModelError, Reception};
+
+/// Fork-index base of the per-node channel-loss streams: node `i`
+/// draws its sender-fault / receiver-fault / erasure randomness from
+/// `fork_rng(seed, FAULT_STREAM_BASE + i)`. Disjoint from the behavior
+/// streams at indices `0..n` for any representable node count.
+const FAULT_STREAM_BASE: u64 = 1 << 63;
 
 /// Per-round context handed to a [`NodeBehavior`].
 #[derive(Debug)]
@@ -111,20 +131,41 @@ pub struct RoundTrace {
     pub erased_listeners: Vec<NodeId>,
 }
 
+/// The round-step entry used when sharding is enabled. Stored as a
+/// higher-ranked fn pointer so [`Simulator::with_shards`] (which
+/// requires `Send`/`Sync` bounds for the scoped threads) can hand the
+/// bound-free stepping methods a monomorphized sharded path without
+/// forcing those bounds on every simulator user.
+type ShardedStep<P, B> =
+    for<'x, 't> fn(&mut Simulator<'x, P, B>, Option<&'t mut RoundTrace>) -> RoundReport;
+
 /// The radio-network simulator driving one [`NodeBehavior`] per node.
 ///
 /// See the [crate-level documentation](crate) for the model semantics
-/// and an example.
+/// and an example, and [`Simulator::with_shards`] for the sharded
+/// execution mode.
 pub struct Simulator<'g, P, B> {
     graph: &'g Graph,
     channel: Channel,
     behaviors: Vec<B>,
     node_rngs: Vec<SmallRng>,
-    fault_rng: SmallRng,
+    /// Per-node channel-loss streams (see [`FAULT_STREAM_BASE`]).
+    fault_rngs: Vec<SmallRng>,
+    /// Shard count in force (≥ 1, ≤ node count); 1 is the sequential
+    /// path.
+    shards: usize,
+    /// The CSR shard partition, computed once by
+    /// [`Simulator::with_shards`] (the graph is immutable for `'g`);
+    /// empty on the sequential path.
+    shard_ranges: Vec<Range<usize>>,
+    sharded_step: Option<ShardedStep<P, B>>,
     round: u64,
     stats: SimStats,
-    // Reusable per-round buffers.
+    // Reusable per-round buffers, one slot per node, fully rewritten
+    // by every round's act sweep.
     actions: Vec<Action<P>>,
+    is_broadcasting: Vec<bool>,
+    sender_ok: Vec<bool>,
 }
 
 impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
@@ -132,6 +173,7 @@ impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
         f.debug_struct("Simulator")
             .field("graph", &self.graph)
             .field("channel", &self.channel)
+            .field("shards", &self.shards)
             .field("round", &self.round)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
@@ -162,17 +204,72 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             });
         }
         let node_rngs = (0..n as u64).map(|i| fork_rng(seed, i)).collect();
-        let fault_rng = fork_rng(seed, u64::MAX / 2);
+        let fault_rngs = (0..n as u64)
+            .map(|i| fork_rng(seed, FAULT_STREAM_BASE + i))
+            .collect();
         Ok(Simulator {
             graph,
             channel,
             behaviors,
             node_rngs,
-            fault_rng,
+            fault_rngs,
+            shards: 1,
+            shard_ranges: Vec::new(),
+            sharded_step: None,
             round: 0,
             stats: SimStats::default(),
-            actions: Vec::with_capacity(n),
+            actions: (0..n).map(|_| Action::Listen).collect(),
+            is_broadcasting: vec![false; n],
+            sender_ok: vec![true; n],
         })
+    }
+
+    /// Enables sharded execution: each round's act and delivery sweeps
+    /// are split across `shards` contiguous CSR node ranges
+    /// ([`Graph::shard_ranges`]) evaluated on scoped threads, and the
+    /// per-shard reports and traces are merged back in shard (= node)
+    /// order.
+    ///
+    /// `shards == 0` resolves to the machine's available parallelism;
+    /// `shards == 1` keeps the sequential path. The shard count is
+    /// additionally capped at the node count ([`Simulator::shards`]
+    /// reports the capped value), and the CSR partition is computed
+    /// once here — per round, the sharded step only splits the
+    /// per-node buffers along it.
+    ///
+    /// **Shard-count-independence invariant** (`DESIGN.md` §4c): for a
+    /// fixed `(graph, channel, behaviors, seed)`, every
+    /// [`RoundReport`], [`SimStats`], [`RoundTrace`], reception, and
+    /// behavior state is bit-identical for *any* shard count —
+    /// randomness is drawn from per-node [`crate::fork_seed`] streams,
+    /// never from a shared sequential stream. Sharding changes
+    /// wall-clock only.
+    pub fn with_shards(mut self, shards: usize) -> Self
+    where
+        P: Send + Sync,
+        B: Send,
+    {
+        let requested = if shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            shards
+        };
+        self.shards = requested.min(self.graph.node_count().max(1));
+        self.shard_ranges = if self.shards > 1 {
+            self.graph.shard_ranges(self.shards)
+        } else {
+            Vec::new()
+        };
+        self.sharded_step = Some(run_sharded_step::<P, B>);
+        self
+    }
+
+    /// The shard count in force (≥ 1, capped at the node count; 1
+    /// means sequential).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The underlying graph.
@@ -225,114 +322,86 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.step_inner(Some(trace))
     }
 
-    fn step_inner(&mut self, mut trace: Option<&mut RoundTrace>) -> RoundReport {
+    fn step_inner(&mut self, trace: Option<&mut RoundTrace>) -> RoundReport {
+        if self.shards > 1 {
+            if let Some(step) = self.sharded_step {
+                return step(self, trace);
+            }
+        }
+        self.step_sequential(trace)
+    }
+
+    /// The sequential path: the whole node range as one shard.
+    fn step_sequential(&mut self, trace: Option<&mut RoundTrace>) -> RoundReport {
         let n = self.graph.node_count();
-        let round = self.round;
+        let traced = trace.is_some();
+        let act = act_range(
+            self.graph,
+            self.channel,
+            self.round,
+            0..n,
+            &mut self.behaviors,
+            &mut self.node_rngs,
+            &mut self.fault_rngs,
+            &mut self.actions,
+            &mut self.is_broadcasting,
+            &mut self.sender_ok,
+            traced,
+        );
+        let recv = receive_range(
+            self.graph,
+            self.channel,
+            self.round,
+            0..n,
+            &mut self.behaviors,
+            &mut self.node_rngs,
+            &mut self.fault_rngs,
+            &self.actions,
+            &self.is_broadcasting,
+            &self.sender_ok,
+            traced,
+        );
+        self.finish_round(trace, vec![act], vec![recv])
+    }
+
+    /// Merges per-shard partial tallies (in shard order, which is node
+    /// order because shards are contiguous ascending ranges) into the
+    /// round report, the aggregate stats, and the optional trace, then
+    /// advances the round counter.
+    fn finish_round(
+        &mut self,
+        trace: Option<&mut RoundTrace>,
+        act_parts: Vec<ActPart>,
+        recv_parts: Vec<RecvPart>,
+    ) -> RoundReport {
         let mut report = RoundReport {
-            round,
+            round: self.round,
             ..RoundReport::default()
         };
-
-        // Phase 1: collect actions.
-        self.actions.clear();
-        for i in 0..n {
-            let node = NodeId::from_index(i);
-            let mut ctx = Ctx {
-                node,
-                round,
-                rng: &mut self.node_rngs[i],
-                degree: self.graph.degree(node),
-            };
-            self.actions.push(self.behaviors[i].act(&mut ctx));
+        for part in &act_parts {
+            report.broadcasters += part.broadcasters;
+            report.sender_faults += part.sender_faults;
         }
-
-        // Phase 2: sample sender faults (one draw per broadcaster) and
-        // mark broadcasters. A faulted sender still occupies the channel.
-        let p = self.channel.fault_probability();
-        // receiver(p) and erasure(p) draw from the same stream in the
-        // same order, so they lose identical slots under one seed.
-        let per_delivery_loss = self.channel.is_receiver() || self.channel.is_erasure();
-        let mut is_broadcasting = vec![false; n];
-        let mut sender_ok = vec![true; n];
-        for (i, action) in self.actions.iter().enumerate() {
-            if action.is_broadcast() {
-                is_broadcasting[i] = true;
-                report.broadcasters += 1;
-                if self.channel.is_sender() && self.fault_rng.gen_bool(p) {
-                    sender_ok[i] = false;
-                    report.sender_faults += 1;
+        for part in &recv_parts {
+            report.deliveries += part.deliveries;
+            report.collisions += part.collisions;
+            report.receiver_faults += part.receiver_faults;
+            report.erasures += part.erasures;
+        }
+        if let Some(t) = trace {
+            for part in act_parts {
+                if let Some(bs) = part.traced_broadcasters {
+                    t.broadcasters.extend(bs);
                 }
-                if let Some(t) = trace.as_deref_mut() {
-                    t.broadcasters.push(NodeId::from_index(i));
+            }
+            for part in recv_parts {
+                if let Some(tp) = part.traced {
+                    t.deliveries.extend(tp.deliveries);
+                    t.collided_listeners.extend(tp.collided);
+                    t.erased_listeners.extend(tp.erased);
                 }
             }
         }
-
-        // Phase 3: resolve every listener's slot outcome and deliver it.
-        for i in 0..n {
-            if is_broadcasting[i] {
-                continue; // broadcasters do not receive (half-duplex)
-            }
-            let node = NodeId::from_index(i);
-            let mut sender: Option<NodeId> = None;
-            let mut count = 0usize;
-            for &u in self.graph.neighbors(node) {
-                if is_broadcasting[u.index()] {
-                    count += 1;
-                    if count > 1 {
-                        break;
-                    }
-                    sender = Some(u);
-                }
-            }
-            let rx: Reception<P> = match count {
-                0 => Reception::Silence,
-                1 => {
-                    let s = sender.expect("count == 1 implies a sender");
-                    if !sender_ok[s.index()] {
-                        // The sender transmitted noise; every listener
-                        // of this broadcaster hears noise.
-                        Reception::Noise
-                    } else if per_delivery_loss && self.fault_rng.gen_bool(p) {
-                        if self.channel.is_erasure() {
-                            report.erasures += 1;
-                            if let Some(t) = trace.as_deref_mut() {
-                                t.erased_listeners.push(node);
-                            }
-                            Reception::Erased
-                        } else {
-                            report.receiver_faults += 1;
-                            Reception::Noise
-                        }
-                    } else {
-                        let packet = self.actions[s.index()]
-                            .payload()
-                            .expect("broadcasting sender has a payload")
-                            .clone();
-                        report.deliveries += 1;
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.deliveries.push((s, node));
-                        }
-                        Reception::Packet(packet)
-                    }
-                }
-                _ => {
-                    report.collisions += 1;
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.collided_listeners.push(node);
-                    }
-                    Reception::Noise
-                }
-            };
-            let mut ctx = Ctx {
-                node,
-                round,
-                rng: &mut self.node_rngs[i],
-                degree: self.graph.degree(node),
-            };
-            self.behaviors[i].receive(&mut ctx, rx);
-        }
-
         self.round += 1;
         self.stats.rounds += 1;
         self.stats.broadcasts += report.broadcasters;
@@ -372,6 +441,290 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             }
             self.step();
         }
+    }
+}
+
+/// Partial tallies of one shard's act sweep.
+#[derive(Default)]
+struct ActPart {
+    broadcasters: u64,
+    sender_faults: u64,
+    /// Broadcasters in ascending node order, when tracing.
+    traced_broadcasters: Option<Vec<NodeId>>,
+}
+
+/// Trace fragments of one shard's delivery sweep, each in ascending
+/// listener order.
+#[derive(Default)]
+struct TracePart {
+    deliveries: Vec<(NodeId, NodeId)>,
+    collided: Vec<NodeId>,
+    erased: Vec<NodeId>,
+}
+
+/// Partial tallies of one shard's delivery sweep.
+#[derive(Default)]
+struct RecvPart {
+    deliveries: u64,
+    collisions: u64,
+    receiver_faults: u64,
+    erasures: u64,
+    traced: Option<TracePart>,
+}
+
+/// Phase 1+2 over the nodes of `range`: collect actions, mark
+/// broadcasters, and sample sender faults (one draw per broadcaster,
+/// from the broadcaster's own channel stream — a faulted sender still
+/// occupies the channel). All slice parameters are the shard's chunk
+/// of the per-node buffers; `range` supplies the global indices.
+#[allow(clippy::too_many_arguments)]
+fn act_range<P: Clone, B: NodeBehavior<P>>(
+    graph: &Graph,
+    channel: Channel,
+    round: u64,
+    range: Range<usize>,
+    behaviors: &mut [B],
+    node_rngs: &mut [SmallRng],
+    fault_rngs: &mut [SmallRng],
+    actions: &mut [Action<P>],
+    is_broadcasting: &mut [bool],
+    sender_ok: &mut [bool],
+    traced: bool,
+) -> ActPart {
+    let p = channel.fault_probability();
+    let sender_channel = channel.is_sender();
+    let mut part = ActPart {
+        traced_broadcasters: traced.then(Vec::new),
+        ..ActPart::default()
+    };
+    for (local, i) in range.enumerate() {
+        let node = NodeId::from_index(i);
+        let mut ctx = Ctx {
+            node,
+            round,
+            rng: &mut node_rngs[local],
+            degree: graph.degree(node),
+        };
+        let action = behaviors[local].act(&mut ctx);
+        let broadcasting = action.is_broadcast();
+        is_broadcasting[local] = broadcasting;
+        sender_ok[local] = true;
+        if broadcasting {
+            part.broadcasters += 1;
+            if sender_channel && fault_rngs[local].gen_bool(p) {
+                sender_ok[local] = false;
+                part.sender_faults += 1;
+            }
+            if let Some(t) = part.traced_broadcasters.as_mut() {
+                t.push(node);
+            }
+        }
+        actions[local] = action;
+    }
+    part
+}
+
+/// Phase 3 over the listeners of `range`: resolve every listener's
+/// slot outcome and deliver it. `behaviors`/`node_rngs`/`fault_rngs`
+/// are the shard's chunks; `actions`/`is_broadcasting`/`sender_ok` are
+/// the **full** per-node buffers (senders may live in other shards).
+#[allow(clippy::too_many_arguments)]
+fn receive_range<P: Clone, B: NodeBehavior<P>>(
+    graph: &Graph,
+    channel: Channel,
+    round: u64,
+    range: Range<usize>,
+    behaviors: &mut [B],
+    node_rngs: &mut [SmallRng],
+    fault_rngs: &mut [SmallRng],
+    actions: &[Action<P>],
+    is_broadcasting: &[bool],
+    sender_ok: &[bool],
+    traced: bool,
+) -> RecvPart {
+    let p = channel.fault_probability();
+    // receiver(p) and erasure(p) draw from the same per-node streams
+    // in the same order, so they lose identical slots under one seed.
+    let per_delivery_loss = channel.is_receiver() || channel.is_erasure();
+    let is_erasure = channel.is_erasure();
+    let mut part = RecvPart {
+        traced: traced.then(TracePart::default),
+        ..RecvPart::default()
+    };
+    for (local, i) in range.enumerate() {
+        if is_broadcasting[i] {
+            continue; // broadcasters do not receive (half-duplex)
+        }
+        let node = NodeId::from_index(i);
+        let mut sender: Option<NodeId> = None;
+        let mut count = 0usize;
+        for &u in graph.neighbors(node) {
+            if is_broadcasting[u.index()] {
+                count += 1;
+                if count > 1 {
+                    break;
+                }
+                sender = Some(u);
+            }
+        }
+        let rx: Reception<P> = match count {
+            0 => Reception::Silence,
+            1 => {
+                let s = sender.expect("count == 1 implies a sender");
+                if !sender_ok[s.index()] {
+                    // The sender transmitted noise; every listener of
+                    // this broadcaster hears noise.
+                    Reception::Noise
+                } else if per_delivery_loss && fault_rngs[local].gen_bool(p) {
+                    if is_erasure {
+                        part.erasures += 1;
+                        if let Some(t) = part.traced.as_mut() {
+                            t.erased.push(node);
+                        }
+                        Reception::Erased
+                    } else {
+                        part.receiver_faults += 1;
+                        Reception::Noise
+                    }
+                } else {
+                    let packet = actions[s.index()]
+                        .payload()
+                        .expect("broadcasting sender has a payload")
+                        .clone();
+                    part.deliveries += 1;
+                    if let Some(t) = part.traced.as_mut() {
+                        t.deliveries.push((s, node));
+                    }
+                    Reception::Packet(packet)
+                }
+            }
+            _ => {
+                part.collisions += 1;
+                if let Some(t) = part.traced.as_mut() {
+                    t.collided.push(node);
+                }
+                Reception::Noise
+            }
+        };
+        let mut ctx = Ctx {
+            node,
+            round,
+            rng: &mut node_rngs[local],
+            degree: graph.degree(node),
+        };
+        behaviors[local].receive(&mut ctx, rx);
+    }
+    part
+}
+
+/// Splits a per-node buffer into the chunks matching contiguous
+/// `ranges` (as produced by [`Graph::shard_ranges`]).
+fn split_ranges<'a, T>(mut items: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0;
+    for r in ranges {
+        debug_assert_eq!(r.start, consumed, "ranges must be contiguous");
+        let (chunk, tail) = items.split_at_mut(r.end - consumed);
+        out.push(chunk);
+        items = tail;
+        consumed = r.end;
+    }
+    out
+}
+
+/// The sharded round step stored behind [`Simulator::with_shards`]:
+/// two scoped-thread sweeps (act, then deliver/receive) over the CSR
+/// shard ranges, with a barrier between them — sender-fault flags must
+/// be globally known before any listener resolves its slot — and a
+/// shard-order merge at the end.
+fn run_sharded_step<P, B>(
+    sim: &mut Simulator<'_, P, B>,
+    trace: Option<&mut RoundTrace>,
+) -> RoundReport
+where
+    P: Clone + Send + Sync,
+    B: NodeBehavior<P> + Send,
+{
+    let ranges = &sim.shard_ranges;
+    if ranges.len() <= 1 {
+        return sim.step_sequential(trace);
+    }
+    let graph = sim.graph;
+    let channel = sim.channel;
+    let round = sim.round;
+    let traced = trace.is_some();
+
+    let act_parts: Vec<ActPart> = {
+        let behaviors = split_ranges(&mut sim.behaviors, &ranges);
+        let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
+        let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
+        let actions = split_ranges(&mut sim.actions, &ranges);
+        let is_broadcasting = split_ranges(&mut sim.is_broadcasting, &ranges);
+        let sender_ok = split_ranges(&mut sim.sender_ok, &ranges);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .zip(behaviors)
+                .zip(node_rngs)
+                .zip(fault_rngs)
+                .zip(actions)
+                .zip(is_broadcasting)
+                .zip(sender_ok)
+                .map(|((((((range, b), nr), fr), ac), ib), so)| {
+                    s.spawn(move || {
+                        act_range(graph, channel, round, range, b, nr, fr, ac, ib, so, traced)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(join_shard).collect()
+        })
+    };
+
+    let recv_parts: Vec<RecvPart> = {
+        let behaviors = split_ranges(&mut sim.behaviors, &ranges);
+        let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
+        let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
+        let actions = &sim.actions;
+        let is_broadcasting = &sim.is_broadcasting;
+        let sender_ok = &sim.sender_ok;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .zip(behaviors)
+                .zip(node_rngs)
+                .zip(fault_rngs)
+                .map(|(((range, b), nr), fr)| {
+                    s.spawn(move || {
+                        receive_range(
+                            graph,
+                            channel,
+                            round,
+                            range,
+                            b,
+                            nr,
+                            fr,
+                            actions,
+                            is_broadcasting,
+                            sender_ok,
+                            traced,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(join_shard).collect()
+        })
+    };
+
+    sim.finish_round(trace, act_parts, recv_parts)
+}
+
+/// Joins one shard worker, propagating its panic to the caller.
+fn join_shard<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(part) => part,
+        Err(panic) => std::panic::resume_unwind(panic),
     }
 }
 
@@ -761,5 +1114,115 @@ mod tests {
         let channel = Channel::erasure(0.25).unwrap();
         let sim = Simulator::<(), _>::new(&g, channel, flood_behaviors(2, &[]), 0).unwrap();
         assert_eq!(sim.channel(), channel);
+    }
+
+    /// Runs `rounds` traced rounds at the given shard count and
+    /// returns everything observable: reports, traces, stats, and the
+    /// final informed-set of the flood behaviors.
+    fn observe_flood(
+        g: &netgraph::Graph,
+        channel: Channel,
+        informed: &[usize],
+        seed: u64,
+        rounds: u64,
+        shards: usize,
+    ) -> (Vec<RoundReport>, Vec<RoundTrace>, SimStats, Vec<bool>) {
+        let n = g.node_count();
+        let mut sim = Simulator::new(g, channel, flood_behaviors(n, informed), seed)
+            .unwrap()
+            .with_shards(shards);
+        let mut reports = Vec::new();
+        let mut traces = Vec::new();
+        for _ in 0..rounds {
+            let mut t = RoundTrace::default();
+            reports.push(sim.step_traced(&mut t));
+            traces.push(t);
+        }
+        let stats = *sim.stats();
+        let informed = sim.into_behaviors().iter().map(|b| b.informed).collect();
+        (reports, traces, stats, informed)
+    }
+
+    /// Asserts shard-count parity against the sequential run for a
+    /// whole scenario.
+    fn assert_shard_parity(
+        g: &netgraph::Graph,
+        channel: Channel,
+        informed: &[usize],
+        seed: u64,
+        shards: usize,
+    ) {
+        let sequential = observe_flood(g, channel, informed, seed, 12, 1);
+        let sharded = observe_flood(g, channel, informed, seed, 12, shards);
+        assert_eq!(sequential, sharded, "shards = {shards}");
+    }
+
+    #[test]
+    fn more_shards_than_nodes_matches_sequential() {
+        let g = generators::path(3);
+        assert_shard_parity(&g, Channel::receiver(0.4).unwrap(), &[0], 9, 64);
+    }
+
+    #[test]
+    fn empty_graph_steps_under_sharding() {
+        let g = netgraph::Graph::from_edges(0, []).unwrap();
+        let mut sim = Simulator::<(), AlwaysFlood>::new(&g, Channel::faultless(), vec![], 1)
+            .unwrap()
+            .with_shards(4);
+        let r = sim.step();
+        assert_eq!(r, RoundReport::default());
+        assert_eq!(sim.round(), 1);
+        assert_eq!(sim.stats().rounds, 1);
+    }
+
+    #[test]
+    fn single_node_graph_matches_sequential() {
+        let g = netgraph::Graph::from_edges(1, []).unwrap();
+        assert_shard_parity(&g, Channel::sender(0.5).unwrap(), &[0], 3, 4);
+    }
+
+    #[test]
+    fn isolated_nodes_match_sequential() {
+        // 6 nodes, one edge: most shards hold only degree-0 nodes.
+        let g = netgraph::Graph::from_edges(6, [(NodeId::new(0), NodeId::new(1))]).unwrap();
+        for channel in [
+            Channel::faultless(),
+            Channel::sender(0.3).unwrap(),
+            Channel::erasure(0.3).unwrap(),
+        ] {
+            assert_shard_parity(&g, channel, &[0], 7, 3);
+        }
+    }
+
+    #[test]
+    fn shard_of_silent_listeners_matches_sequential() {
+        // Path with only node 0 informed: the trailing shards contain
+        // nothing but silent listeners for the first rounds.
+        let g = generators::path(32);
+        assert_shard_parity(&g, Channel::faultless(), &[0], 5, 4);
+        assert_shard_parity(&g, Channel::receiver(0.5).unwrap(), &[0], 5, 4);
+    }
+
+    #[test]
+    fn sender_faults_cross_shard_boundaries() {
+        // A star whose hub (shard 0) draws the sender fault while its
+        // listeners live in other shards: the single per-broadcaster
+        // draw must reach every listener identically.
+        let g = generators::star(64);
+        assert_shard_parity(&g, Channel::sender(0.5).unwrap(), &[0], 11, 5);
+    }
+
+    #[test]
+    fn with_shards_zero_resolves_to_available_parallelism() {
+        let g = generators::path(4);
+        let sim = Simulator::<(), _>::new(&g, Channel::faultless(), flood_behaviors(4, &[]), 0)
+            .unwrap()
+            .with_shards(0);
+        assert!(sim.shards() >= 1);
+        let explicit =
+            Simulator::<(), _>::new(&g, Channel::faultless(), flood_behaviors(4, &[]), 0)
+                .unwrap()
+                .with_shards(3);
+        assert_eq!(explicit.shards(), 3);
     }
 }

@@ -79,14 +79,33 @@ fn traced_run(
     rounds: u64,
     prob: f64,
 ) -> (Vec<RoundTrace>, SimStats) {
-    let mut sim = Simulator::new(g, channel, chatter(g.node_count(), prob), seed).unwrap();
+    let (traces, _, stats) = traced_run_sharded(g, channel, seed, rounds, prob, 1);
+    (traces, stats)
+}
+
+/// As [`traced_run`], but over `shards` CSR shards and additionally
+/// returning the per-round reports — the full observable surface the
+/// shard-count-independence invariant covers.
+fn traced_run_sharded(
+    g: &Graph,
+    channel: Channel,
+    seed: u64,
+    rounds: u64,
+    prob: f64,
+    shards: usize,
+) -> (Vec<RoundTrace>, Vec<radio_model::RoundReport>, SimStats) {
+    let mut sim = Simulator::new(g, channel, chatter(g.node_count(), prob), seed)
+        .unwrap()
+        .with_shards(shards);
     let mut traces = Vec::new();
+    let mut reports = Vec::new();
     for _ in 0..rounds {
         let mut t = RoundTrace::default();
-        sim.step_traced(&mut t);
+        reports.push(sim.step_traced(&mut t));
         traces.push(t);
     }
-    (traces, *sim.stats())
+    let stats = *sim.stats();
+    (traces, reports, stats)
 }
 
 proptest! {
@@ -281,6 +300,51 @@ proptest! {
             prop_assert_eq!(&n.deliveries, &e.deliveries);
             prop_assert_eq!(&n.collided_listeners, &e.collided_listeners);
         }
+    }
+
+    #[test]
+    fn sharding_is_bit_identical_to_sequential(
+        g in arb_graph(),
+        channel in arb_channel(),
+        seed in any::<u64>(),
+        prob in 0.05..0.9f64,
+        shards in 2usize..9,
+    ) {
+        // The §4c shard-count-independence invariant, over the full
+        // observable surface: traces, round reports, and stats of a
+        // sharded run are bit-identical to the sequential run for any
+        // (graph, channel, seed, shard count).
+        let (seq_traces, seq_reports, seq_stats) =
+            traced_run_sharded(&g, channel, seed, 20, prob, 1);
+        let (shard_traces, shard_reports, shard_stats) =
+            traced_run_sharded(&g, channel, seed, 20, prob, shards);
+        prop_assert_eq!(seq_traces, shard_traces);
+        prop_assert_eq!(seq_reports, shard_reports);
+        prop_assert_eq!(seq_stats, shard_stats);
+    }
+
+    #[test]
+    fn sharded_recorder_histories_match_sequential(
+        g in arb_graph(),
+        channel in arb_channel(),
+        seed in any::<u64>(),
+        shards in 2usize..9,
+    ) {
+        // The recorder rides on `step_traced`, so a sharded recording
+        // (rounds, behaviors, and final stats) must replay the
+        // sequential one exactly.
+        use radio_model::recorder::History;
+        let record = |k: usize| {
+            let mut sim =
+                Simulator::new(&g, channel, chatter(g.node_count(), 0.35), seed)
+                    .unwrap()
+                    .with_shards(k);
+            let history = History::record(&mut sim, 15);
+            let stats = *sim.stats();
+            let states: Vec<u64> = sim.behaviors().iter().map(|b| b.receptions()).collect();
+            (history, stats, states)
+        };
+        prop_assert_eq!(record(1), record(shards));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use noisy_radio::core::experimental::StreamingRlnc;
 use noisy_radio::core::fastbc::FastbcSchedule;
 use noisy_radio::core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
-use noisy_radio::core::schedules::star::{star_coding, star_routing};
+use noisy_radio::core::schedules::star::{star_coding_sharded, star_routing};
 use noisy_radio::gbst::Gbst;
 use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
@@ -50,6 +50,8 @@ COMMON OPTIONS:
   --trials N        independent trials (default 3)
   --jobs N          worker threads for trials (default: available
                     parallelism); results are identical for any N
+  --shards K        engine shards inside each run (default 1, 0 = auto);
+                    results are identical for any K — use for large n
 
 broadcast:
   --algo NAME       decay | fastbc | robust-fastbc      (default robust-fastbc)
@@ -99,6 +101,7 @@ struct Options {
     seed: u64,
     trials: u64,
     jobs: Option<usize>,
+    shards: usize,
     algo: Option<String>,
     k: usize,
     leaves: usize,
@@ -118,6 +121,7 @@ impl Options {
             seed: 42,
             trials: 3,
             jobs: None,
+            shards: 1,
             algo: None,
             k: 8,
             leaves: 1024,
@@ -142,6 +146,10 @@ impl Options {
                         return Err("--jobs must be ≥ 1".into());
                     }
                     opts.jobs = Some(n);
+                }
+                "--shards" => {
+                    // 0 = auto (available parallelism).
+                    opts.shards = value()?.parse().map_err(|e| format!("bad --shards: {e}"))?;
                 }
                 "--algo" => opts.algo = Some(value()?),
                 "--k" => opts.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
@@ -238,10 +246,16 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
     }
     let algo = match algo {
         "decay" => Algo::Decay,
-        "fastbc" => Algo::Fastbc(FastbcSchedule::new(&g, source).map_err(|e| e.to_string())?),
-        "robust-fastbc" => {
-            Algo::Robust(RobustFastbcSchedule::new(&g, source).map_err(|e| e.to_string())?)
-        }
+        "fastbc" => Algo::Fastbc(
+            FastbcSchedule::new(&g, source)
+                .map_err(|e| e.to_string())?
+                .with_shards(opts.shards),
+        ),
+        "robust-fastbc" => Algo::Robust(
+            RobustFastbcSchedule::new(&g, source)
+                .map_err(|e| e.to_string())?
+                .with_shards(opts.shards),
+        ),
         other => return Err(format!("unknown broadcast algo `{other}`")),
     };
     let cfg = opts.sweep();
@@ -249,6 +263,7 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
         run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
             let rounds = match &algo {
                 Algo::Decay => Decay::new()
+                    .with_shards(opts.shards)
                     .run(&g, source, opts.fault, ctx.seed, MAX_ROUNDS)
                     .map_err(|e| e.to_string())?
                     .rounds_used(),
@@ -338,9 +353,16 @@ fn cmd_gap(opts: &Options) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .rounds
         .ok_or("routing did not finish")?;
-    let coding = star_coding(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
-        .map_err(|e| e.to_string())?
-        .rounds_used();
+    let coding = star_coding_sharded(
+        opts.leaves,
+        opts.k,
+        opts.fault,
+        opts.seed,
+        MAX_ROUNDS,
+        opts.shards,
+    )
+    .map_err(|e| e.to_string())?
+    .rounds_used();
     println!(
         "  adaptive routing: {routing} rounds (τ = {:.4})",
         opts.k as f64 / routing as f64
