@@ -4,15 +4,21 @@
 //! ```text
 //! experiments [--quick|--full] [--markdown] [--jobs N] [--shards K]
 //!             [--seed S] [--json PATH] [IDS...]
+//! experiments --list
 //! experiments --diff OLD.json NEW.json
 //! ```
 //!
 //! `IDS` filters by experiment id (e.g. `E8 E10`); default runs all.
-//! `--jobs` sets the sweep worker count (default: available
-//! parallelism); `--shards` sets the intra-run engine shard count for
-//! the scaling sweeps (default 1 = sequential, `0` = auto) — for a
-//! fixed `--seed`, tables and the `--json` artifact are byte-identical
-//! for any `--jobs` and any `--shards` value (DESIGN.md §4b/§4c).
+//! `--list` prints the registry (one `id  description` line per
+//! experiment) and exits. `--jobs` sets the sweep worker count
+//! (default: available parallelism); `--shards` sets the intra-run
+//! engine shard count for the scaling sweeps (default 1 = sequential,
+//! `0` = auto) — for a fixed `--seed`, tables and the measured content
+//! of the `--json` artifact are byte-identical for any `--jobs` and
+//! any `--shards` value (DESIGN.md §4b/§4c). The artifact additionally
+//! records per-cell wall-clock milliseconds (`cell_ms`) for drivers
+//! that collect them; that one field is observability data and is
+//! ignored by `--diff`.
 //!
 //! `--diff` compares two `--json` artifacts instead of running
 //! anything: it prints which findings and table cells moved and exits
@@ -21,7 +27,7 @@
 
 use std::process::ExitCode;
 
-use noisy_radio_bench::{diff_artifact_files, experiments, suite_json, Scale};
+use noisy_radio_bench::{diff_artifact_files, experiments, suite_json_timed, Scale};
 use radio_sweep::SweepConfig;
 
 fn main() -> ExitCode {
@@ -55,6 +61,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--markdown" => markdown = true,
+            "--list" => {
+                print!("{}", experiments::render_registry());
+                return Ok(ExitCode::SUCCESS);
+            }
             "--jobs" => {
                 let n: usize = value()?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
                 if n == 0 {
@@ -113,7 +123,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     if let Some(path) = &json_path {
-        let doc = suite_json(&reports, scale.name(), master_seed);
+        let doc = suite_json_timed(&reports, scale.name(), master_seed);
         std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("(wrote {path})");
     }

@@ -1,11 +1,15 @@
 //! Artifact diffing: compare two `experiments --json` documents and
 //! report which findings or table cells moved.
 //!
-//! `--json` artifacts are byte-stable for a fixed seed, so any change
-//! between two runs is a real measurement or finding change — this
-//! module turns the suite into a measured regression gate
-//! (`experiments --diff old.json new.json` exits non-zero when
-//! anything moved).
+//! `--json` artifacts are byte-stable for a fixed seed *except* the
+//! per-experiment `cell_ms` timing field (wall-clock observability
+//! data, see `suite_json_timed`), so any change this module reports
+//! between two runs is a real measurement or finding change — it turns
+//! the suite into a measured regression gate (`experiments --diff
+//! old.json new.json` exits non-zero when anything moved). The diff
+//! compares only the measured keys (`claim`, `columns`, `rows`,
+//! `findings`, `all_ok` and the suite metadata), which is what keeps
+//! the determinism gates passing across runs that record timing.
 
 use radio_sweep::Json;
 
@@ -251,6 +255,27 @@ mod tests {
         let d = diff_artifacts(&a, &a);
         assert!(d.is_empty());
         assert_eq!(d.render(), "artifacts are identical\n");
+    }
+
+    #[test]
+    fn cell_ms_timing_field_is_ignored() {
+        // Wall-clock timing differs between every pair of runs; the
+        // diff must treat two artifacts that differ only in `cell_ms`
+        // as identical so the determinism gates keep passing.
+        let old = artifact(42, "3.10", true);
+        let mut new = artifact(42, "3.10", true);
+        if let Json::Obj(pairs) = &mut new {
+            if let Some((_, Json::Arr(exps))) = pairs.iter_mut().find(|(k, _)| k == "experiments") {
+                if let Json::Obj(exp) = &mut exps[0] {
+                    exp.push((
+                        "cell_ms".into(),
+                        Json::arr([Json::F64(12.34), Json::F64(0.56)]),
+                    ));
+                }
+            }
+        }
+        let d = diff_artifacts(&old, &new);
+        assert!(d.is_empty(), "cell_ms must be ignored:\n{}", d.render());
     }
 
     #[test]

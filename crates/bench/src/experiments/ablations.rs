@@ -95,6 +95,7 @@ pub fn a1_block_size(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Ablation: Robust FASTBC block size S = Θ(log log n) (§4.1 design choice)",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         canonical_mean <= 1.8 * best,
@@ -189,6 +190,7 @@ pub fn a3_streaming_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Open problem (§4.2): streaming RLNC toward O(D + k log n + polylog) on low-rank topologies",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         stream_wins_large_k,
@@ -274,6 +276,7 @@ pub fn a2_failure_probability(scale: Scale, cfg: &SweepConfig) -> ExperimentRepo
         claim: "Lemmas 6/9: fixed-budget failure probability δ decays geometrically in the budget",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         rates.windows(2).all(|w| w[1] <= w[0] + 1e-9),

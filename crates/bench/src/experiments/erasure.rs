@@ -155,6 +155,7 @@ pub fn e13_erasure_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                 model's log-factor gaps",
         table,
         findings: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         all_le,

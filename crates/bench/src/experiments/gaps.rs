@@ -86,6 +86,7 @@ pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Theorem 17: Θ(log n) coding gap on the star with receiver faults",
         table,
         findings: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         fit.slope > 0.1 && fit.r2 > 0.8,
@@ -151,6 +152,7 @@ pub fn e9_wct_collision(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Lemma 18: ≤ O(1/log n) of WCT clusters receive per round",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         spread < 4.0,
@@ -235,6 +237,7 @@ pub fn e10_wct_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Theorem 24: Θ(log n) worst-case topology gap with receiver faults",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         first > 1.0,

@@ -60,6 +60,7 @@ pub fn e6_decay_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Lemma 12: Decay+RLNC sends k messages in O(D log n + k log n + log² n)",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         fit.r2 > 0.97,
@@ -124,6 +125,7 @@ pub fn e7_rfastbc_rlnc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Lemma 13: RobustFASTBC+RLNC sends k messages in O(D + k log n log log n + polylog)",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         fit.r2 > 0.9,

@@ -100,6 +100,7 @@ pub fn f1_gbst_structure(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Figure 1 / Lemma 7: GBSTs with r_max ≤ ⌈log₂ n⌉ and non-interfering fast edges",
         table,
         findings: Vec::new(),
+        cell_ms: Vec::new(),
     };
     report.check(
         all_ok,

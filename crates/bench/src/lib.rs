@@ -1,6 +1,6 @@
 //! Experiment drivers regenerating every quantitative claim of
 //! *Broadcasting in Noisy Radio Networks* (see `DESIGN.md` §4 for the
-//! experiment index E1–E12/F1 and `EXPERIMENTS.md` for recorded
+//! experiment index E1–E14/F1/A1–A3 and `EXPERIMENTS.md` for recorded
 //! results).
 //!
 //! Each driver runs a parameter sweep on the simulator and returns an
@@ -19,7 +19,7 @@ pub mod experiments;
 mod report;
 
 pub use diff::{diff_artifact_files, diff_artifacts, ArtifactDiff};
-pub use report::{suite_json, ExperimentReport};
+pub use report::{suite_json, suite_json_timed, ExperimentReport};
 
 /// Scale knob for experiment drivers: `Quick` keeps every sweep small
 /// enough for CI; `Full` uses the sizes recorded in `EXPERIMENTS.md`.

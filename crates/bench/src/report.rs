@@ -16,25 +16,71 @@ pub struct ExperimentReport {
     /// Key findings: one line per checked shape, prefixed `[ok]` /
     /// `[!!]`.
     pub findings: Vec<String>,
+    /// Per-cell wall-clock milliseconds of the driver's sweep, in grid
+    /// order (empty when the driver does not record timing).
+    /// Observability data only: it rides on the binary's `--json`
+    /// artifact as `cell_ms` but is excluded from [`suite_json`] and
+    /// ignored by `experiments --diff`, so the determinism gates stay
+    /// byte-exact.
+    pub cell_ms: Vec<f64>,
 }
 
-/// Renders a full experiment suite as the pretty-printed JSON artifact
-/// the `experiments --json` flag writes.
+/// Renders a full experiment suite as a pretty-printed JSON artifact
+/// containing only the *measured* content.
 ///
 /// The document records the scale and master seed — everything needed
 /// to reproduce it — but deliberately *not* the worker count or wall
-/// time, so artifacts stay byte-identical across `--jobs` values.
+/// time, so it is byte-identical across `--jobs` and `--shards`
+/// values. The binary's `--json` flag writes [`suite_json_timed`]
+/// instead, which adds the per-cell `cell_ms` timing field; `--diff`
+/// ignores that field, so the determinism gates hold for both forms.
 pub fn suite_json(reports: &[ExperimentReport], scale_name: &str, master_seed: u64) -> String {
+    suite_doc(reports, scale_name, master_seed, false).render_pretty()
+}
+
+/// As [`suite_json`], additionally recording each experiment's
+/// per-cell wall-clock milliseconds (`cell_ms`, rounded to 0.01 ms)
+/// for drivers that collected them — the observability data behind the
+/// ROADMAP's per-shard wall-clock scaling curves. Everything except
+/// `cell_ms` is byte-identical to [`suite_json`]'s output.
+pub fn suite_json_timed(
+    reports: &[ExperimentReport],
+    scale_name: &str,
+    master_seed: u64,
+) -> String {
+    suite_doc(reports, scale_name, master_seed, true).render_pretty()
+}
+
+fn suite_doc(
+    reports: &[ExperimentReport],
+    scale_name: &str,
+    master_seed: u64,
+    timed: bool,
+) -> Json {
     Json::obj([
         ("schema", Json::str("noisy-radio/experiments/v1")),
         ("scale", Json::str(scale_name)),
         ("master_seed", Json::U64(master_seed)),
         (
             "experiments",
-            Json::arr(reports.iter().map(|r| r.to_json())),
+            Json::arr(reports.iter().map(|r| {
+                let mut doc = r.to_json();
+                if timed && !r.cell_ms.is_empty() {
+                    if let Json::Obj(pairs) = &mut doc {
+                        pairs.push((
+                            "cell_ms".into(),
+                            Json::arr(
+                                r.cell_ms
+                                    .iter()
+                                    .map(|&ms| Json::F64((ms * 100.0).round() / 100.0)),
+                            ),
+                        ));
+                    }
+                }
+                doc
+            })),
         ),
     ])
-    .render_pretty()
 }
 
 impl ExperimentReport {

@@ -15,7 +15,7 @@
 //! `O((log n / (1-p)) · (D + log n + log 1/δ))` rounds.
 
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
+use radio_model::{Action, Channel, Ctx, LatencyProfile, NodeBehavior, Reception};
 
 use crate::{BroadcastRun, CoreError};
 
@@ -24,13 +24,13 @@ use crate::{BroadcastRun, CoreError};
 /// The algorithmic knob is the phase length; `None` (default) derives
 /// `⌈log₂ n⌉ + 1` from the graph at run time. `shards` is a pure
 /// execution knob: it is forwarded to
-/// [`Simulator::with_shards`] and never changes measured results.
+/// [`radio_model::Simulator::with_shards`] and never changes measured results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decay {
     /// Phase length override; `None` derives `⌈log₂ n⌉ + 1`.
     pub phase_len: Option<u32>,
     /// Simulator shard count (1 = sequential, 0 = auto); see
-    /// [`Simulator::with_shards`].
+    /// [`radio_model::Simulator::with_shards`].
     pub shards: usize,
 }
 
@@ -83,6 +83,24 @@ impl Decay {
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
+        Ok(self.run_profiled(graph, source, fault, seed, max_rounds)?.0)
+    }
+
+    /// As [`Decay::run`], additionally returning the per-node
+    /// [`LatencyProfile`] (first-delivery and decode-completion
+    /// rounds).
+    ///
+    /// # Errors
+    ///
+    /// As [`Decay::run`].
+    pub fn run_profiled(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(BroadcastRun, LatencyProfile), CoreError> {
         let n = graph.node_count();
         if source.index() >= n {
             return Err(CoreError::InvalidParameter {
@@ -101,12 +119,15 @@ impl Decay {
                 phase_len,
             })
             .collect();
-        let mut sim = Simulator::new(graph, fault, behaviors, seed)?.with_shards(self.shards);
-        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun {
-            rounds,
-            stats: *sim.stats(),
-        })
+        crate::outcome::run_profiled_until(
+            graph,
+            fault,
+            behaviors,
+            seed,
+            max_rounds,
+            self.shards,
+            |bs| bs.iter().all(|b| b.informed),
+        )
     }
 
     /// Runs Decay for exactly `budget` rounds and reports whether the
@@ -195,6 +216,10 @@ impl NodeBehavior<()> for DecayNode {
         if rx.is_packet() {
             self.informed = true;
         }
+    }
+
+    fn decoded(&self) -> bool {
+        self.informed
     }
 }
 
@@ -367,6 +392,36 @@ mod tests {
         );
         assert_eq!(loose, 0.0, "a 10× budget should essentially never fail");
         assert!(tight > 0.0, "a starved budget should fail sometimes");
+    }
+
+    #[test]
+    fn profiled_run_orders_latencies_along_the_path() {
+        let g = generators::path(24);
+        let (run, profile) = Decay::new()
+            .run_profiled(
+                &g,
+                NodeId::new(0),
+                Channel::receiver(0.3).unwrap(),
+                5,
+                100_000,
+            )
+            .unwrap();
+        assert!(run.completed());
+        // Every non-source node was served (the source may also hear
+        // packets echoed back from its neighbor).
+        assert!(profile.delivered_count() >= 23);
+        assert_eq!(profile.decode_complete(NodeId::new(0)), Some(0));
+        // Decay informs a node the round it first hears, so the two
+        // profiles agree; the flood front is monotone along the path.
+        let mut last = 0;
+        for i in 1..24u32 {
+            let v = NodeId::new(i);
+            let first = profile.first_packet(v).expect("delivered");
+            assert_eq!(profile.decode_complete(v), Some(first));
+            assert!(first >= last, "front moved backwards at {v}");
+            assert!(first < run.rounds_used());
+            last = first;
+        }
     }
 
     #[test]

@@ -143,6 +143,10 @@ impl NodeBehavior<CodedPacket<Gf256>> for StreamingNode {
             self.state.absorb(packet);
         }
     }
+
+    fn decoded(&self) -> bool {
+        self.state.can_decode()
+    }
 }
 
 #[cfg(test)]

@@ -184,13 +184,30 @@ impl<'g> FastbcSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
-        let mut sim =
-            Simulator::new(self.graph, fault, self.behaviors(), seed)?.with_shards(self.shards);
-        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun {
-            rounds,
-            stats: *sim.stats(),
-        })
+        Ok(self.run_profiled(fault, seed, max_rounds)?.0)
+    }
+
+    /// As [`FastbcSchedule::run`], additionally returning the per-node
+    /// [`radio_model::LatencyProfile`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run_profiled(
+        &self,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(BroadcastRun, radio_model::LatencyProfile), CoreError> {
+        crate::outcome::run_profiled_until(
+            self.graph,
+            fault,
+            self.behaviors(),
+            seed,
+            max_rounds,
+            self.shards,
+            |bs| bs.iter().all(|b| b.informed),
+        )
     }
 
     /// Runs like [`FastbcSchedule::run`] but hands every round's
@@ -283,6 +300,10 @@ impl NodeBehavior<()> for FastbcNode {
         if rx.is_packet() {
             self.informed = true;
         }
+    }
+
+    fn decoded(&self) -> bool {
+        self.informed
     }
 }
 

@@ -219,6 +219,10 @@ impl NodeBehavior<CodedPacket<Gf256>> for RlncDecayNode {
             self.state.absorb(packet);
         }
     }
+
+    fn decoded(&self) -> bool {
+        self.state.can_decode()
+    }
 }
 
 /// Robust-FASTBC-slotted RLNC multi-message broadcast (Lemma 13).
@@ -342,6 +346,10 @@ impl NodeBehavior<CodedPacket<Gf256>> for RlncRobustNode {
         if let Reception::Packet(packet) = rx {
             self.state.absorb(packet);
         }
+    }
+
+    fn decoded(&self) -> bool {
+        self.state.can_decode()
     }
 }
 

@@ -1,6 +1,9 @@
 //! Outcome summary of a single broadcast execution.
 
-use radio_model::SimStats;
+use netgraph::Graph;
+use radio_model::{Channel, LatencyProfile, NodeBehavior, SimStats, Simulator};
+
+use crate::CoreError;
 
 /// The result of one broadcast execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +30,34 @@ impl BroadcastRun {
         self.rounds
             .expect("broadcast did not complete within its round budget")
     }
+}
+
+/// The shared profiled-run body of every single-message schedule
+/// (`Decay`, `FastbcSchedule`, `RobustFastbcSchedule`,
+/// `XinXiaSchedule`): build the simulator, shard it, run until `done`
+/// or `max_rounds`, and return the outcome with its latency profile.
+pub(crate) fn run_profiled_until<P, B>(
+    graph: &Graph,
+    fault: Channel,
+    behaviors: Vec<B>,
+    seed: u64,
+    max_rounds: u64,
+    shards: usize,
+    done: impl FnMut(&[B]) -> bool,
+) -> Result<(BroadcastRun, LatencyProfile), CoreError>
+where
+    P: Clone + Send + Sync,
+    B: NodeBehavior<P> + Send,
+{
+    let mut sim = Simulator::new(graph, fault, behaviors, seed)?.with_shards(shards);
+    let rounds = sim.run_until(max_rounds, done);
+    Ok((
+        BroadcastRun {
+            rounds,
+            stats: *sim.stats(),
+        },
+        sim.latency_profile(),
+    ))
 }
 
 #[cfg(test)]

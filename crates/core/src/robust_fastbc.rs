@@ -27,7 +27,9 @@
 
 use gbst::Gbst;
 use netgraph::{Graph, NodeId};
-use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, RoundTrace, Simulator};
+use radio_model::{
+    Action, Channel, Ctx, LatencyProfile, NodeBehavior, Reception, RoundTrace, Simulator,
+};
 
 use crate::decay::{default_phase_len, DecayNode};
 use crate::{BroadcastRun, CoreError};
@@ -217,13 +219,30 @@ impl<'g> RobustFastbcSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<BroadcastRun, CoreError> {
-        let mut sim =
-            Simulator::new(self.graph, fault, self.behaviors(), seed)?.with_shards(self.shards);
-        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.informed));
-        Ok(BroadcastRun {
-            rounds,
-            stats: *sim.stats(),
-        })
+        Ok(self.run_profiled(fault, seed, max_rounds)?.0)
+    }
+
+    /// As [`RobustFastbcSchedule::run`], additionally returning the
+    /// per-node [`LatencyProfile`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run_profiled(
+        &self,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(BroadcastRun, LatencyProfile), CoreError> {
+        crate::outcome::run_profiled_until(
+            self.graph,
+            fault,
+            self.behaviors(),
+            seed,
+            max_rounds,
+            self.shards,
+            |bs| bs.iter().all(|b| b.informed),
+        )
     }
 
     /// Traced variant of [`RobustFastbcSchedule::run`] for invariant
@@ -319,6 +338,10 @@ impl NodeBehavior<()> for RobustFastbcNode {
         if rx.is_packet() {
             self.informed = true;
         }
+    }
+
+    fn decoded(&self) -> bool {
+        self.informed
     }
 }
 

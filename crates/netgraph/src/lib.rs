@@ -43,7 +43,7 @@ compile_error!(
     "the `serde` feature requires the real `serde` crate (with `derive`): \
      this offline workspace vendors none. Add `serde = { version = \"1\", \
      features = [\"derive\"], optional = true }` to this crate and remove \
-     this guard (see DESIGN.md section 6)."
+     this guard (see DESIGN.md section 7)."
 );
 
 mod builder;

@@ -18,6 +18,7 @@ use netgraph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::latency::LatencyProfile;
 use crate::rng::fork_rng;
 use crate::{Action, Channel, ModelError, Reception};
 
@@ -63,6 +64,17 @@ pub trait NodeBehavior<P> {
     /// Called once per round for every listening node with the slot's
     /// outcome.
     fn receive(&mut self, ctx: &mut Ctx<'_>, rx: Reception<P>);
+
+    /// Whether this node's decode is complete, for latency profiling
+    /// ([`crate::LatencyProfile`]): informed, for single-message
+    /// protocols; full decoder rank, for multi-message ones. The
+    /// engine polls this at the end of every round (and once at
+    /// construction) and records the first `true` round. The default
+    /// reports `false` forever — behaviors that opt out simply leave
+    /// their decode-completion rounds unrecorded.
+    fn decoded(&self) -> bool {
+        false
+    }
 }
 
 /// Aggregate statistics over an entire simulation, with one counter
@@ -87,6 +99,14 @@ pub struct SimStats {
     /// Deliveries erased with the listener aware (erasure channel; one
     /// per lost delivery).
     pub erasures: u64,
+    /// Nodes that have received at least one packet so far (their
+    /// first-delivery round is recorded in the
+    /// [`crate::LatencyProfile`]).
+    pub delivered_nodes: u64,
+    /// Nodes whose decode has completed so far (per
+    /// [`NodeBehavior::decoded`]), including nodes decoded at
+    /// construction such as the source.
+    pub decoded_nodes: u64,
 }
 
 impl SimStats {
@@ -114,6 +134,11 @@ pub struct RoundReport {
     pub receiver_faults: u64,
     /// Erasures drawn this round.
     pub erasures: u64,
+    /// Listeners that received their *first* packet this round.
+    pub first_deliveries: u64,
+    /// Nodes whose decode completed this round (per
+    /// [`NodeBehavior::decoded`]).
+    pub decodes: u64,
 }
 
 /// A detailed trace of one round, for invariant checking in tests:
@@ -129,6 +154,11 @@ pub struct RoundTrace {
     pub collided_listeners: Vec<NodeId>,
     /// Listeners whose delivery was erased (erasure channel only).
     pub erased_listeners: Vec<NodeId>,
+    /// Listeners that received their first packet this round (sorted
+    /// by id).
+    pub first_packet_listeners: Vec<NodeId>,
+    /// Nodes whose decode completed this round (sorted by id).
+    pub decoded_nodes: Vec<NodeId>,
 }
 
 /// The round-step entry used when sharding is enabled. Stored as a
@@ -161,6 +191,11 @@ pub struct Simulator<'g, P, B> {
     sharded_step: Option<ShardedStep<P, B>>,
     round: u64,
     stats: SimStats,
+    /// Per-node first-packet rounds (latency subsystem); updated only
+    /// by the node's own shard, so sharding cannot reorder it.
+    first_packet: Vec<Option<u64>>,
+    /// Per-node decode-completion rounds (see [`NodeBehavior::decoded`]).
+    decode_round: Vec<Option<u64>>,
     // Reusable per-round buffers, one slot per node, fully rewritten
     // by every round's act sweep.
     actions: Vec<Action<P>>,
@@ -207,6 +242,11 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         let fault_rngs = (0..n as u64)
             .map(|i| fork_rng(seed, FAULT_STREAM_BASE + i))
             .collect();
+        // Nodes decoded before any round executes (e.g. the source)
+        // are recorded at round 0 — the earliest representable round.
+        let decode_round: Vec<Option<u64>> =
+            behaviors.iter().map(|b| b.decoded().then_some(0)).collect();
+        let decoded_nodes = decode_round.iter().filter(|r| r.is_some()).count() as u64;
         Ok(Simulator {
             graph,
             channel,
@@ -217,7 +257,12 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             shard_ranges: Vec::new(),
             sharded_step: None,
             round: 0,
-            stats: SimStats::default(),
+            stats: SimStats {
+                decoded_nodes,
+                ..SimStats::default()
+            },
+            first_packet: vec![None; n],
+            decode_round,
             actions: (0..n).map(|_| Action::Listen).collect(),
             is_broadcasting: vec![false; n],
             sender_ok: vec![true; n],
@@ -292,6 +337,16 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         &self.stats
     }
 
+    /// The per-node latency profile accumulated so far: first-packet
+    /// and decode-completion rounds (see [`LatencyProfile`]).
+    /// Bit-identical for any shard count, like every other observable.
+    pub fn latency_profile(&self) -> LatencyProfile {
+        LatencyProfile {
+            first_packet: self.first_packet.clone(),
+            decode: self.decode_round.clone(),
+        }
+    }
+
     /// The behavior of node `v`.
     pub fn behavior(&self, v: NodeId) -> &B {
         &self.behaviors[v.index()]
@@ -319,6 +374,8 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         trace.deliveries.clear();
         trace.collided_listeners.clear();
         trace.erased_listeners.clear();
+        trace.first_packet_listeners.clear();
+        trace.decoded_nodes.clear();
         self.step_inner(Some(trace))
     }
 
@@ -356,6 +413,8 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             &mut self.behaviors,
             &mut self.node_rngs,
             &mut self.fault_rngs,
+            &mut self.first_packet,
+            &mut self.decode_round,
             &self.actions,
             &self.is_broadcasting,
             &self.sender_ok,
@@ -387,6 +446,8 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             report.collisions += part.collisions;
             report.receiver_faults += part.receiver_faults;
             report.erasures += part.erasures;
+            report.first_deliveries += part.first_deliveries;
+            report.decodes += part.decodes;
         }
         if let Some(t) = trace {
             for part in act_parts {
@@ -399,6 +460,8 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
                     t.deliveries.extend(tp.deliveries);
                     t.collided_listeners.extend(tp.collided);
                     t.erased_listeners.extend(tp.erased);
+                    t.first_packet_listeners.extend(tp.first_packets);
+                    t.decoded_nodes.extend(tp.decoded);
                 }
             }
         }
@@ -410,6 +473,8 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.stats.sender_faults += report.sender_faults;
         self.stats.receiver_faults += report.receiver_faults;
         self.stats.erasures += report.erasures;
+        self.stats.delivered_nodes += report.first_deliveries;
+        self.stats.decoded_nodes += report.decodes;
         report
     }
 
@@ -460,6 +525,8 @@ struct TracePart {
     deliveries: Vec<(NodeId, NodeId)>,
     collided: Vec<NodeId>,
     erased: Vec<NodeId>,
+    first_packets: Vec<NodeId>,
+    decoded: Vec<NodeId>,
 }
 
 /// Partial tallies of one shard's delivery sweep.
@@ -469,6 +536,8 @@ struct RecvPart {
     collisions: u64,
     receiver_faults: u64,
     erasures: u64,
+    first_deliveries: u64,
+    decodes: u64,
     traced: Option<TracePart>,
 }
 
@@ -525,7 +594,8 @@ fn act_range<P: Clone, B: NodeBehavior<P>>(
 }
 
 /// Phase 3 over the listeners of `range`: resolve every listener's
-/// slot outcome and deliver it. `behaviors`/`node_rngs`/`fault_rngs`
+/// slot outcome and deliver it, then poll every node's decode state.
+/// `behaviors`/`node_rngs`/`fault_rngs`/`first_packet`/`decode_round`
 /// are the shard's chunks; `actions`/`is_broadcasting`/`sender_ok` are
 /// the **full** per-node buffers (senders may live in other shards).
 #[allow(clippy::too_many_arguments)]
@@ -537,6 +607,8 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
     behaviors: &mut [B],
     node_rngs: &mut [SmallRng],
     fault_rngs: &mut [SmallRng],
+    first_packet: &mut [Option<u64>],
+    decode_round: &mut [Option<u64>],
     actions: &[Action<P>],
     is_broadcasting: &[bool],
     sender_ok: &[bool],
@@ -552,10 +624,20 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
         ..RecvPart::default()
     };
     for (local, i) in range.enumerate() {
-        if is_broadcasting[i] {
-            continue; // broadcasters do not receive (half-duplex)
-        }
         let node = NodeId::from_index(i);
+        if is_broadcasting[i] {
+            // Broadcasters do not receive (half-duplex), but their
+            // decode state is still polled below.
+            poll_decode(
+                &behaviors[local],
+                local,
+                node,
+                round,
+                decode_round,
+                &mut part,
+            );
+            continue;
+        }
         let mut sender: Option<NodeId> = None;
         let mut count = 0usize;
         for &u in graph.neighbors(node) {
@@ -592,6 +674,13 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
                         .expect("broadcasting sender has a payload")
                         .clone();
                     part.deliveries += 1;
+                    if first_packet[local].is_none() {
+                        first_packet[local] = Some(round);
+                        part.first_deliveries += 1;
+                        if let Some(t) = part.traced.as_mut() {
+                            t.first_packets.push(node);
+                        }
+                    }
                     if let Some(t) = part.traced.as_mut() {
                         t.deliveries.push((s, node));
                     }
@@ -613,8 +702,36 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
             degree: graph.degree(node),
         };
         behaviors[local].receive(&mut ctx, rx);
+        poll_decode(
+            &behaviors[local],
+            local,
+            node,
+            round,
+            decode_round,
+            &mut part,
+        );
     }
     part
+}
+
+/// End-of-round decode poll for one node: records the first round in
+/// which [`NodeBehavior::decoded`] reports `true`. `decode_round` is
+/// the shard's chunk, `local` the node's index within it.
+fn poll_decode<P, B: NodeBehavior<P>>(
+    behavior: &B,
+    local: usize,
+    node: NodeId,
+    round: u64,
+    decode_round: &mut [Option<u64>],
+    part: &mut RecvPart,
+) {
+    if decode_round[local].is_none() && behavior.decoded() {
+        decode_round[local] = Some(round);
+        part.decodes += 1;
+        if let Some(t) = part.traced.as_mut() {
+            t.decoded.push(node);
+        }
+    }
 }
 
 /// Splits a per-node buffer into the chunks matching contiguous
@@ -685,6 +802,8 @@ where
         let behaviors = split_ranges(&mut sim.behaviors, &ranges);
         let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
         let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
+        let first_packet = split_ranges(&mut sim.first_packet, &ranges);
+        let decode_round = split_ranges(&mut sim.decode_round, &ranges);
         let actions = &sim.actions;
         let is_broadcasting = &sim.is_broadcasting;
         let sender_ok = &sim.sender_ok;
@@ -695,7 +814,9 @@ where
                 .zip(behaviors)
                 .zip(node_rngs)
                 .zip(fault_rngs)
-                .map(|(((range, b), nr), fr)| {
+                .zip(first_packet)
+                .zip(decode_round)
+                .map(|(((((range, b), nr), fr), fp), dr)| {
                     s.spawn(move || {
                         receive_range(
                             graph,
@@ -705,6 +826,8 @@ where
                             b,
                             nr,
                             fr,
+                            fp,
+                            dr,
                             actions,
                             is_broadcasting,
                             sender_ok,
@@ -751,6 +874,9 @@ mod tests {
             if rx.is_packet() {
                 self.informed = true;
             }
+        }
+        fn decoded(&self) -> bool {
+            self.informed
         }
     }
 
@@ -1117,8 +1243,10 @@ mod tests {
     }
 
     /// Runs `rounds` traced rounds at the given shard count and
-    /// returns everything observable: reports, traces, stats, and the
-    /// final informed-set of the flood behaviors.
+    /// returns everything observable: reports, traces, stats, the
+    /// latency profile, and the final informed-set of the flood
+    /// behaviors.
+    #[allow(clippy::type_complexity)]
     fn observe_flood(
         g: &netgraph::Graph,
         channel: Channel,
@@ -1126,7 +1254,13 @@ mod tests {
         seed: u64,
         rounds: u64,
         shards: usize,
-    ) -> (Vec<RoundReport>, Vec<RoundTrace>, SimStats, Vec<bool>) {
+    ) -> (
+        Vec<RoundReport>,
+        Vec<RoundTrace>,
+        SimStats,
+        LatencyProfile,
+        Vec<bool>,
+    ) {
         let n = g.node_count();
         let mut sim = Simulator::new(g, channel, flood_behaviors(n, informed), seed)
             .unwrap()
@@ -1139,8 +1273,9 @@ mod tests {
             traces.push(t);
         }
         let stats = *sim.stats();
+        let profile = sim.latency_profile();
         let informed = sim.into_behaviors().iter().map(|b| b.informed).collect();
-        (reports, traces, stats, informed)
+        (reports, traces, stats, profile, informed)
     }
 
     /// Asserts shard-count parity against the sequential run for a
@@ -1210,6 +1345,94 @@ mod tests {
         // draw must reach every listener identically.
         let g = generators::star(64);
         assert_shard_parity(&g, Channel::sender(0.5).unwrap(), &[0], 11, 5);
+    }
+
+    #[test]
+    fn latency_profile_records_path_flood() {
+        // Faultless flood on a path: node i first hears (and decodes)
+        // in round i-1; the source decodes at construction (round 0)
+        // and never receives.
+        let g = generators::path(5);
+        let mut sim =
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(5, &[0]), 1).unwrap();
+        assert_eq!(sim.stats().decoded_nodes, 1, "source decoded up front");
+        sim.run(4);
+        let p = sim.latency_profile();
+        assert_eq!(p.first_packet(NodeId::new(0)), None);
+        assert_eq!(p.decode_complete(NodeId::new(0)), Some(0));
+        for i in 1..5u32 {
+            assert_eq!(p.first_packet(NodeId::new(i)), Some(u64::from(i) - 1));
+            assert_eq!(p.decode_complete(NodeId::new(i)), Some(u64::from(i) - 1));
+        }
+        assert_eq!(p.delivered_count(), 4);
+        assert_eq!(p.decoded_count(), 5);
+        assert_eq!(p.delivery_latencies(), vec![1, 2, 3, 4]);
+        assert_eq!(p.max_delivery_latency(), Some(4));
+        assert_eq!(sim.stats().delivered_nodes, 4);
+        assert_eq!(sim.stats().decoded_nodes, 5);
+    }
+
+    #[test]
+    fn round_report_and_trace_surface_first_deliveries() {
+        let g = generators::star(4);
+        let mut sim =
+            Simulator::new(&g, Channel::faultless(), flood_behaviors(5, &[0]), 2).unwrap();
+        let mut trace = RoundTrace::default();
+        let r = sim.step_traced(&mut trace);
+        assert_eq!(r.first_deliveries, 4, "all leaves first-served in round 0");
+        assert_eq!(r.decodes, 4, "all leaves decode in round 0");
+        assert_eq!(trace.first_packet_listeners.len(), 4);
+        assert_eq!(trace.decoded_nodes.len(), 4);
+        // Round 1: everyone broadcasts, nothing new is delivered.
+        let r1 = sim.step_traced(&mut trace);
+        assert_eq!(r1.first_deliveries, 0);
+        assert_eq!(r1.decodes, 0);
+        assert!(trace.first_packet_listeners.is_empty());
+        assert!(trace.decoded_nodes.is_empty());
+    }
+
+    #[test]
+    fn first_delivery_not_re_recorded_on_later_packets() {
+        /// Node 0 broadcasts every round; node 1 only listens.
+        struct Shout {
+            node0: bool,
+        }
+        impl NodeBehavior<()> for Shout {
+            fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+                if self.node0 {
+                    Action::Broadcast(())
+                } else {
+                    Action::Listen
+                }
+            }
+            fn receive(&mut self, _ctx: &mut Ctx<'_>, _rx: Reception<()>) {}
+        }
+        let g = generators::single_link();
+        let behaviors = vec![Shout { node0: true }, Shout { node0: false }];
+        let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 1).unwrap();
+        sim.run(10);
+        let p = sim.latency_profile();
+        assert_eq!(p.first_packet(NodeId::new(1)), Some(0));
+        assert_eq!(
+            sim.stats().delivered_nodes,
+            1,
+            "first delivery counted once"
+        );
+        assert_eq!(sim.stats().deliveries, 10, "every round still delivers");
+    }
+
+    #[test]
+    fn latency_profile_counts_losses() {
+        // Under a heavy receiver channel the first delivery happens
+        // strictly later than round 0 for some seed.
+        let g = generators::single_link();
+        let channel = Channel::receiver(0.9).unwrap();
+        let mut sim = Simulator::new(&g, channel, flood_behaviors(2, &[0]), 3).unwrap();
+        sim.run_until(10_000, |bs| bs[1].informed).unwrap();
+        let p = sim.latency_profile();
+        let first = p.first_packet(NodeId::new(1)).expect("delivered");
+        assert!(first > 0, "p=0.9 seed 3 should lose round 0");
+        assert_eq!(p.decode_complete(NodeId::new(1)), Some(first));
     }
 
     #[test]

@@ -47,6 +47,16 @@
 //!   every round and directs all nodes. This is the strong model in
 //!   which the paper proves its routing lower bounds.
 //!
+//! # Latency instrumentation
+//!
+//! The engine records a per-node [`LatencyProfile`]: the round of each
+//! node's first [`Reception::Packet`] and the round its decode
+//! completed (behaviors opt in via [`NodeBehavior::decoded`]). The
+//! profile is available at any point through
+//! [`Simulator::latency_profile`], its aggregates ride on
+//! [`SimStats`]/[`RoundReport`]/[`RoundTrace`], and it obeys the same
+//! shard-count-independence contract as every other observable.
+//!
 //! # Example
 //!
 //! ```
@@ -95,7 +105,7 @@ compile_error!(
     "the `serde` feature requires the real `serde` crate (with `derive`): \
      this offline workspace vendors none. Add `serde = { version = \"1\", \
      features = [\"derive\"], optional = true }` to this crate and remove \
-     this guard (see DESIGN.md section 6)."
+     this guard (see DESIGN.md section 7)."
 );
 
 mod action;
@@ -103,6 +113,7 @@ mod bitmat;
 mod channel;
 mod engine;
 mod error;
+mod latency;
 mod rng;
 
 pub mod adaptive;
@@ -113,4 +124,5 @@ pub use bitmat::BitMatrix;
 pub use channel::{Channel, Reception, ReceptionKind};
 pub use engine::{Ctx, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator};
 pub use error::ModelError;
+pub use latency::LatencyProfile;
 pub use rng::{fork_rng, fork_seed};

@@ -21,6 +21,11 @@ pub struct RecordedRound {
     pub collisions: Vec<u32>,
     /// Listeners whose delivery was erased (erasure channel).
     pub erasures: Vec<u32>,
+    /// Listeners that received their first packet this round.
+    pub first_packets: Vec<u32>,
+    /// Nodes whose decode completed this round (per
+    /// [`crate::NodeBehavior::decoded`]).
+    pub decoded: Vec<u32>,
 }
 
 /// A recorded execution: every round's broadcast/delivery/collision
@@ -74,6 +79,12 @@ impl History {
                     .collect(),
                 collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
                 erasures: trace.erased_listeners.iter().map(|v| v.raw()).collect(),
+                first_packets: trace
+                    .first_packet_listeners
+                    .iter()
+                    .map(|v| v.raw())
+                    .collect(),
+                decoded: trace.decoded_nodes.iter().map(|v| v.raw()).collect(),
             });
         }
         history
@@ -109,6 +120,12 @@ impl History {
                     .collect(),
                 collisions: trace.collided_listeners.iter().map(|v| v.raw()).collect(),
                 erasures: trace.erased_listeners.iter().map(|v| v.raw()).collect(),
+                first_packets: trace
+                    .first_packet_listeners
+                    .iter()
+                    .map(|v| v.raw())
+                    .collect(),
+                decoded: trace.decoded_nodes.iter().map(|v| v.raw()).collect(),
             });
         }
     }
@@ -136,6 +153,15 @@ impl History {
         self.rounds
             .iter()
             .map(|r| (r.round, r.deliveries.len()))
+            .collect()
+    }
+
+    /// Per-round *first*-delivery counts: the recorded latency curve
+    /// (how many nodes were first served each round).
+    pub fn first_delivery_curve(&self) -> Vec<(u64, usize)> {
+        self.rounds
+            .iter()
+            .map(|r| (r.round, r.first_packets.len()))
             .collect()
     }
 }
@@ -224,6 +250,19 @@ mod tests {
         let mut s = sim(&g);
         let history = History::record(&mut s, 2);
         assert_eq!(history.delivery_curve(), vec![(0, 4), (1, 0)]);
+        assert_eq!(history.first_delivery_curve(), vec![(0, 4), (1, 0)]);
+    }
+
+    #[test]
+    fn first_packets_recorded_once_per_node() {
+        // Path flood: each node appears in first_packets exactly once,
+        // in its first-reception round.
+        let g = generators::path(5);
+        let mut s = sim(&g);
+        let history = History::record(&mut s, 4);
+        for (i, r) in history.rounds.iter().enumerate() {
+            assert_eq!(r.first_packets, vec![i as u32 + 1]);
+        }
     }
 
     #[cfg(feature = "serde")]

@@ -6,7 +6,8 @@
 use netgraph::{generators, Graph, NodeId};
 use proptest::prelude::*;
 use radio_model::{
-    Action, Channel, Ctx, NodeBehavior, Reception, ReceptionKind, RoundTrace, SimStats, Simulator,
+    Action, Channel, Ctx, LatencyProfile, NodeBehavior, Reception, ReceptionKind, RoundTrace,
+    SimStats, Simulator,
 };
 
 /// Behavior that broadcasts with a fixed per-node probability — a
@@ -71,6 +72,50 @@ fn chatter(n: usize, prob: f64) -> Vec<RandomChatter> {
     (0..n).map(|_| RandomChatter::new(prob)).collect()
 }
 
+/// Flooding behavior with a decode notion, for the latency-profile
+/// laws: informed nodes broadcast every round, packets inform, and
+/// `decoded()` reports the informed flag.
+#[derive(Debug, Clone)]
+struct Flood {
+    informed: bool,
+}
+
+impl NodeBehavior<()> for Flood {
+    fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+        if self.informed {
+            Action::Broadcast(())
+        } else {
+            Action::Listen
+        }
+    }
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<()>) {
+        if rx.is_packet() {
+            self.informed = true;
+        }
+    }
+    fn decoded(&self) -> bool {
+        self.informed
+    }
+}
+
+/// Runs a single-source flood and returns its latency profile + stats.
+fn flood_run(
+    g: &Graph,
+    channel: Channel,
+    seed: u64,
+    rounds: u64,
+    shards: usize,
+) -> (LatencyProfile, SimStats) {
+    let behaviors: Vec<Flood> = (0..g.node_count())
+        .map(|i| Flood { informed: i == 0 })
+        .collect();
+    let mut sim = Simulator::new(g, channel, behaviors, seed)
+        .unwrap()
+        .with_shards(shards);
+    sim.run(rounds);
+    (sim.latency_profile(), *sim.stats())
+}
+
 /// Full per-round traces of a run, for bit-identity comparisons.
 fn traced_run(
     g: &Graph,
@@ -79,13 +124,14 @@ fn traced_run(
     rounds: u64,
     prob: f64,
 ) -> (Vec<RoundTrace>, SimStats) {
-    let (traces, _, stats) = traced_run_sharded(g, channel, seed, rounds, prob, 1);
+    let (traces, _, stats, _) = traced_run_sharded(g, channel, seed, rounds, prob, 1);
     (traces, stats)
 }
 
 /// As [`traced_run`], but over `shards` CSR shards and additionally
 /// returning the per-round reports — the full observable surface the
 /// shard-count-independence invariant covers.
+#[allow(clippy::type_complexity)]
 fn traced_run_sharded(
     g: &Graph,
     channel: Channel,
@@ -93,7 +139,12 @@ fn traced_run_sharded(
     rounds: u64,
     prob: f64,
     shards: usize,
-) -> (Vec<RoundTrace>, Vec<radio_model::RoundReport>, SimStats) {
+) -> (
+    Vec<RoundTrace>,
+    Vec<radio_model::RoundReport>,
+    SimStats,
+    LatencyProfile,
+) {
     let mut sim = Simulator::new(g, channel, chatter(g.node_count(), prob), seed)
         .unwrap()
         .with_shards(shards);
@@ -105,7 +156,8 @@ fn traced_run_sharded(
         traces.push(t);
     }
     let stats = *sim.stats();
-    (traces, reports, stats)
+    let profile = sim.latency_profile();
+    (traces, reports, stats, profile)
 }
 
 proptest! {
@@ -314,13 +366,14 @@ proptest! {
         // observable surface: traces, round reports, and stats of a
         // sharded run are bit-identical to the sequential run for any
         // (graph, channel, seed, shard count).
-        let (seq_traces, seq_reports, seq_stats) =
+        let (seq_traces, seq_reports, seq_stats, seq_profile) =
             traced_run_sharded(&g, channel, seed, 20, prob, 1);
-        let (shard_traces, shard_reports, shard_stats) =
+        let (shard_traces, shard_reports, shard_stats, shard_profile) =
             traced_run_sharded(&g, channel, seed, 20, prob, shards);
         prop_assert_eq!(seq_traces, shard_traces);
         prop_assert_eq!(seq_reports, shard_reports);
         prop_assert_eq!(seq_stats, shard_stats);
+        prop_assert_eq!(seq_profile, shard_profile);
     }
 
     #[test]
@@ -345,6 +398,45 @@ proptest! {
             (history, stats, states)
         };
         prop_assert_eq!(record(1), record(shards));
+    }
+
+    #[test]
+    fn first_delivery_decode_and_rounds_are_ordered(
+        g in arb_graph(),
+        channel in arb_channel(),
+        seed in any::<u64>(),
+        shards in 1usize..5,
+    ) {
+        // The latency-profile ordering law, across random graphs,
+        // channels, seeds, and every shard count: each node's
+        // first-delivery round ≤ its decode-completion round ≤ the
+        // total rounds executed, and decode completion implies either
+        // a received packet or being informed at construction.
+        let (profile, stats) = flood_run(&g, channel, seed, 40, shards);
+        prop_assert_eq!(profile.node_count(), g.node_count());
+        for v in g.nodes() {
+            let first = profile.first_packet(v);
+            let decode = profile.decode_complete(v);
+            if let Some(d) = decode {
+                prop_assert!(d <= stats.rounds, "decode round {} > rounds {}", d, stats.rounds);
+                if v != NodeId::new(0) {
+                    let f = first.expect("non-source decode requires a packet");
+                    prop_assert!(f <= d, "first {} > decode {} at {}", f, d, v);
+                }
+            }
+            if let Some(f) = first {
+                prop_assert!(f < stats.rounds);
+                // A flood node decodes the round it first hears.
+                prop_assert_eq!(profile.decode_complete(v), Some(f));
+            }
+        }
+        // The source decodes at construction and the aggregates agree.
+        prop_assert_eq!(profile.decode_complete(NodeId::new(0)), Some(0));
+        prop_assert_eq!(profile.delivered_count() as u64, stats.delivered_nodes);
+        prop_assert_eq!(profile.decoded_count() as u64, stats.decoded_nodes);
+        // And the profile itself is shard-count independent.
+        let (sequential, _) = flood_run(&g, channel, seed, 40, 1);
+        prop_assert_eq!(profile, sequential);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use radio_throughput::Summary;
 
-use crate::runner::{run_cells, CellCtx, SweepConfig};
+use crate::runner::{run_cells_timed, CellCtx, SweepConfig};
 
 /// One trial's outcome: a sample value plus a validity flag.
 ///
@@ -141,11 +141,12 @@ impl<'a> Plan<'a> {
     pub fn run(self, cfg: &SweepConfig, scope: &str) -> Resolved {
         let base_seed = cfg.scope_seed(scope);
         let cells = &self.cells;
-        let results = run_cells(cfg.jobs, base_seed, cells.len(), |ctx| {
+        let (results, cell_ms) = run_cells_timed(cfg.jobs, base_seed, cells.len(), |ctx| {
             cells[ctx.index as usize](ctx)
         });
         Resolved {
             results,
+            cell_ms,
             groups: self.groups,
         }
     }
@@ -156,6 +157,9 @@ impl<'a> Plan<'a> {
 #[derive(Debug, Clone)]
 pub struct Resolved {
     results: Vec<TrialResult>,
+    /// Per-cell wall-clock milliseconds, in grid order (observability
+    /// only — never part of the measured, determinism-gated results).
+    cell_ms: Vec<f64>,
     groups: Vec<(usize, usize)>,
 }
 
@@ -200,6 +204,20 @@ impl Resolved {
     pub fn ok_count(&self, h: Handle) -> u64 {
         self.group(h).iter().filter(|t| t.ok).count() as u64
     }
+
+    /// Per-cell wall-clock milliseconds, in grid order (see
+    /// [`crate::run_cells_timed`]). Timing is observability data, not
+    /// a measurement: artifact diffing ignores it.
+    pub fn cell_ms(&self) -> &[f64] {
+        &self.cell_ms
+    }
+
+    /// Total wall-clock milliseconds spent inside cells (the sum over
+    /// [`Resolved::cell_ms`]; with multiple workers this exceeds the
+    /// elapsed wall time).
+    pub fn total_cell_ms(&self) -> f64 {
+        self.cell_ms.iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +257,18 @@ mod tests {
         let res = plan.run(&SweepConfig::new(Some(1), 0), "ok");
         assert!(!res.ok(h));
         assert_eq!(res.ok_count(h), 3);
+    }
+
+    #[test]
+    fn cell_ms_covers_every_cell() {
+        let mut plan = Plan::new();
+        let a = plan.trials(3, |_| 1.0);
+        let _b = plan.one(|_| 2.0);
+        let res = plan.run(&SweepConfig::new(Some(2), 0), "ms");
+        assert_eq!(res.cell_ms().len(), 4);
+        assert!(res.cell_ms().iter().all(|&m| m >= 0.0));
+        assert!(res.total_cell_ms() >= 0.0);
+        assert_eq!(res.values(a).len(), 3);
     }
 
     #[test]

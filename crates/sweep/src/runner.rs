@@ -205,6 +205,38 @@ where
         .collect()
 }
 
+/// As [`run_cells`], additionally returning each cell's wall-clock
+/// duration in milliseconds (in cell-index order).
+///
+/// The *results* obey the determinism contract; the *timings* of
+/// course do not — they are observability data (per-cell cost, shard
+/// scaling curves) and are excluded from artifact diffing
+/// (`experiments --diff` ignores the timing field).
+///
+/// # Examples
+///
+/// ```
+/// use radio_sweep::run_cells_timed;
+///
+/// let (values, ms) = run_cells_timed(2, 42, 4, |ctx| ctx.index * 2);
+/// assert_eq!(values, vec![0, 2, 4, 6]);
+/// assert_eq!(ms.len(), 4);
+/// assert!(ms.iter().all(|&m| m >= 0.0));
+/// ```
+pub fn run_cells_timed<T, F>(jobs: usize, base_seed: u64, count: usize, f: F) -> (Vec<T>, Vec<f64>)
+where
+    T: Send,
+    F: Fn(CellCtx) -> T + Sync,
+{
+    run_cells(jobs, base_seed, count, |ctx| {
+        let start = std::time::Instant::now();
+        let value = f(ctx);
+        (value, start.elapsed().as_secs_f64() * 1e3)
+    })
+    .into_iter()
+    .unzip()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +281,15 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), ids.len(), "scope seeds must be distinct");
+    }
+
+    #[test]
+    fn timed_cells_match_untimed_results() {
+        let plain = run_cells(1, 5, 6, |ctx| ctx.seed);
+        let (timed, ms) = run_cells_timed(3, 5, 6, |ctx| ctx.seed);
+        assert_eq!(plain, timed);
+        assert_eq!(ms.len(), 6);
+        assert!(ms.iter().all(|&m| m.is_finite() && m >= 0.0));
     }
 
     #[test]

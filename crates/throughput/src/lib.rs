@@ -16,7 +16,10 @@
 //!   over a growing-`k` ladder (Definition 1's `limsup`), and gap
 //!   ratios (Definitions 2–3);
 //! * [`table`] — fixed-width and Markdown table rendering for benches
-//!   and reports.
+//!   and reports;
+//! * [`latency`] — mean / p50 / p99 / max latency columns over
+//!   per-node delivery-latency samples (the reporting half of the
+//!   latency subsystem, DESIGN.md §5).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,16 +32,18 @@ compile_error!(
     "the `serde` feature requires the real `serde` crate (with `derive`): \
      this offline workspace vendors none. Add `serde = { version = \"1\", \
      features = [\"derive\"], optional = true }` to this crate and remove \
-     this guard (see DESIGN.md section 6)."
+     this guard (see DESIGN.md section 7)."
 );
 
 pub mod fit;
+pub mod latency;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 pub mod throughput;
 
 pub use fit::{linear_fit, log_log_fit, Fit};
+pub use latency::{LatencySummary, LATENCY_HEADERS};
 pub use stats::{quantile, Percentiles, Summary};
 pub use sweep::{sweep, SweepPoint};
 pub use table::Table;

@@ -217,4 +217,30 @@ mod tests {
     fn quantile_rejects_bad_q() {
         let _ = quantile(&[1.0], 1.5);
     }
+
+    // Edge cases at sample sizes 0 and 1: the latency columns reuse
+    // these helpers on per-node delivery samples, which can legally be
+    // a single node (one-edge grids) — and must *never* be empty by
+    // the time they reach a percentile call.
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn quantile_of_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn percentiles_of_empty_panic() {
+        let _ = Percentiles::from_samples(&[]);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&[7.5], q), 7.5, "q = {q}");
+        }
+        let p = Percentiles::from_samples(&[7.5]);
+        assert_eq!((p.p50, p.p90, p.p99), (7.5, 7.5, 7.5));
+    }
 }

@@ -18,11 +18,13 @@ use noisy_radio::core::experimental::StreamingRlnc;
 use noisy_radio::core::fastbc::FastbcSchedule;
 use noisy_radio::core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
+use noisy_radio::core::schedules::latency::XinXiaSchedule;
 use noisy_radio::core::schedules::star::{star_coding_sharded, star_routing};
 use noisy_radio::gbst::Gbst;
 use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
 use noisy_radio::sweep::{run_cells, SweepConfig};
+use noisy_radio::throughput::LatencySummary;
 
 const MAX_ROUNDS: u64 = 500_000_000;
 
@@ -54,7 +56,9 @@ COMMON OPTIONS:
                     results are identical for any K — use for large n
 
 broadcast:
-  --algo NAME       decay | fastbc | robust-fastbc      (default robust-fastbc)
+  --algo NAME       decay | fastbc | robust-fastbc | xin-xia
+                    (default robust-fastbc); prints per-node latency
+                    (mean/p50/p99/max rounds) alongside rounds per trial
 multicast:
   --algo NAME       decay-rlnc | rfastbc-rlnc | streaming-rlnc (default decay-rlnc)
   --k N             number of messages (default 8)
@@ -243,6 +247,7 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
         Decay,
         Fastbc(FastbcSchedule<'g>),
         Robust(RobustFastbcSchedule<'g>),
+        XinXia(XinXiaSchedule<'g>),
     }
     let algo = match algo {
         "decay" => Algo::Decay,
@@ -256,35 +261,59 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
                 .with_shards(opts.shards),
         ),
+        "xin-xia" => Algo::XinXia(
+            XinXiaSchedule::new(&g, source)
+                .map_err(|e| e.to_string())?
+                .with_shards(opts.shards),
+        ),
         other => return Err(format!("unknown broadcast algo `{other}`")),
     };
     let cfg = opts.sweep();
-    let per_trial: Vec<Result<u64, String>> =
+    let per_trial: Vec<Result<(u64, Vec<u64>), String>> =
         run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
-            let rounds = match &algo {
+            let (run, profile) = match &algo {
                 Algo::Decay => Decay::new()
                     .with_shards(opts.shards)
-                    .run(&g, source, opts.fault, ctx.seed, MAX_ROUNDS)
-                    .map_err(|e| e.to_string())?
-                    .rounds_used(),
+                    .run_profiled(&g, source, opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?,
                 Algo::Fastbc(sched) => sched
-                    .run(opts.fault, ctx.seed, MAX_ROUNDS)
-                    .map_err(|e| e.to_string())?
-                    .rounds_used(),
+                    .run_profiled(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?,
                 Algo::Robust(sched) => sched
-                    .run(opts.fault, ctx.seed, MAX_ROUNDS)
-                    .map_err(|e| e.to_string())?
-                    .rounds_used(),
+                    .run_profiled(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?,
+                Algo::XinXia(sched) => sched
+                    .run_profiled(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .map_err(|e| e.to_string())?,
             };
-            Ok(rounds)
+            Ok((
+                run.rounds_used(),
+                profile.delivery_latencies_excluding(source),
+            ))
         });
     let mut total = 0u64;
-    for (t, rounds) in per_trial.into_iter().enumerate() {
-        let rounds = rounds?;
-        println!("  trial {t}: {rounds} rounds");
+    let mut pooled: Vec<u64> = Vec::new();
+    for (t, trial) in per_trial.into_iter().enumerate() {
+        let (rounds, latencies) = trial?;
+        // A single-node "broadcast" completes without any delivery;
+        // there is no latency distribution to print then.
+        match LatencySummary::from_rounds(&latencies) {
+            Some(lat) => println!(
+                "  trial {t}: {rounds} rounds (latency mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0})",
+                lat.mean, lat.p50, lat.p99, lat.max
+            ),
+            None => println!("  trial {t}: {rounds} rounds"),
+        }
         total += rounds;
+        pooled.extend(latencies);
     }
     println!("mean: {:.1} rounds", total as f64 / opts.trials as f64);
+    if let Some(lat) = LatencySummary::from_rounds(&pooled) {
+        println!(
+            "per-node latency over {} samples: mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0} rounds",
+            lat.count, lat.mean, lat.p50, lat.p99, lat.max
+        );
+    }
     Ok(())
 }
 
