@@ -13,6 +13,7 @@ mod multi;
 mod single_link;
 mod single_message;
 mod structure;
+mod throughput;
 mod transforms;
 
 pub use ablations::{a1_block_size, a2_failure_probability, a3_streaming_rlnc};
@@ -26,6 +27,7 @@ pub use single_message::{
     e5_robust_fastbc,
 };
 pub use structure::f1_gbst_structure;
+pub use throughput::e15_saturation_sweep;
 pub use transforms::e11_transformations;
 
 use radio_sweep::SweepConfig;
@@ -39,7 +41,7 @@ pub type Driver = fn(Scale, &SweepConfig) -> ExperimentReport;
 /// `experiments --list`), and the driver.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// The registry id (`E1`…`E14`, `F1`, `A1`…`A3`).
+    /// The registry id (`E1`…`E15`, `F1`, `A1`…`A3`).
     pub id: &'static str,
     /// One-line description of what the experiment measures.
     pub description: &'static str,
@@ -127,6 +129,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "E14",
         "Latency sweep: Xin–Xia pipelined schedules vs Decay/Robust FASTBC (arXiv:1709.01494)",
         e14_latency_sweep,
+    ),
+    exp(
+        "E15",
+        "Continuous-traffic saturation: bisected λ* and latency-vs-load per workload (DESIGN.md §9)",
+        e15_saturation_sweep,
     ),
     exp(
         "F1",

@@ -13,15 +13,17 @@
 //! erasure-vs-noise grid with its deadlock control cell (E13), the
 //! latency sweep with its per-node `LatencyProfile` percentiles and
 //! per-cell timing (E14 — timing rides only on the binary's timed
-//! artifact, so `suite_json` stays byte-exact), a two-phase plan whose
-//! second grid depends on the first's results (A2), and a sharded
-//! scaling sweep (E8, whose coding arm runs the engine over
-//! `cfg.shards` CSR shards).
+//! artifact, so `suite_json` stays byte-exact), the continuous-traffic
+//! saturation sweep whose per-arm bisection forks many probe seeds and
+//! threads `cfg.shards` through every `run_traffic` call (E15), a
+//! two-phase plan whose second grid depends on the first's results
+//! (A2), and a sharded scaling sweep (E8, whose coding arm runs the
+//! engine over `cfg.shards` CSR shards).
 
 use noisy_radio_bench::{experiments, suite_json, Scale};
 use radio_sweep::SweepConfig;
 
-const SUBSET: &[&str] = &["E3", "E8", "E9", "E12", "E13", "E14", "F1", "A2"];
+const SUBSET: &[&str] = &["E3", "E8", "E9", "E12", "E13", "E14", "E15", "F1", "A2"];
 
 fn run_subset(jobs: usize, shards: usize, seed: u64) -> (String, String) {
     let cfg = SweepConfig::new(Some(jobs), seed).with_shards(shards);

@@ -13,6 +13,7 @@
 //! | [`repetition`] | §4.1 discussion | Naive robustification baselines (`Θ(log n)` / `Θ(log log n)` repetition) |
 //! | [`multi_message`] | §4.2, Lemmas 12–13 | Multi-message broadcast via random linear network coding |
 //! | [`schedules`] | §5 & Appendix A | Adaptive routing and Reed–Solomon coding schedules for the star, single link, WCT, and the general bipartite pipeline |
+//! | [`traffic`] | §4.2 applied | Continuous-traffic workloads (sequential Decay, Xin–Xia pipeline, generation-batched RLNC) for the injection/drain engine |
 //! | [`erasure`] | DISC 2019 follow-up (arXiv:1805.04165) | Erasure-aware NACK feedback protocols that close the noisy-model log factors |
 //! | [`transform`] | §5.2, Lemmas 25–26 | Faultless → sender-fault schedule transformations |
 //!
@@ -45,6 +46,7 @@ pub mod repetition;
 pub mod robust_fastbc;
 pub mod schedules;
 pub mod tdma;
+pub mod traffic;
 pub mod transform;
 
 pub use error::CoreError;

@@ -21,7 +21,7 @@
 use netgraph::{Graph, NodeId};
 use radio_coding::rlnc::{CodedPacket, RlncNode};
 use radio_coding::{Field, Gf256};
-use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
+use radio_model::{Action, Channel, Ctx, LatencyProfile, NodeBehavior, Reception, Simulator};
 
 use crate::decay::{default_phase_len, DecayNode};
 use crate::robust_fastbc::{RobustFastbcParams, RobustFastbcSchedule};
@@ -53,6 +53,39 @@ fn check_k(k: usize) -> Result<(), CoreError> {
         });
     }
     Ok(())
+}
+
+/// The shared run body of every RLNC variant: run until every node's
+/// decoder has full rank (the `can_decode`-driven [`NodeBehavior::decoded`]
+/// hook records per-node decode rounds in the [`LatencyProfile`]), then
+/// verify the decoded payloads against the source's.
+fn run_rlnc_profiled<B>(
+    graph: &Graph,
+    fault: Channel,
+    behaviors: Vec<B>,
+    seed: u64,
+    max_rounds: u64,
+    messages: &[Vec<Gf256>],
+    state: impl Fn(&B) -> &RlncNode<Gf256>,
+) -> Result<(MultiMessageRun, LatencyProfile), CoreError>
+where
+    B: NodeBehavior<CodedPacket<Gf256>>,
+{
+    let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
+    let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| state(b).can_decode()));
+    let stats = *sim.stats();
+    let decoded_ok = rounds.is_some()
+        && sim
+            .behaviors()
+            .iter()
+            .all(|b| state(b).decode().map(|d| d == messages).unwrap_or(false));
+    Ok((
+        MultiMessageRun {
+            run: BroadcastRun { rounds, stats },
+            decoded_ok,
+        },
+        sim.latency_profile(),
+    ))
 }
 
 /// Decay-slotted RLNC multi-message broadcast (Lemma 12).
@@ -97,6 +130,29 @@ impl DecayRlnc {
         seed: u64,
         max_rounds: u64,
     ) -> Result<MultiMessageRun, CoreError> {
+        Ok(self
+            .run_profiled(graph, source, k, fault, seed, max_rounds)?
+            .0)
+    }
+
+    /// As [`DecayRlnc::run`], additionally returning the per-node
+    /// [`LatencyProfile`]: `first_packet` is the round a node first
+    /// heard *any* combination, `decode` the round its decoder reached
+    /// full rank `k` (the `can_decode`-driven decode latency the E6/E7
+    /// tables report).
+    ///
+    /// # Errors
+    ///
+    /// As [`DecayRlnc::run`].
+    pub fn run_profiled(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        k: usize,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(MultiMessageRun, LatencyProfile), CoreError> {
         check_k(k)?;
         let n = graph.node_count();
         if source.index() >= n {
@@ -116,17 +172,8 @@ impl DecayRlnc {
                 phase_len,
             })
             .collect();
-        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
-        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
-        let stats = *sim.stats();
-        let decoded_ok = rounds.is_some()
-            && sim
-                .behaviors()
-                .iter()
-                .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun {
-            run: BroadcastRun { rounds, stats },
-            decoded_ok,
+        run_rlnc_profiled(graph, fault, behaviors, seed, max_rounds, &messages, |b| {
+            &b.state
         })
     }
 }
@@ -179,18 +226,12 @@ impl DecayRlnc {
                     messages[i].clone(),
                 ));
         }
-        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
-        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
-        let stats = *sim.stats();
-        let decoded_ok = rounds.is_some()
-            && sim
-                .behaviors()
-                .iter()
-                .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun {
-            run: BroadcastRun { rounds, stats },
-            decoded_ok,
-        })
+        Ok(
+            run_rlnc_profiled(graph, fault, behaviors, seed, max_rounds, &messages, |b| {
+                &b.state
+            })?
+            .0,
+        )
     }
 }
 
@@ -251,6 +292,26 @@ impl RobustFastbcRlnc {
         seed: u64,
         max_rounds: u64,
     ) -> Result<MultiMessageRun, CoreError> {
+        Ok(self
+            .run_profiled(graph, source, k, fault, seed, max_rounds)?
+            .0)
+    }
+
+    /// As [`RobustFastbcRlnc::run`], additionally returning the
+    /// per-node [`LatencyProfile`] (see [`DecayRlnc::run_profiled`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RobustFastbcRlnc::run`].
+    pub fn run_profiled(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        k: usize,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(MultiMessageRun, LatencyProfile), CoreError> {
         check_k(k)?;
         let sched = RobustFastbcSchedule::with_params(graph, source, self.params)?;
         let gbst = sched.gbst();
@@ -277,17 +338,8 @@ impl RobustFastbcRlnc {
                 }
             })
             .collect();
-        let mut sim = Simulator::new(graph, fault, behaviors, seed)?;
-        let rounds = sim.run_until(max_rounds, |bs| bs.iter().all(|b| b.state.can_decode()));
-        let stats = *sim.stats();
-        let decoded_ok = rounds.is_some()
-            && sim
-                .behaviors()
-                .iter()
-                .all(|b| b.state.decode().map(|d| d == messages).unwrap_or(false));
-        Ok(MultiMessageRun {
-            run: BroadcastRun { rounds, stats },
-            decoded_ok,
+        run_rlnc_profiled(graph, fault, behaviors, seed, max_rounds, &messages, |b| {
+            &b.state
         })
     }
 }
@@ -515,6 +567,122 @@ mod tests {
             DecayRlnc::default().run_gossip(&g, &[NodeId::new(9)], Channel::faultless(), 0, 10),
             Err(CoreError::InvalidParameter { .. })
         ));
+    }
+
+    #[test]
+    fn k_equals_one_decode_matches_first_packet() {
+        // k = 1 edge case: one nonzero combination is the message, so
+        // every non-source node's decode completes the round it first
+        // hears a packet (random_combination never emits the zero
+        // vector), and the source decodes at construction.
+        let g = generators::path(8);
+        let (out, profile) = DecayRlnc {
+            phase_len: None,
+            payload_len: 1,
+        }
+        .run_profiled(
+            &g,
+            NodeId::new(0),
+            1,
+            Channel::receiver(0.4).unwrap(),
+            3,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(out.run.completed() && out.decoded_ok);
+        assert_eq!(profile.decode_complete(NodeId::new(0)), Some(0));
+        for i in 1..8u32 {
+            let v = NodeId::new(i);
+            assert_eq!(
+                profile.decode_complete(v),
+                profile.first_packet(v),
+                "k = 1 decode must land with the first packet at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_completes_with_full_decode_profile() {
+        // k > n edge case: more messages than nodes; rank must still
+        // reach k everywhere and every decode round is recorded no
+        // earlier than the node's first packet.
+        let g = generators::path(4);
+        let (out, profile) = DecayRlnc {
+            phase_len: None,
+            payload_len: 0,
+        }
+        .run_profiled(&g, NodeId::new(0), 8, Channel::faultless(), 5, 1_000_000)
+        .unwrap();
+        assert!(out.run.completed() && out.decoded_ok);
+        assert_eq!(profile.decoded_count(), 4);
+        for i in 1..4u32 {
+            let v = NodeId::new(i);
+            let first = profile.first_packet(v).expect("served");
+            let decode = profile.decode_complete(v).expect("decoded");
+            assert!(decode >= first, "rank k needs ≥ k receptions at {v}");
+            assert!(decode < out.run.rounds_used());
+        }
+    }
+
+    #[test]
+    fn decode_rounds_are_monotone_in_k() {
+        // The `can_decode`-driven decode hook: accumulating rank k
+        // takes longer for larger k, so the mean decode latency is
+        // nondecreasing in k (averaged over seeds to tame variance).
+        let g = generators::path(8);
+        let mean_decode = |k: usize| {
+            let (mut total, mut count) = (0u64, 0u64);
+            for seed in 0..4 {
+                let (out, profile) = DecayRlnc {
+                    phase_len: None,
+                    payload_len: 0,
+                }
+                .run_profiled(
+                    &g,
+                    NodeId::new(0),
+                    k,
+                    Channel::receiver(0.3).unwrap(),
+                    seed,
+                    1_000_000,
+                )
+                .unwrap();
+                assert!(out.run.completed(), "k = {k} seed {seed}");
+                let lats = profile.decode_latencies();
+                total += lats.iter().sum::<u64>();
+                count += lats.len() as u64;
+            }
+            total as f64 / count as f64
+        };
+        let (m2, m8, m32) = (mean_decode(2), mean_decode(8), mean_decode(32));
+        assert!(
+            m2 <= m8 && m8 <= m32,
+            "decode latency must grow with k: {m2} → {m8} → {m32}"
+        );
+        assert!(m2 < m32, "k = 32 must be strictly slower than k = 2");
+    }
+
+    #[test]
+    fn robust_fastbc_rlnc_profiled_populates_decode_rounds() {
+        let g = generators::path(24);
+        let (out, profile) = RobustFastbcRlnc {
+            params: Default::default(),
+            payload_len: 0,
+        }
+        .run_profiled(
+            &g,
+            NodeId::new(0),
+            4,
+            Channel::receiver(0.3).unwrap(),
+            7,
+            2_000_000,
+        )
+        .unwrap();
+        assert!(out.run.completed());
+        assert_eq!(profile.decoded_count(), 24);
+        assert!(profile
+            .decode_latencies()
+            .iter()
+            .all(|&l| l <= out.run.rounds_used()));
     }
 
     #[test]

@@ -75,6 +75,21 @@ pub trait NodeBehavior<P> {
     fn decoded(&self) -> bool {
         false
     }
+
+    /// This node's pending traffic backlog — messages injected at or
+    /// relayed through it that are not yet delivered — for the
+    /// continuous-traffic subsystem. The engine polls this at the end
+    /// of every round, alongside [`NodeBehavior::decoded`], and
+    /// surfaces the per-round total in [`RoundReport::queued`], the
+    /// running peak in [`SimStats::peak_queued`], and the nonzero
+    /// per-node depths in [`RoundTrace::queued_nodes`]. Because the
+    /// poll is per-node (each node tallied by its own shard, merged in
+    /// node order), the depths obey the same shard-count-independence
+    /// invariant as every other observable. The default reports `0`:
+    /// one-shot behaviors carry no queue.
+    fn queued(&self) -> u64 {
+        0
+    }
 }
 
 /// Aggregate statistics over an entire simulation, with one counter
@@ -107,6 +122,9 @@ pub struct SimStats {
     /// [`NodeBehavior::decoded`]), including nodes decoded at
     /// construction such as the source.
     pub decoded_nodes: u64,
+    /// Peak end-of-round total queue depth observed so far (per
+    /// [`NodeBehavior::queued`]); 0 for queue-free behaviors.
+    pub peak_queued: u64,
 }
 
 impl SimStats {
@@ -139,6 +157,9 @@ pub struct RoundReport {
     /// Nodes whose decode completed this round (per
     /// [`NodeBehavior::decoded`]).
     pub decodes: u64,
+    /// Total queue depth across all nodes at the end of this round
+    /// (per [`NodeBehavior::queued`]).
+    pub queued: u64,
 }
 
 /// A detailed trace of one round, for invariant checking in tests:
@@ -159,6 +180,9 @@ pub struct RoundTrace {
     pub first_packet_listeners: Vec<NodeId>,
     /// Nodes whose decode completed this round (sorted by id).
     pub decoded_nodes: Vec<NodeId>,
+    /// Nonzero end-of-round queue depths as `(node, depth)` pairs
+    /// (sorted by id; per [`NodeBehavior::queued`]).
+    pub queued_nodes: Vec<(NodeId, u64)>,
 }
 
 /// The round-step entry used when sharding is enabled. Stored as a
@@ -357,6 +381,20 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         &self.behaviors
     }
 
+    /// Mutable access to all behaviors, indexed by node id — the
+    /// between-rounds hook of the continuous-traffic subsystem: a
+    /// driver injects newly arrived messages into the source behavior
+    /// (and retires globally delivered ones from relay queues) here,
+    /// never mid-round. Determinism caveat: mutations become part of
+    /// the run's definition, so a driver must derive them only from
+    /// deterministic inputs (the round index, behavior state, prior
+    /// reports) — never from wall-clock, thread identity, or ambient
+    /// randomness — to preserve the seed/shard/jobs reproducibility
+    /// contract.
+    pub fn behaviors_mut(&mut self) -> &mut [B] {
+        &mut self.behaviors
+    }
+
     /// Consumes the simulator, returning the behaviors.
     pub fn into_behaviors(self) -> Vec<B> {
         self.behaviors
@@ -376,6 +414,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         trace.erased_listeners.clear();
         trace.first_packet_listeners.clear();
         trace.decoded_nodes.clear();
+        trace.queued_nodes.clear();
         self.step_inner(Some(trace))
     }
 
@@ -448,6 +487,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
             report.erasures += part.erasures;
             report.first_deliveries += part.first_deliveries;
             report.decodes += part.decodes;
+            report.queued += part.queued;
         }
         if let Some(t) = trace {
             for part in act_parts {
@@ -462,6 +502,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
                     t.erased_listeners.extend(tp.erased);
                     t.first_packet_listeners.extend(tp.first_packets);
                     t.decoded_nodes.extend(tp.decoded);
+                    t.queued_nodes.extend(tp.queued);
                 }
             }
         }
@@ -475,6 +516,7 @@ impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.stats.erasures += report.erasures;
         self.stats.delivered_nodes += report.first_deliveries;
         self.stats.decoded_nodes += report.decodes;
+        self.stats.peak_queued = self.stats.peak_queued.max(report.queued);
         report
     }
 
@@ -527,6 +569,7 @@ struct TracePart {
     erased: Vec<NodeId>,
     first_packets: Vec<NodeId>,
     decoded: Vec<NodeId>,
+    queued: Vec<(NodeId, u64)>,
 }
 
 /// Partial tallies of one shard's delivery sweep.
@@ -538,6 +581,7 @@ struct RecvPart {
     erasures: u64,
     first_deliveries: u64,
     decodes: u64,
+    queued: u64,
     traced: Option<TracePart>,
 }
 
@@ -627,8 +671,8 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
         let node = NodeId::from_index(i);
         if is_broadcasting[i] {
             // Broadcasters do not receive (half-duplex), but their
-            // decode state is still polled below.
-            poll_decode(
+            // decode and queue state is still polled below.
+            poll_node(
                 &behaviors[local],
                 local,
                 node,
@@ -702,7 +746,7 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
             degree: graph.degree(node),
         };
         behaviors[local].receive(&mut ctx, rx);
-        poll_decode(
+        poll_node(
             &behaviors[local],
             local,
             node,
@@ -714,10 +758,11 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
     part
 }
 
-/// End-of-round decode poll for one node: records the first round in
-/// which [`NodeBehavior::decoded`] reports `true`. `decode_round` is
-/// the shard's chunk, `local` the node's index within it.
-fn poll_decode<P, B: NodeBehavior<P>>(
+/// End-of-round poll for one node: records the first round in which
+/// [`NodeBehavior::decoded`] reports `true`, and tallies the node's
+/// [`NodeBehavior::queued`] depth. `decode_round` is the shard's
+/// chunk, `local` the node's index within it.
+fn poll_node<P, B: NodeBehavior<P>>(
     behavior: &B,
     local: usize,
     node: NodeId,
@@ -730,6 +775,13 @@ fn poll_decode<P, B: NodeBehavior<P>>(
         part.decodes += 1;
         if let Some(t) = part.traced.as_mut() {
             t.decoded.push(node);
+        }
+    }
+    let depth = behavior.queued();
+    if depth > 0 {
+        part.queued += depth;
+        if let Some(t) = part.traced.as_mut() {
+            t.queued.push((node, depth));
         }
     }
 }
@@ -1433,6 +1485,89 @@ mod tests {
         let first = p.first_packet(NodeId::new(1)).expect("delivered");
         assert!(first > 0, "p=0.9 seed 3 should lose round 0");
         assert_eq!(p.decode_complete(NodeId::new(1)), Some(first));
+    }
+
+    /// A source that drains an injected backlog one message per round;
+    /// non-sources report no queue. Used by the queue-hook tests.
+    struct Backlog {
+        pending: u64,
+    }
+    impl NodeBehavior<()> for Backlog {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+            if self.pending > 0 {
+                self.pending -= 1;
+                Action::Broadcast(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, _rx: Reception<()>) {}
+        fn queued(&self) -> u64 {
+            self.pending
+        }
+    }
+
+    #[test]
+    fn queued_hook_surfaces_in_report_trace_and_stats() {
+        let g = generators::star(3);
+        let behaviors = vec![
+            Backlog { pending: 3 },
+            Backlog { pending: 0 },
+            Backlog { pending: 0 },
+            Backlog { pending: 0 },
+        ];
+        let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 1).unwrap();
+        let mut trace = RoundTrace::default();
+        let r0 = sim.step_traced(&mut trace);
+        assert_eq!(r0.queued, 2, "one of three drained in round 0");
+        assert_eq!(trace.queued_nodes, vec![(NodeId::new(0), 2)]);
+        let r1 = sim.step_traced(&mut trace);
+        assert_eq!(r1.queued, 1);
+        let r2 = sim.step_traced(&mut trace);
+        assert_eq!(r2.queued, 0);
+        assert!(trace.queued_nodes.is_empty());
+        assert_eq!(sim.stats().peak_queued, 2);
+    }
+
+    #[test]
+    fn behaviors_mut_injects_between_rounds() {
+        let g = generators::star(2);
+        let behaviors = vec![
+            Backlog { pending: 0 },
+            Backlog { pending: 0 },
+            Backlog { pending: 0 },
+        ];
+        let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 1).unwrap();
+        assert_eq!(sim.step().queued, 0);
+        sim.behaviors_mut()[0].pending += 2;
+        let r = sim.step();
+        assert_eq!(r.broadcasters, 1);
+        assert_eq!(r.queued, 1);
+        assert_eq!(sim.stats().peak_queued, 1);
+    }
+
+    #[test]
+    fn queued_depths_are_shard_count_invariant() {
+        let g = generators::path(16);
+        let observe = |shards: usize| {
+            let behaviors: Vec<Backlog> = (0..16u64).map(|i| Backlog { pending: i % 5 }).collect();
+            let mut sim = Simulator::new(&g, Channel::receiver(0.3).unwrap(), behaviors, 9)
+                .unwrap()
+                .with_shards(shards);
+            let mut reports = Vec::new();
+            let mut traces = Vec::new();
+            for _ in 0..6 {
+                let mut t = RoundTrace::default();
+                reports.push(sim.step_traced(&mut t));
+                traces.push(t);
+            }
+            (reports, traces, *sim.stats())
+        };
+        let sequential = observe(1);
+        for shards in [2, 3, 5] {
+            assert_eq!(sequential, observe(shards), "shards = {shards}");
+        }
+        assert!(sequential.2.peak_queued >= 4, "initial backlog visible");
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   and reports;
 //! * [`latency`] — mean / p50 / p99 / max latency columns over
 //!   per-node delivery-latency samples (the reporting half of the
-//!   latency subsystem, DESIGN.md §5).
+//!   latency subsystem, DESIGN.md §5);
+//! * [`traffic`] — the continuous-traffic injection/drain engine: a
+//!   deterministic rate-λ [`traffic::TrafficSource`], the
+//!   [`traffic::TrafficWorkload`] protocol plug-in trait, and the
+//!   [`traffic::run_traffic`] driver reporting per-message latency,
+//!   queue-depth series, and saturation (DESIGN.md §9).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +46,7 @@ pub mod stats;
 pub mod sweep;
 pub mod table;
 pub mod throughput;
+pub mod traffic;
 
 pub use fit::{linear_fit, log_log_fit, Fit};
 pub use latency::{LatencySummary, LATENCY_HEADERS};
@@ -48,3 +54,7 @@ pub use stats::{quantile, Percentiles, Summary};
 pub use sweep::{sweep, SweepPoint};
 pub use table::Table;
 pub use throughput::{gap_ratio, throughput_ladder, ThroughputPoint};
+pub use traffic::{
+    run_traffic, run_traffic_traced, ThroughputRun, TrafficConfig, TrafficError, TrafficSource,
+    TrafficWorkload,
+};

@@ -1,0 +1,621 @@
+//! The continuous-traffic injection/drain engine (DESIGN.md §9).
+//!
+//! Everything else in the workspace measures *one-shot* broadcasts: a
+//! message (or `k`-batch) starts at the source, the run ends when it
+//! lands. This module measures the *steady-state* regime the paper's
+//! throughput definitions are about: messages arrive at the source at
+//! rate `λ` ([`TrafficSource`]), queue behind one another, pipeline
+//! through the network under a protocol-specific [`TrafficWorkload`],
+//! and drain — or fail to, which is the saturation signal.
+//!
+//! # The driver contract
+//!
+//! [`run_traffic`] owns the round loop around a
+//! `radio_model::Simulator` and performs, per round `r`:
+//!
+//! 1. **inject** — messages `m` with `arrival_round(m) == r` are handed
+//!    to [`TrafficWorkload::inject`] (round-0 arrivals are injected
+//!    *before* simulator construction, so construction-time decode
+//!    polls see an informed source, and a one-message run degenerates
+//!    bit-for-bit to the one-shot path);
+//! 2. **activate** — [`TrafficWorkload::drain`] lets the workload
+//!    promote queued messages into service;
+//! 3. **step** — one simulator round, recording the end-of-round
+//!    total queue depth ([`radio_model::RoundReport::queued`]);
+//! 4. **retire** — `drain` again: messages now held by every node are
+//!    reported complete and purged from all relay queues (an idealized
+//!    zero-cost global ACK; see DESIGN.md §9 for why this is the
+//!    standard idealization for saturation measurement).
+//!
+//! # The conservation invariant
+//!
+//! Every round, `injected == delivered + queued`: the workload's
+//! engine-polled backlog ([`radio_model::NodeBehavior::queued`],
+//! summed over nodes) must equal the driver's own arrival/retirement
+//! accounting. The driver cross-checks this each round and reports the
+//! verdict in [`ThroughputRun::conserved`]; the property tests in
+//! `noisy_radio_core` fuzz it across graphs, channels, rates, seeds,
+//! and shard counts.
+//!
+//! # Saturation
+//!
+//! A run that hits [`TrafficConfig::max_rounds`] before draining
+//! reports [`ThroughputRun::saturated`]` == true` with the latencies
+//! of the messages that *did* complete — never a bogus mean over an
+//! unfinished backlog, and never an unbounded loop. Callers bisect on
+//! this flag to locate an algorithm's saturation rate (experiment
+//! E15).
+
+use std::ops::Range;
+
+use netgraph::Graph;
+use radio_model::{Channel, LatencyProfile, ModelError, NodeBehavior, RoundTrace, Simulator};
+
+use crate::latency::LatencySummary;
+
+/// Errors from the traffic layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// The arrival rate must be finite and strictly positive.
+    InvalidRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// The underlying simulator rejected its configuration.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficError::InvalidRate { rate } => {
+                write!(f, "arrival rate must be finite and > 0, got {rate}")
+            }
+            TrafficError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+impl From<ModelError> for TrafficError {
+    fn from(e: ModelError) -> Self {
+        TrafficError::Model(e)
+    }
+}
+
+/// Deterministic arrival process: message `m` arrives at the source at
+/// round `⌊m / λ⌋` — one message every `1/λ` rounds, with `λ > 1`
+/// batching multiple arrivals per round.
+///
+/// Arrivals are a pure function of the rate, so two runs at the same
+/// `λ` see identical offered load regardless of seed; the seed drives
+/// only the channel and the protocol's randomness. This is what makes
+/// saturation bisection meaningful — the load curve is held fixed
+/// while the service process varies.
+///
+/// # Examples
+///
+/// ```
+/// use radio_throughput::traffic::TrafficSource;
+///
+/// let slow = TrafficSource::new(0.5).unwrap();
+/// assert_eq!(
+///     (0..3).map(|m| slow.arrival_round(m)).collect::<Vec<_>>(),
+///     vec![0, 2, 4]
+/// );
+/// let burst = TrafficSource::new(2.0).unwrap();
+/// assert_eq!(
+///     (0..4).map(|m| burst.arrival_round(m)).collect::<Vec<_>>(),
+///     vec![0, 0, 1, 1]
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSource {
+    rate: f64,
+}
+
+impl TrafficSource {
+    /// Creates a source with arrival rate `λ = rate` messages/round.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidRate`] unless `rate` is finite and
+    /// strictly positive.
+    pub fn new(rate: f64) -> Result<Self, TrafficError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(TrafficError::InvalidRate { rate });
+        }
+        Ok(TrafficSource { rate })
+    }
+
+    /// The arrival rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The round at which message `m` arrives at the source.
+    pub fn arrival_round(&self, m: u64) -> u64 {
+        (m as f64 / self.rate).floor() as u64
+    }
+}
+
+/// A protocol plugged into the traffic driver: it owns the per-node
+/// behaviors and the bookkeeping that maps engine-level packets back
+/// to message ids.
+///
+/// The driver calls the three methods strictly between rounds (or
+/// before the simulator exists, for round-0 arrivals), so a workload
+/// is free to mutate any node's state — the determinism contract only
+/// requires that the mutations are a function of prior deterministic
+/// state (see `Simulator::behaviors_mut`).
+///
+/// Workload contract:
+///
+/// * [`TrafficWorkload::behaviors`] is called exactly once per run and
+///   must reset all per-run internal state;
+/// * [`TrafficWorkload::inject`] appends newly arrived message ids to
+///   the source's queue — the source node's
+///   [`NodeBehavior::queued`] depth must grow by the batch size;
+/// * [`TrafficWorkload::drain`] activates queued messages and returns
+///   the ids of messages that have become held by **every** node since
+///   the last call, purging them everywhere (each node's `queued`
+///   depth shrinks accordingly). Returned ids must be ascending and
+///   never repeat across calls.
+pub trait TrafficWorkload {
+    /// The packet type the protocol broadcasts.
+    type Packet: Clone + Send + Sync;
+    /// The per-node behavior.
+    type Node: NodeBehavior<Self::Packet> + Send;
+
+    /// Fresh per-node behaviors (indexed by node id), with all
+    /// workload-internal per-run state reset. No messages are pending
+    /// yet.
+    fn behaviors(&mut self) -> Vec<Self::Node>;
+
+    /// Delivers the contiguous id batch `ids` to the source's queue.
+    fn inject(&mut self, nodes: &mut [Self::Node], ids: Range<u64>);
+
+    /// Activates pending messages and retires completed ones,
+    /// returning the newly completed ids in ascending order.
+    fn drain(&mut self, nodes: &mut [Self::Node]) -> Vec<u64>;
+}
+
+/// Configuration of one [`run_traffic`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Arrival rate `λ` in messages/round (see [`TrafficSource`]).
+    pub rate: f64,
+    /// Total messages to inject before the arrival process stops.
+    pub messages: u64,
+    /// Round cap: a run still undrained here reports
+    /// [`ThroughputRun::saturated`].
+    pub max_rounds: u64,
+    /// Engine shard count (`Simulator::with_shards`; 0 resolves to
+    /// available parallelism, 1 is sequential).
+    pub shards: usize,
+}
+
+/// The outcome of one continuous-traffic run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRun {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Messages injected (arrival round reached before the run ended).
+    pub injected: u64,
+    /// Messages delivered to every node and retired.
+    pub delivered: u64,
+    /// `true` iff the round cap was hit before the traffic drained —
+    /// the offered load exceeded the sustainable rate. Latency fields
+    /// then cover only the delivered prefix.
+    pub saturated: bool,
+    /// `true` iff `injected == delivered + queued` held at every
+    /// round's end (the steady-state conservation invariant).
+    pub conserved: bool,
+    /// Per-message delivery latency in rounds (completion time minus
+    /// arrival round), in message-id order, delivered messages only.
+    pub latencies: Vec<u64>,
+    /// End-of-round total queue depth, one sample per executed round.
+    pub queue_depth: Vec<u64>,
+    /// Peak of [`ThroughputRun::queue_depth`] (0 on a zero-round run).
+    pub peak_queued: u64,
+    /// The engine's per-node first-packet / decode-round profile for
+    /// the whole run.
+    pub profile: LatencyProfile,
+}
+
+impl ThroughputRun {
+    /// Achieved throughput in messages/round (`delivered / rounds`;
+    /// 0 for a zero-round run).
+    pub fn achieved_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.rounds as f64
+        }
+    }
+
+    /// `true` iff all offered traffic was delivered within the cap.
+    pub fn drained(&self) -> bool {
+        !self.saturated
+    }
+
+    /// Latency columns over the delivered messages; `None` when
+    /// nothing was delivered (a saturated run reports partial columns,
+    /// never a mean over an empty or unfinished backlog).
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_rounds(&self.latencies)
+    }
+}
+
+/// Runs continuous traffic: injects [`TrafficConfig::messages`]
+/// arrivals at rate `λ` and drives the workload until drain or the
+/// round cap. See the [module docs](self) for the per-round contract.
+///
+/// # Errors
+///
+/// [`TrafficError::InvalidRate`] for a bad `λ`;
+/// [`TrafficError::Model`] if the workload's behavior count mismatches
+/// the graph.
+pub fn run_traffic<W: TrafficWorkload>(
+    graph: &Graph,
+    channel: Channel,
+    workload: &mut W,
+    config: &TrafficConfig,
+    seed: u64,
+) -> Result<ThroughputRun, TrafficError> {
+    run_traffic_inner(graph, channel, workload, config, seed, None)
+}
+
+/// [`run_traffic`] with a full per-round [`RoundTrace`] recording,
+/// for invariant and degeneracy tests (slower).
+pub fn run_traffic_traced<W: TrafficWorkload>(
+    graph: &Graph,
+    channel: Channel,
+    workload: &mut W,
+    config: &TrafficConfig,
+    seed: u64,
+) -> Result<(ThroughputRun, Vec<RoundTrace>), TrafficError> {
+    let mut traces = Vec::new();
+    let run = run_traffic_inner(graph, channel, workload, config, seed, Some(&mut traces))?;
+    Ok((run, traces))
+}
+
+fn run_traffic_inner<W: TrafficWorkload>(
+    graph: &Graph,
+    channel: Channel,
+    workload: &mut W,
+    config: &TrafficConfig,
+    seed: u64,
+    mut traces: Option<&mut Vec<RoundTrace>>,
+) -> Result<ThroughputRun, TrafficError> {
+    let source = TrafficSource::new(config.rate)?;
+    let total = config.messages;
+    let mut completed_at: Vec<Option<u64>> = vec![None; total as usize];
+    let mut arrivals: Vec<u64> = (0..total).map(|m| source.arrival_round(m)).collect();
+    // ⌊m/λ⌋ is already nondecreasing in m; keep the explicit sort as a
+    // guard against float edge cases so the injection scan below is
+    // correct by construction.
+    arrivals.sort_unstable();
+
+    let mut next: u64 = 0; // next message id to inject
+    let mut delivered: u64 = 0;
+
+    let mut nodes = workload.behaviors();
+    // Round-0 arrivals land before the simulator exists, so that
+    // construction-time decode polls see an informed source and the
+    // one-message run is bit-identical to the one-shot path.
+    while next < total && arrivals[next as usize] == 0 {
+        next += 1;
+    }
+    if next > 0 {
+        workload.inject(&mut nodes, 0..next);
+    }
+    for m in workload.drain(&mut nodes) {
+        completed_at[m as usize] = Some(0);
+        delivered += 1;
+    }
+
+    let mut sim = Simulator::new(graph, channel, nodes, seed)?.with_shards(config.shards);
+    let mut queue_depth: Vec<u64> = Vec::new();
+    let mut conserved = true;
+    let mut saturated = false;
+
+    while delivered < total || next < total {
+        let r = sim.round();
+        if r >= config.max_rounds {
+            saturated = true;
+            break;
+        }
+        if r > 0 {
+            let lo = next;
+            while next < total && arrivals[next as usize] <= r {
+                next += 1;
+            }
+            if next > lo {
+                workload.inject(sim.behaviors_mut(), lo..next);
+            }
+            for m in workload.drain(sim.behaviors_mut()) {
+                completed_at[m as usize] = Some(r);
+                delivered += 1;
+            }
+        }
+        // The invariant checked against the *engine's* end-of-round
+        // poll: the backlog the behaviors report must equal what the
+        // driver believes is in flight.
+        let expected_queued = next - delivered;
+        let report = match traces.as_deref_mut() {
+            Some(ts) => {
+                let mut t = RoundTrace::default();
+                let report = sim.step_traced(&mut t);
+                ts.push(t);
+                report
+            }
+            None => sim.step(),
+        };
+        queue_depth.push(report.queued);
+        if report.queued != expected_queued {
+            conserved = false;
+        }
+        for m in workload.drain(sim.behaviors_mut()) {
+            completed_at[m as usize] = Some(r + 1);
+            delivered += 1;
+        }
+    }
+
+    let latencies: Vec<u64> = (0..total)
+        .filter_map(|m| {
+            completed_at[m as usize].map(|done| done.saturating_sub(arrivals[m as usize]))
+        })
+        .collect();
+    Ok(ThroughputRun {
+        rounds: sim.round(),
+        injected: next,
+        delivered,
+        saturated,
+        conserved,
+        peak_queued: queue_depth.iter().copied().max().unwrap_or(0),
+        latencies,
+        queue_depth,
+        profile: sim.latency_profile(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+    use radio_model::{Action, Ctx, Reception};
+    use std::collections::VecDeque;
+
+    /// Toy workload for driver tests: one message in service at a
+    /// time, every holder floods it every round. On a faultless path
+    /// of `n` nodes the per-message service time is exactly `n - 1`
+    /// rounds.
+    struct FloodNode {
+        has: Option<u64>,
+        /// Source only: injected-but-unretired count (the engine-
+        /// polled backlog).
+        outstanding: u64,
+    }
+
+    impl NodeBehavior<u64> for FloodNode {
+        fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<u64> {
+            match self.has {
+                Some(m) => Action::Broadcast(m),
+                None => Action::Listen,
+            }
+        }
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, rx: Reception<u64>) {
+            if let Reception::Packet(m) = rx {
+                self.has = Some(m);
+            }
+        }
+        fn queued(&self) -> u64 {
+            self.outstanding
+        }
+    }
+
+    struct FloodWorkload {
+        n: usize,
+        active: Option<u64>,
+        pending: VecDeque<u64>,
+    }
+
+    impl FloodWorkload {
+        fn new(n: usize) -> Self {
+            FloodWorkload {
+                n,
+                active: None,
+                pending: VecDeque::new(),
+            }
+        }
+    }
+
+    impl TrafficWorkload for FloodWorkload {
+        type Packet = u64;
+        type Node = FloodNode;
+
+        fn behaviors(&mut self) -> Vec<FloodNode> {
+            self.active = None;
+            self.pending.clear();
+            (0..self.n)
+                .map(|_| FloodNode {
+                    has: None,
+                    outstanding: 0,
+                })
+                .collect()
+        }
+
+        fn inject(&mut self, nodes: &mut [FloodNode], ids: Range<u64>) {
+            nodes[0].outstanding += ids.end - ids.start;
+            self.pending.extend(ids);
+        }
+
+        fn drain(&mut self, nodes: &mut [FloodNode]) -> Vec<u64> {
+            let mut out = Vec::new();
+            loop {
+                if let Some(m) = self.active {
+                    if nodes.iter().all(|nd| nd.has == Some(m)) {
+                        for nd in nodes.iter_mut() {
+                            nd.has = None;
+                        }
+                        nodes[0].outstanding -= 1;
+                        self.active = None;
+                        out.push(m);
+                    } else {
+                        break;
+                    }
+                }
+                match self.pending.pop_front() {
+                    Some(m) => {
+                        nodes[0].has = Some(m);
+                        self.active = Some(m);
+                    }
+                    None => break,
+                }
+            }
+            out
+        }
+    }
+
+    fn cfg(rate: f64, messages: u64, max_rounds: u64) -> TrafficConfig {
+        TrafficConfig {
+            rate,
+            messages,
+            max_rounds,
+            shards: 1,
+        }
+    }
+
+    #[test]
+    fn source_rejects_bad_rates() {
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                TrafficSource::new(rate),
+                Err(TrafficError::InvalidRate { .. })
+            ));
+        }
+        assert!((TrafficSource::new(0.25).unwrap().rate() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arrivals_are_every_inverse_rate_rounds() {
+        let s = TrafficSource::new(0.25).unwrap();
+        assert_eq!(
+            (0..4).map(|m| s.arrival_round(m)).collect::<Vec<_>>(),
+            vec![0, 4, 8, 12]
+        );
+        let unit = TrafficSource::new(1.0).unwrap();
+        assert_eq!(unit.arrival_round(7), 7);
+    }
+
+    #[test]
+    fn light_load_drains_with_idle_system_latencies() {
+        let g = generators::path(6);
+        let mut w = FloodWorkload::new(6);
+        let run = run_traffic(&g, Channel::faultless(), &mut w, &cfg(0.05, 4, 1_000), 1).unwrap();
+        assert!(run.drained());
+        assert!(run.conserved, "conservation must hold");
+        assert_eq!((run.injected, run.delivered), (4, 4));
+        // Arrivals every 20 rounds, service time 5: each message meets
+        // an idle system.
+        assert_eq!(run.latencies, vec![5, 5, 5, 5]);
+        assert_eq!(run.peak_queued, 1);
+        let s = run.latency_summary().unwrap();
+        assert_eq!((s.mean, s.max), (5.0, 5.0));
+        // The last completion happens at the last message's arrival
+        // round (60) plus its service time.
+        assert_eq!(run.rounds, 65);
+        assert!((run.achieved_rate() - 4.0 / 65.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_run_reports_cap_and_partial_latencies() {
+        // λ = 1 against a service time of 5 rounds: hopelessly
+        // overloaded. The run must stop at the cap, flag saturation,
+        // and report latencies for the delivered prefix only.
+        let g = generators::path(6);
+        let mut w = FloodWorkload::new(6);
+        let run = run_traffic(&g, Channel::faultless(), &mut w, &cfg(1.0, 50, 40), 3).unwrap();
+        assert!(run.saturated);
+        assert!(run.conserved);
+        assert_eq!(run.rounds, 40, "stopped exactly at the cap");
+        assert!(run.delivered < run.injected);
+        assert_eq!(run.latencies.len(), run.delivered as usize);
+        assert!(!run.latencies.is_empty(), "the prefix did complete");
+        assert!(run.latency_summary().is_some());
+        // Queue grows roughly one message per 5-round service period.
+        assert!(run.peak_queued >= 5, "backlog must pile up under overload");
+        // Waiting time grows with queue position.
+        assert!(run.latencies.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_round_cap_reports_saturated_without_bogus_mean() {
+        let g = generators::path(4);
+        let mut w = FloodWorkload::new(4);
+        let run = run_traffic(&g, Channel::faultless(), &mut w, &cfg(0.5, 3, 0), 0).unwrap();
+        assert!(run.saturated);
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.delivered, 0);
+        assert!(run.latency_summary().is_none(), "no samples → no mean");
+        assert_eq!(run.achieved_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_messages_drains_immediately() {
+        let g = generators::path(4);
+        let mut w = FloodWorkload::new(4);
+        let run = run_traffic(&g, Channel::faultless(), &mut w, &cfg(0.5, 0, 100), 0).unwrap();
+        assert!(run.drained());
+        assert_eq!((run.rounds, run.injected, run.delivered), (0, 0, 0));
+        assert!(run.latencies.is_empty() && run.queue_depth.is_empty());
+    }
+
+    #[test]
+    fn single_node_graph_completes_at_arrival() {
+        let g = netgraph::Graph::from_edges(1, []).unwrap();
+        let mut w = FloodWorkload::new(1);
+        let run = run_traffic(&g, Channel::faultless(), &mut w, &cfg(0.5, 3, 100), 0).unwrap();
+        assert!(run.drained());
+        assert_eq!(run.latencies, vec![0, 0, 0], "source holds ⇒ instant");
+    }
+
+    #[test]
+    fn run_is_shard_count_invariant() {
+        let g = generators::path(12);
+        let channel = Channel::receiver(0.3).unwrap();
+        let run_with = |shards: usize| {
+            let mut w = FloodWorkload::new(12);
+            let c = TrafficConfig {
+                shards,
+                ..cfg(0.02, 5, 5_000)
+            };
+            run_traffic(&g, channel, &mut w, &c, 7).unwrap()
+        };
+        let sequential = run_with(1);
+        assert!(sequential.drained() && sequential.conserved);
+        for shards in [2, 3, 4] {
+            assert_eq!(sequential, run_with(shards), "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let g = generators::path(8);
+        let channel = Channel::erasure(0.4).unwrap();
+        let mut w = FloodWorkload::new(8);
+        let c = cfg(0.05, 3, 2_000);
+        let plain = run_traffic(&g, channel, &mut w, &c, 11).unwrap();
+        let mut w2 = FloodWorkload::new(8);
+        let (traced, traces) = run_traffic_traced(&g, channel, &mut w2, &c, 11).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(traces.len() as u64, traced.rounds);
+        // The trace's per-node depths must sum to the series sample.
+        for (t, &total) in traces.iter().zip(&traced.queue_depth) {
+            let sum: u64 = t.queued_nodes.iter().map(|&(_, d)| d).sum();
+            assert_eq!(sum, total);
+        }
+    }
+}

@@ -20,10 +20,12 @@ use noisy_radio::core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
 use noisy_radio::core::schedules::latency::XinXiaSchedule;
 use noisy_radio::core::schedules::star::{star_coding_sharded, star_routing};
+use noisy_radio::core::traffic::{run_decay_traffic, run_rlnc_traffic, run_xin_xia_traffic};
 use noisy_radio::gbst::Gbst;
 use noisy_radio::model::Channel;
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
 use noisy_radio::sweep::{run_cells, SweepConfig};
+use noisy_radio::throughput::traffic::{ThroughputRun, TrafficConfig};
 use noisy_radio::throughput::LatencySummary;
 
 const MAX_ROUNDS: u64 = 500_000_000;
@@ -37,6 +39,8 @@ USAGE:
 COMMANDS:
   broadcast   single-message broadcast; prints rounds per trial + mean
   multicast   k-message broadcast via RLNC; verifies decoded payloads
+  traffic     continuous traffic at rate λ; prints throughput, latency,
+              queue peaks, and whether the run drained or saturated
   gap         star coding-vs-routing throughput gap (Theorem 17)
   topo        print topology statistics and GBST structure
   help        this message
@@ -62,6 +66,13 @@ broadcast:
 multicast:
   --algo NAME       decay-rlnc | rfastbc-rlnc | streaming-rlnc (default decay-rlnc)
   --k N             number of messages (default 8)
+traffic:
+  --algo NAME       decay | xin-xia | rlnc (default decay)
+  --rate L          arrival rate λ in messages/round (default 0.05)
+  --messages N      messages to inject before arrivals stop (default 32)
+  --max-rounds N    round cap; an undrained run reports SATURATED
+                    (default 100000)
+  --gen N           RLNC generation size cap, 1..=255 (default 16)
 gap:
   --leaves N        star size (default 1024)
   --k N             messages (default 16)
@@ -92,6 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "broadcast" => cmd_broadcast(&opts),
         "multicast" => cmd_multicast(&opts),
+        "traffic" => cmd_traffic(&opts),
         "gap" => cmd_gap(&opts),
         "topo" => cmd_topo(&opts),
         other => Err(format!("unknown command `{other}`")),
@@ -109,6 +121,10 @@ struct Options {
     algo: Option<String>,
     k: usize,
     leaves: usize,
+    rate: f64,
+    messages: u64,
+    max_rounds: u64,
+    gen: usize,
 }
 
 impl Options {
@@ -129,6 +145,10 @@ impl Options {
             algo: None,
             k: 8,
             leaves: 1024,
+            rate: 0.05,
+            messages: 32,
+            max_rounds: 100_000,
+            gen: 16,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -160,6 +180,18 @@ impl Options {
                 "--leaves" => {
                     opts.leaves = value()?.parse().map_err(|e| format!("bad --leaves: {e}"))?
                 }
+                "--rate" => opts.rate = value()?.parse().map_err(|e| format!("bad --rate: {e}"))?,
+                "--messages" => {
+                    opts.messages = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --messages: {e}"))?
+                }
+                "--max-rounds" => {
+                    opts.max_rounds = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --max-rounds: {e}"))?
+                }
+                "--gen" => opts.gen = value()?.parse().map_err(|e| format!("bad --gen: {e}"))?,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -373,6 +405,67 @@ fn cmd_multicast(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_traffic(opts: &Options) -> Result<(), String> {
+    let g = parse_topology(&opts.topology, opts.seed)?;
+    let algo = opts.algo.as_deref().unwrap_or("decay");
+    if !matches!(algo, "decay" | "xin-xia" | "rlnc") {
+        return Err(format!("unknown traffic algo `{algo}`"));
+    }
+    let source = NodeId::new(0);
+    let config = TrafficConfig {
+        rate: opts.rate,
+        messages: opts.messages,
+        max_rounds: opts.max_rounds,
+        shards: opts.shards,
+    };
+    println!(
+        "topology {} ({} nodes, {} edges), fault {}, algo {algo}",
+        opts.topology,
+        g.node_count(),
+        g.edge_count(),
+        opts.fault
+    );
+    println!(
+        "offered load λ = {} messages/round, {} messages, cap {} rounds",
+        opts.rate, opts.messages, opts.max_rounds
+    );
+    let cfg = opts.sweep();
+    let per_trial: Vec<Result<ThroughputRun, String>> =
+        run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
+            match algo {
+                "decay" => run_decay_traffic(&g, source, opts.fault, &config, ctx.seed),
+                "xin-xia" => run_xin_xia_traffic(&g, source, opts.fault, &config, ctx.seed),
+                _ => run_rlnc_traffic(&g, source, opts.gen, opts.fault, &config, ctx.seed),
+            }
+            .map_err(|e| e.to_string())
+        });
+    for (t, trial) in per_trial.into_iter().enumerate() {
+        let run = trial?;
+        println!(
+            "  trial {t}: {} rounds, {}/{} delivered, throughput {:.4} msg/round, \
+             peak queue {}{}",
+            run.rounds,
+            run.delivered,
+            run.injected,
+            run.achieved_rate(),
+            run.peak_queued,
+            if run.saturated {
+                " — SATURATED at the round cap"
+            } else {
+                ""
+            }
+        );
+        match run.latency_summary() {
+            Some(lat) => println!(
+                "    latency over {} delivered: mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0} rounds",
+                lat.count, lat.mean, lat.p50, lat.p99, lat.max
+            ),
+            None => println!("    latency: no message completed before the cap"),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_gap(opts: &Options) -> Result<(), String> {
     println!(
         "star with {} leaves, k = {}, fault {} (Theorem 17 setting)",
@@ -483,6 +576,30 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert!(Options::parse(&["--bogus".to_string()]).is_err());
         assert!(Options::parse(&["--k".to_string()]).is_err());
+    }
+
+    #[test]
+    fn traffic_flag_parsing() {
+        let args: Vec<String> = [
+            "--rate",
+            "0.2",
+            "--messages",
+            "64",
+            "--max-rounds",
+            "5000",
+            "--gen",
+            "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.rate, 0.2);
+        assert_eq!(o.messages, 64);
+        assert_eq!(o.max_rounds, 5000);
+        assert_eq!(o.gen, 8);
+        let bad: Vec<String> = ["--rate", "fast"].iter().map(|s| s.to_string()).collect();
+        assert!(Options::parse(&bad).is_err());
     }
 
     #[test]
