@@ -1,0 +1,368 @@
+//! E16: Byzantine consensus workloads over the noisy broadcast
+//! primitive.
+//!
+//! Every other experiment measures *broadcast* — one honest payload
+//! racing the channel. This one composes the adversary subsystem with
+//! the consensus workloads: Bracha reliable broadcast and Ben-Or
+//! binary consensus gossiped over the noisy radio, swept across
+//! channel × adversary × assumed-tolerance `f` on path / star / mesh
+//! grids. Safety (honest agreement, and BRB validity for an honest
+//! source) is channel-independent — the channels and adversaries can
+//! only delay termination. The measured quantity is therefore the
+//! *empirical f-threshold*: the largest `f` whose every adversary arm
+//! still terminated within the round budget. Noisy links pay the
+//! usual `1/(1−p)` gossip slowdown on top of the Byzantine
+//! redundancy loss, so their thresholds degrade measurably against
+//! the faultless baseline — the consensus-layer analogue of the
+//! paper's broadcast slowdown results.
+
+use netgraph::{generators, Graph, NodeId};
+use noisy_radio_core::consensus::{BenOr, Brb, ConsensusRun};
+use radio_model::{fork_seed, Adversary, Channel, Misbehavior};
+use radio_sweep::{run_cells_timed, SweepConfig};
+use radio_throughput::Table;
+
+use crate::{ExperimentReport, Scale};
+
+/// Round budget per trial: generous against the faultless baseline
+/// (tens of rounds), tight enough that heavy noise × high `f` arms
+/// measurably fail to terminate.
+const MAX_ROUNDS: u64 = 2_000;
+
+/// Crash round for the crash adversary: early enough to bite before
+/// the first quorums form on the faultless baseline.
+const CRASH_ROUND: u64 = 10;
+
+/// The largest assumed tolerance in the sweep (`f < n/3` holds on
+/// every grid: n = 10 and 12).
+const F_MAX: usize = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Algo {
+    Brb,
+    BenOr,
+}
+
+impl Algo {
+    const ALL: [Algo; 2] = [Algo::Brb, Algo::BenOr];
+
+    fn name(self) -> &'static str {
+        match self {
+            Algo::Brb => "brb",
+            Algo::BenOr => "ben-or",
+        }
+    }
+}
+
+/// One adversary arm: `None` is the all-honest baseline (f = 0 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arm {
+    kind: Option<Misbehavior>,
+    f: usize,
+}
+
+impl Arm {
+    fn kind_name(self) -> &'static str {
+        match self.kind {
+            None => "none",
+            Some(Misbehavior::Crash { .. }) => "crash",
+            Some(Misbehavior::Equivocate) => "equivocate",
+            Some(Misbehavior::Jam) => "jam",
+        }
+    }
+}
+
+/// The adversary grid: the honest f = 0 baseline, then every
+/// misbehavior at every tolerance 1..=F_MAX.
+fn arms() -> Vec<Arm> {
+    let mut arms = vec![Arm { kind: None, f: 0 }];
+    for f in 1..=F_MAX {
+        for kind in [
+            Misbehavior::Crash { round: CRASH_ROUND },
+            Misbehavior::Equivocate,
+            Misbehavior::Jam,
+        ] {
+            arms.push(Arm {
+                kind: Some(kind),
+                f,
+            });
+        }
+    }
+    arms
+}
+
+/// One trial's outcome.
+struct TrialOut {
+    /// Honest agreement held (and, for BRB, no honest node delivered a
+    /// value other than the source's).
+    safe: bool,
+    /// All honest nodes decided within the budget.
+    rounds: Option<u64>,
+}
+
+fn run_trial(
+    algo: Algo,
+    g: &Graph,
+    f: usize,
+    channel: Channel,
+    adv: &Adversary,
+    seed: u64,
+) -> TrialOut {
+    let run: ConsensusRun = match algo {
+        Algo::Brb => Brb::new()
+            .run(g, NodeId::new(0), true, f, channel, adv, seed, MAX_ROUNDS)
+            .expect("valid BRB parameters"),
+        Algo::BenOr => {
+            let inputs: Vec<bool> = (0..g.node_count()).map(|i| i % 2 == 0).collect();
+            BenOr::new()
+                .run(g, &inputs, f, channel, adv, seed, MAX_ROUNDS)
+                .expect("valid Ben-Or parameters")
+        }
+    };
+    let safe =
+        run.agreement() && (algo != Algo::Brb || run.decided_count() == 0 || run.valid_for(true));
+    TrialOut {
+        safe,
+        rounds: run.rounds,
+    }
+}
+
+/// Re-derives the empirical f-threshold of one `(algo, grid, channel)`
+/// group from its per-arm termination rates: the largest `f` such that
+/// *every* adversary arm with tolerance ≤ `f` fully terminated.
+/// `term[i]` is arm `i`'s (in [`arms`] order) full-termination flag.
+fn f_threshold(term: &[bool]) -> Option<usize> {
+    let arms = arms();
+    (0..=F_MAX)
+        .take_while(|&f| arms.iter().zip(term).all(|(arm, ok)| arm.f > f || *ok))
+        .last()
+}
+
+/// E16 — Byzantine consensus over the noisy radio:
+///
+/// * **safety is unconditional**: across every channel × adversary ×
+///   `f` cell, no two honest nodes ever decide differently and BRB
+///   never delivers a non-source value — misbehavior and noise only
+///   slow termination;
+/// * **faultless links meet the `f < n/3` bound where connectivity
+///   allows**: on the mesh grid every arm terminates within budget at
+///   every swept tolerance;
+/// * **sparse grids bind on connectivity, not quorum arithmetic**: on
+///   the path, crash/jam nodes are cut vertices — some faultless arms
+///   never terminate — while equivocators (who keep relaying) never
+///   cost termination;
+/// * **noise erodes the threshold**: under `receiver(0.5)` /
+///   `erasure(0.5)` the empirical f-threshold drops strictly below the
+///   faultless threshold on at least one (algo, grid) — losing half
+///   the gossip bandwidth costs real resilience, not just rounds.
+pub fn e16_byzantine_consensus(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
+    let channels = [
+        Channel::faultless(),
+        Channel::receiver(0.5).expect("valid p"),
+        Channel::erasure(0.5).expect("valid p"),
+        Channel::sender(0.2)
+            .expect("valid p")
+            .compose(Channel::erasure(0.3).expect("valid p"))
+            .expect("sender composes with erasure"),
+    ];
+    let trials = scale.pick(3u64, 6);
+    let mesh_seed = cfg.scope_seed("E16/mesh-graph");
+    let graphs: Vec<(&'static str, Graph)> = vec![
+        ("path", generators::path(10)),
+        ("star", generators::star(9)),
+        (
+            "mesh",
+            generators::gnp_connected(12, 0.5, mesh_seed).expect("valid G(n,p) parameters"),
+        ),
+    ];
+    let arms = arms();
+
+    // Flatten: algo × grid × channel × arm × trial. The adversary's
+    // node selection is seeded per *cell* (not per trial) from the
+    // sweep scope, sparing node 0 — the BRB source and star center.
+    struct Spec {
+        algo: Algo,
+        graph: usize,
+        channel: Channel,
+        arm: Arm,
+        adversary: Adversary,
+    }
+    let adv_seed = cfg.scope_seed("E16/adversary");
+    let mut specs: Vec<Spec> = Vec::new();
+    for algo in Algo::ALL {
+        for (graph, (_, g)) in graphs.iter().enumerate() {
+            for &channel in &channels {
+                for &arm in &arms {
+                    let adversary = match arm.kind {
+                        None => Adversary::honest(g.node_count()),
+                        Some(kind) => Adversary::seeded(
+                            g.node_count(),
+                            arm.f,
+                            kind,
+                            fork_seed(adv_seed, specs.len() as u64),
+                            &[NodeId::new(0)],
+                        )
+                        .expect("f < n fits beside the spared source"),
+                    };
+                    specs.push(Spec {
+                        algo,
+                        graph,
+                        channel,
+                        arm,
+                        adversary,
+                    });
+                }
+            }
+        }
+    }
+
+    let total = specs.len() * trials as usize;
+    let (results, cell_ms) = run_cells_timed(cfg.jobs, cfg.scope_seed("E16"), total, |ctx| {
+        let spec = &specs[ctx.index as usize / trials as usize];
+        let (_, g) = &graphs[spec.graph];
+        run_trial(
+            spec.algo,
+            g,
+            spec.arm.f,
+            spec.channel,
+            &spec.adversary,
+            ctx.seed,
+        )
+    });
+
+    let mut table = Table::new(&[
+        "algo",
+        "grid",
+        "channel",
+        "adversary",
+        "f",
+        "agree",
+        "term",
+        "rounds",
+    ]);
+    let mut all_safe = true;
+    // Per (algo, grid, channel) group: the per-arm full-termination
+    // flags, in arms() order — the f-threshold inputs.
+    let mut group_term: Vec<((Algo, usize, Channel), Vec<bool>)> = Vec::new();
+    for (spec, group) in specs.iter().zip(results.chunks_exact(trials as usize)) {
+        let safe = group.iter().filter(|t| t.safe).count();
+        let completed: Vec<u64> = group.iter().filter_map(|t| t.rounds).collect();
+        all_safe &= safe == group.len();
+        let term_rate = completed.len() as f64 / group.len() as f64;
+        let rounds_cell = if completed.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.0}",
+                completed.iter().sum::<u64>() as f64 / completed.len() as f64
+            )
+        };
+        table.row_owned(vec![
+            spec.algo.name().to_string(),
+            graphs[spec.graph].0.to_string(),
+            spec.channel.to_string(),
+            spec.arm.kind_name().to_string(),
+            spec.arm.f.to_string(),
+            format!("{:.2}", safe as f64 / group.len() as f64),
+            format!("{term_rate:.2}"),
+            rounds_cell,
+        ]);
+        let key = (spec.algo, spec.graph, spec.channel);
+        match group_term.last_mut() {
+            Some((k, flags)) if *k == key => flags.push(completed.len() == group.len()),
+            _ => group_term.push((key, vec![completed.len() == group.len()])),
+        }
+    }
+
+    let mut report = ExperimentReport {
+        id: "E16",
+        claim: "Byzantine consensus over noisy broadcast: safety is channel-independent, but \
+                noise erodes the empirical f-threshold (adversary subsystem, DESIGN.md §10)",
+        table,
+        findings: Vec::new(),
+        cell_ms,
+    };
+    report.check(
+        all_safe,
+        "honest agreement (and BRB source-validity) held in every channel × adversary × f cell",
+    );
+
+    let threshold = |algo: Algo, graph: usize, channel: Channel| -> Option<usize> {
+        group_term
+            .iter()
+            .find(|((a, g, c), _)| *a == algo && *g == graph && *c == channel)
+            .and_then(|(_, flags)| f_threshold(flags))
+    };
+    let mesh = graphs.len() - 1;
+    let mesh_full = Algo::ALL
+        .iter()
+        .all(|&algo| threshold(algo, mesh, channels[0]) == Some(F_MAX));
+    report.check(
+        mesh_full,
+        format!(
+            "mesh + faultless links: every adversary arm terminates at every swept f ≤ {F_MAX} \
+             (f < n/3 holds where the topology keeps honest nodes connected)"
+        ),
+    );
+    // On the path grid, crash/jam nodes are cut vertices: gossip cannot
+    // cross them, so some faultless arm never terminates — while
+    // equivocators, who keep relaying, never cost termination anywhere.
+    let path_groups: Vec<&Vec<bool>> = group_term
+        .iter()
+        .filter(|((_, g, c), _)| *g == 0 && *c == channels[0])
+        .map(|(_, flags)| flags)
+        .collect();
+    let path_partitioned = path_groups.iter().any(|flags| {
+        arms.iter()
+            .zip(flags.iter())
+            .any(|(arm, ok)| matches!(arm.kind_name(), "crash" | "jam") && !*ok)
+    });
+    let equivocate_harmless = path_groups.iter().all(|flags| {
+        arms.iter()
+            .zip(flags.iter())
+            .all(|(arm, ok)| arm.kind_name() != "equivocate" || *ok)
+    });
+    report.check(
+        path_partitioned && equivocate_harmless,
+        "path + faultless links: crash/jam cut vertices partition gossip (some arm never \
+         terminates) while relaying equivocators never cost termination",
+    );
+    let mut degraded: Vec<String> = Vec::new();
+    for &algo in &Algo::ALL {
+        for (g, (grid, _)) in graphs.iter().enumerate() {
+            let base = threshold(algo, g, channels[0]);
+            for &noisy in &channels[1..3] {
+                let got = threshold(algo, g, noisy);
+                if got < base {
+                    degraded.push(format!(
+                        "{}/{}/{}: {} < {}",
+                        algo.name(),
+                        grid,
+                        noisy,
+                        got.map_or("none".into(), |f| f.to_string()),
+                        base.map_or("none".into(), |f| f.to_string()),
+                    ));
+                }
+            }
+        }
+    }
+    report.check(
+        !degraded.is_empty(),
+        format!(
+            "noisy links degrade the empirical f-threshold below faultless ({})",
+            degraded.join("; ")
+        ),
+    );
+    let composed_sane = Algo::ALL.iter().all(|&algo| {
+        (0..graphs.len())
+            .all(|g| threshold(algo, g, channels[3]) <= threshold(algo, g, channels[0]))
+    });
+    report.check(
+        composed_sane,
+        format!(
+            "composed channel {} never beats the faultless threshold",
+            channels[3]
+        ),
+    );
+    report
+}

@@ -6,6 +6,7 @@
 //! `jobs` value.
 
 mod ablations;
+mod byzantine;
 mod erasure;
 mod gaps;
 mod latency;
@@ -17,6 +18,7 @@ mod throughput;
 mod transforms;
 
 pub use ablations::{a1_block_size, a2_failure_probability, a3_streaming_rlnc};
+pub use byzantine::e16_byzantine_consensus;
 pub use erasure::e13_erasure_gap;
 pub use gaps::{e10_wct_gap, e8_star_gap, e9_wct_collision};
 pub use latency::e14_latency_sweep;
@@ -41,7 +43,7 @@ pub type Driver = fn(Scale, &SweepConfig) -> ExperimentReport;
 /// `experiments --list`), and the driver.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// The registry id (`E1`…`E15`, `F1`, `A1`…`A3`).
+    /// The registry id (`E1`…`E16`, `F1`, `A1`…`A3`).
     pub id: &'static str,
     /// One-line description of what the experiment measures.
     pub description: &'static str,
@@ -134,6 +136,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "E15",
         "Continuous-traffic saturation: bisected λ* and latency-vs-load per workload (DESIGN.md §9)",
         e15_saturation_sweep,
+    ),
+    exp(
+        "E16",
+        "Byzantine consensus (BRB, Ben-Or) over noisy gossip: empirical f-thresholds (DESIGN.md §10)",
+        e16_byzantine_consensus,
     ),
     exp(
         "F1",

@@ -194,7 +194,10 @@ pub fn e3_decay_noisy(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
     let ps = [0.0, 0.1, 0.3, 0.5, 0.7];
     let g = generators::path(n);
     // The channel's uniform Display labels the rows — no hand-made
-    // "receiver"/"sender" strings.
+    // "receiver"/"sender" strings. The composed arm splits each loss
+    // budget evenly across both fault sites (`(1−q)² = 1−p`), so its
+    // combined `fault_probability` matches the simple arms and the
+    // `rounds × (1−p)` normalization extends to it unchanged.
     let mut channels = Vec::new();
     for &p in &ps {
         if p == 0.0 {
@@ -202,6 +205,13 @@ pub fn e3_decay_noisy(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         } else {
             channels.push(Channel::receiver(p).expect("valid p"));
             channels.push(Channel::sender(p).expect("valid p"));
+            let q = ((1.0 - (1.0 - p).sqrt()) * 1e4).round() / 1e4;
+            channels.push(
+                Channel::sender(q)
+                    .expect("valid p")
+                    .compose(Channel::erasure(q).expect("valid p"))
+                    .expect("sender composes with erasure"),
+            );
         }
     }
     let mut plan = Plan::new();

@@ -1,0 +1,73 @@
+//! Channel labels in experiment tables come from the one
+//! [`radio_model::Channel`] Display path — never hand-formatted
+//! strings. The guard: every channel label (including the composed
+//! `sender(..)+erasure(..)` arms) must round-trip through
+//! `Channel::from_str` back to the identical string, which no ad-hoc
+//! `format!("sender {p}")` ever would.
+
+use noisy_radio_bench::{experiments, ExperimentReport, Scale};
+use radio_model::Channel;
+use radio_sweep::SweepConfig;
+
+fn run(id: &str) -> ExperimentReport {
+    let cfg = SweepConfig::new(Some(2), 42);
+    let mut reports =
+        experiments::run_selected(Scale::Quick, &cfg, &[id.to_string()]).expect("known id");
+    reports.pop().expect("one report")
+}
+
+/// Asserts a table cell is a parseable channel spec whose Display
+/// reproduces the label byte for byte.
+fn assert_round_trips(label: &str, context: &str) {
+    let channel: Channel = label
+        .parse()
+        .unwrap_or_else(|e| panic!("{context}: label `{label}` is not a channel spec: {e}"));
+    assert_eq!(
+        channel.to_string(),
+        label,
+        "{context}: label `{label}` does not round-trip through Channel's Display"
+    );
+}
+
+#[test]
+fn e3_channel_labels_round_trip_through_the_parser() {
+    let report = run("E3");
+    let mut composed = 0;
+    for row in report.table.rows() {
+        assert_round_trips(&row[0], "E3 channel column");
+        composed += usize::from(row[0].contains('+'));
+    }
+    assert!(composed > 0, "E3 must sweep a composed channel arm");
+}
+
+#[test]
+fn e11_coding_labels_round_trip_through_the_parser() {
+    let report = run("E11");
+    let mut coding_rows = 0;
+    for row in report.table.rows() {
+        // Routing rows ("star/routing", "path/routing") carry no
+        // channel; coding rows end with the channel's Display.
+        if let Some(label) = row[0].strip_prefix("path/coding ") {
+            assert_round_trips(label, "E11 schedule column");
+            coding_rows += 1;
+        }
+    }
+    assert!(coding_rows > 0, "E11 must label coding rows with channels");
+}
+
+#[test]
+fn e16_channel_labels_round_trip_through_the_parser() {
+    let report = run("E16");
+    let channel = report
+        .table
+        .headers()
+        .iter()
+        .position(|h| h == "channel")
+        .expect("E16 has a channel column");
+    let mut composed = 0;
+    for row in report.table.rows() {
+        assert_round_trips(&row[channel], "E16 channel column");
+        composed += usize::from(row[channel].contains('+'));
+    }
+    assert!(composed > 0, "E16 must sweep a composed channel arm");
+}

@@ -17,13 +17,17 @@
 //! saturation sweep whose per-arm bisection forks many probe seeds and
 //! threads `cfg.shards` through every `run_traffic` call (E15), a
 //! two-phase plan whose second grid depends on the first's results
-//! (A2), and a sharded scaling sweep (E8, whose coding arm runs the
-//! engine over `cfg.shards` CSR shards).
+//! (A2), a sharded scaling sweep (E8, whose coding arm runs the
+//! engine over `cfg.shards` CSR shards), and the Byzantine consensus
+//! sweep whose adversary streams, per-listener equivocation payloads,
+//! and seeded common coin all ride the same fork-seed contract (E16).
 
 use noisy_radio_bench::{experiments, suite_json, Scale};
 use radio_sweep::SweepConfig;
 
-const SUBSET: &[&str] = &["E3", "E8", "E9", "E12", "E13", "E14", "E15", "F1", "A2"];
+const SUBSET: &[&str] = &[
+    "E3", "E8", "E9", "E12", "E13", "E14", "E15", "E16", "F1", "A2",
+];
 
 fn run_subset(jobs: usize, shards: usize, seed: u64) -> (String, String) {
     let cfg = SweepConfig::new(Some(jobs), seed).with_shards(shards);

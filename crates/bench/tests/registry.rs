@@ -1,24 +1,24 @@
-//! The experiment registry contract and the `--list` flag: 19 entries
+//! The experiment registry contract and the `--list` flag: 20 entries
 //! in run order, unique ids, one-line descriptions, and a binary
 //! listing that prints them and exits 0 without running anything.
 
 use noisy_radio_bench::experiments::{render_registry, EXPERIMENTS};
 
 #[test]
-fn registry_has_nineteen_described_entries() {
-    assert_eq!(EXPERIMENTS.len(), 19, "E1–E15, F1, A1–A3");
+fn registry_has_twenty_described_entries() {
+    assert_eq!(EXPERIMENTS.len(), 20, "E1–E16, F1, A1–A3");
     let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
     assert_eq!(
-        ids[..15],
+        ids[..16],
         [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15"
+            "E14", "E15", "E16"
         ]
     );
-    assert_eq!(ids[15..], ["F1", "A1", "A2", "A3"]);
+    assert_eq!(ids[16..], ["F1", "A1", "A2", "A3"]);
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 19, "ids must be unique");
+    assert_eq!(ids.len(), 20, "ids must be unique");
     for e in EXPERIMENTS {
         assert!(
             !e.description.trim().is_empty() && !e.description.contains('\n'),
@@ -31,7 +31,7 @@ fn registry_has_nineteen_described_entries() {
 #[test]
 fn render_registry_lists_every_entry() {
     let listing = render_registry();
-    assert_eq!(listing.lines().count(), 19);
+    assert_eq!(listing.lines().count(), 20);
     for e in EXPERIMENTS {
         let line = listing
             .lines()

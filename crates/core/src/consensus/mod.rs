@@ -1,0 +1,406 @@
+//! Byzantine consensus workloads over the noisy broadcast primitive.
+//!
+//! The paper's protocols assume honest nodes and an adversarial
+//! *channel*; this module adds adversarial *nodes* on top (the
+//! [`radio_model::adversary`] layer) and asks the classic questions —
+//! agreement, validity, termination — of two textbook protocols run
+//! over the radio:
+//!
+//! * [`Brb`] — Bracha's Byzantine Reliable Broadcast (echo/ready
+//!   quorums, safe for `f < n/3`);
+//! * [`BenOr`] — randomized binary consensus in the
+//!   Mostéfaoui–Moumen–Raynal style: BV-broadcast value justification
+//!   plus a seeded common coin (safe for `f < n/3`).
+//!
+//! # Transport: authenticated gossip over the radio
+//!
+//! Both protocols are specified for reliable point-to-point links; a
+//! noisy radio gives us half-duplex broadcast slots that collide and
+//! drop. The transport here is Decay-style gossip: every node with a
+//! non-empty message set broadcasts a [`Bundle`] of everything it has
+//! accepted, with the Decay probability cycle
+//! (`2^-((round mod L)+1)`) arbitrating the medium, and absorbs every
+//! novel protocol message it hears. Messages carry their origin and
+//! are *authenticated*: the adversary menu (crash / equivocate / jam)
+//! can suppress, split, or drown messages but never forge another
+//! node's — exactly the signed-gossip assumption under which Bracha
+//! and Ben-Or quorum arithmetic is stated.
+//!
+//! Equivocation is the radio-specific subtlety: one broadcast slot is
+//! physically a single transmission, so a two-faced sender must be
+//! resolved *per listener* inside the engine's delivery sweep. The
+//! [`GossipPacket`] payload does this through
+//! [`radio_model::Payload::for_listener`]: an equivocating broadcast
+//! carries two bundles (own-origin verbs flipped in one of them) and
+//! each listener receives the side matching its node-id parity.
+
+use std::sync::Arc;
+
+use netgraph::NodeId;
+use radio_model::{Action, AdversarialPayload, Ctx, Payload, SimStats};
+
+use crate::decay::DecayNode;
+
+mod ben_or;
+mod brb;
+
+pub use ben_or::{BenOr, BenOrNode};
+pub use brb::{Brb, BrbNode};
+
+/// Stream index for the Ben-Or common coin, disjoint from the engine's
+/// per-node behavior streams (`0..n`), the channel-loss streams
+/// (`≥ 2^63`), and the adversary selection stream (`2^62`).
+pub(crate) const COIN_STREAM: u64 = (1 << 62) | 1;
+
+/// A protocol verb, always carried with its origin in a
+/// [`ConsensusMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// BRB: the designated source's proposal.
+    Init {
+        /// Proposed value.
+        v: bool,
+    },
+    /// BRB: "I heard the source propose `v`".
+    Echo {
+        /// Echoed value.
+        v: bool,
+    },
+    /// BRB: "a quorum vouches for `v`".
+    Ready {
+        /// Vouched value.
+        v: bool,
+    },
+    /// Ben-Or: round-`r` estimate (BV-broadcast; a node may justify
+    /// and relay both values of a round).
+    Est {
+        /// Protocol round (1-based).
+        r: u32,
+        /// Estimated value.
+        v: bool,
+    },
+    /// Ben-Or: round-`r` auxiliary announcement of a justified value.
+    Aux {
+        /// Protocol round (1-based).
+        r: u32,
+        /// Announced value.
+        v: bool,
+    },
+}
+
+/// One authenticated protocol message: who said what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsensusMsg {
+    /// The node this message originates from (authenticated — the
+    /// adversary menu cannot forge third-party origins).
+    pub origin: u32,
+    /// The protocol verb.
+    pub verb: Verb,
+}
+
+impl ConsensusMsg {
+    /// The same message with its boolean value flipped — what an
+    /// equivocator tells the other half of its audience.
+    fn flipped(self) -> Self {
+        let verb = match self.verb {
+            Verb::Init { v } => Verb::Init { v: !v },
+            Verb::Echo { v } => Verb::Echo { v: !v },
+            Verb::Ready { v } => Verb::Ready { v: !v },
+            Verb::Est { r, v } => Verb::Est { r, v: !v },
+            Verb::Aux { r, v } => Verb::Aux { r, v: !v },
+        };
+        ConsensusMsg {
+            origin: self.origin,
+            verb,
+        }
+    }
+}
+
+/// A gossip bundle: every message its sender has accepted so far,
+/// shared so per-delivery clones stay cheap.
+pub type Bundle = Arc<Vec<ConsensusMsg>>;
+
+/// The radio payload of the consensus workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipPacket {
+    /// An honest bundle: every listener hears the same messages.
+    Honest(Bundle),
+    /// An equivocating bundle pair: listeners receive `even` or `odd`
+    /// by node-id parity (resolved by [`Payload::for_listener`] in the
+    /// delivery sweep).
+    Split {
+        /// Bundle for even-id listeners.
+        even: Bundle,
+        /// Bundle for odd-id listeners (own-origin verbs flipped).
+        odd: Bundle,
+    },
+    /// A jammer's junk transmission: occupies the slot, carries
+    /// nothing.
+    Jam,
+}
+
+impl Payload for GossipPacket {
+    fn for_listener(&self, listener: NodeId) -> Self {
+        match self {
+            GossipPacket::Split { even, odd } => {
+                let side = if listener.index() % 2 == 0 { even } else { odd };
+                GossipPacket::Honest(side.clone())
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl AdversarialPayload for GossipPacket {
+    fn jam(_ctx: &mut Ctx<'_>) -> Self {
+        GossipPacket::Jam
+    }
+
+    /// Splits the audience: even-id listeners hear the honest bundle,
+    /// odd-id listeners hear it with this node's *own* verbs flipped.
+    /// Third-party messages are relayed intact (authentication).
+    fn equivocated(self, ctx: &mut Ctx<'_>) -> Self {
+        match self {
+            GossipPacket::Honest(bundle) => {
+                let me = ctx.node.index() as u32;
+                let odd: Vec<ConsensusMsg> = bundle
+                    .iter()
+                    .map(|m| if m.origin == me { m.flipped() } else { *m })
+                    .collect();
+                GossipPacket::Split {
+                    even: bundle,
+                    odd: Arc::new(odd),
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// The shared gossip transport state of one node: the accepted message
+/// set (insertion-ordered, deterministic) and its cached bundle.
+#[derive(Debug, Clone)]
+pub(crate) struct Gossip {
+    phase_len: u32,
+    known: Vec<ConsensusMsg>,
+    cache: Option<Bundle>,
+}
+
+impl Gossip {
+    pub(crate) fn new(phase_len: u32) -> Self {
+        Gossip {
+            phase_len,
+            known: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// Records an accepted message for relay.
+    pub(crate) fn push(&mut self, msg: ConsensusMsg) {
+        self.known.push(msg);
+        self.cache = None;
+    }
+
+    /// The Decay-cycled gossip action: silent while uninformed,
+    /// otherwise broadcast the full accepted set with probability
+    /// `2^-((round mod L)+1)`.
+    pub(crate) fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<GossipPacket> {
+        if self.known.is_empty() {
+            return Action::Listen;
+        }
+        let p = DecayNode::broadcast_probability(self.phase_len, ctx.round);
+        if rand::Rng::gen_bool(ctx.rng, p) {
+            let bundle = self
+                .cache
+                .get_or_insert_with(|| Arc::new(self.known.clone()))
+                .clone();
+            Action::Broadcast(GossipPacket::Honest(bundle))
+        } else {
+            Action::Listen
+        }
+    }
+}
+
+/// The result of one consensus execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusRun {
+    /// Rounds until every honest node decided, or `None` if the round
+    /// budget ran out first.
+    pub rounds: Option<u64>,
+    /// Per-node decisions, indexed by node id; `None` for undecided
+    /// and for faulty nodes (whose state is meaningless).
+    pub decisions: Vec<Option<bool>>,
+    /// Per-node honesty flags from the adversary assignment.
+    pub honest: Vec<bool>,
+    /// Aggregate channel statistics for the run.
+    pub stats: SimStats,
+}
+
+impl ConsensusRun {
+    /// Whether every honest node decided within the round budget.
+    pub fn completed(&self) -> bool {
+        self.rounds.is_some()
+    }
+
+    /// Agreement: no two honest nodes decided differently (vacuously
+    /// true when fewer than two decided).
+    pub fn agreement(&self) -> bool {
+        let mut seen: Option<bool> = None;
+        for (d, h) in self.decisions.iter().zip(&self.honest) {
+            if let (Some(v), true) = (d, h) {
+                match seen {
+                    None => seen = Some(*v),
+                    Some(w) if w != *v => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// The common honest decision, if agreement holds and at least one
+    /// honest node decided.
+    pub fn decided_value(&self) -> Option<bool> {
+        if !self.agreement() {
+            return None;
+        }
+        self.decisions
+            .iter()
+            .zip(&self.honest)
+            .find_map(|(d, h)| if *h { *d } else { None })
+    }
+
+    /// Honest nodes that decided.
+    pub fn decided_count(&self) -> usize {
+        self.decisions
+            .iter()
+            .zip(&self.honest)
+            .filter(|(d, h)| **h && d.is_some())
+            .count()
+    }
+
+    /// Honest nodes in total.
+    pub fn honest_count(&self) -> usize {
+        self.honest.iter().filter(|h| **h).count()
+    }
+
+    /// Validity against an expected value: every honest decision (and
+    /// at least one) equals `expected`.
+    pub fn valid_for(&self, expected: bool) -> bool {
+        self.decided_count() > 0
+            && self
+                .decisions
+                .iter()
+                .zip(&self.honest)
+                .all(|(d, h)| !*h || d.map_or(true, |v| v == expected))
+    }
+}
+
+/// Bracha's echo quorum: `⌈(n + f + 1) / 2⌉` — any two quorums
+/// intersect in an honest node for `f < n/3`.
+pub(crate) fn echo_quorum(n: usize, f: usize) -> usize {
+    (n + f + 2) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipped_flips_every_verb_value() {
+        for (verb, flipped) in [
+            (Verb::Init { v: true }, Verb::Init { v: false }),
+            (Verb::Echo { v: false }, Verb::Echo { v: true }),
+            (Verb::Ready { v: true }, Verb::Ready { v: false }),
+            (Verb::Est { r: 3, v: true }, Verb::Est { r: 3, v: false }),
+            (Verb::Aux { r: 2, v: false }, Verb::Aux { r: 2, v: true }),
+        ] {
+            let m = ConsensusMsg { origin: 5, verb };
+            assert_eq!(
+                m.flipped(),
+                ConsensusMsg {
+                    origin: 5,
+                    verb: flipped
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn split_packet_resolves_by_listener_parity() {
+        let even: Bundle = Arc::new(vec![ConsensusMsg {
+            origin: 0,
+            verb: Verb::Init { v: true },
+        }]);
+        let odd: Bundle = Arc::new(vec![ConsensusMsg {
+            origin: 0,
+            verb: Verb::Init { v: false },
+        }]);
+        let split = GossipPacket::Split {
+            even: even.clone(),
+            odd: odd.clone(),
+        };
+        assert_eq!(
+            split.for_listener(NodeId::new(2)),
+            GossipPacket::Honest(even.clone())
+        );
+        assert_eq!(
+            split.for_listener(NodeId::new(3)),
+            GossipPacket::Honest(odd)
+        );
+        // Honest and jam packets are parity-blind.
+        let honest = GossipPacket::Honest(even);
+        assert_eq!(honest.for_listener(NodeId::new(3)), honest);
+        assert_eq!(
+            GossipPacket::Jam.for_listener(NodeId::new(1)),
+            GossipPacket::Jam
+        );
+    }
+
+    #[test]
+    fn agreement_and_validity_accessors() {
+        let run = ConsensusRun {
+            rounds: Some(10),
+            decisions: vec![Some(true), Some(true), None, Some(false)],
+            honest: vec![true, true, true, false],
+            stats: SimStats::default(),
+        };
+        // The faulty node's conflicting "decision" is ignored.
+        assert!(run.agreement());
+        assert_eq!(run.decided_value(), Some(true));
+        assert_eq!(run.decided_count(), 2);
+        assert_eq!(run.honest_count(), 3);
+        assert!(run.valid_for(true));
+        assert!(!run.valid_for(false));
+        assert!(run.completed());
+
+        let split = ConsensusRun {
+            rounds: None,
+            decisions: vec![Some(true), Some(false)],
+            honest: vec![true, true],
+            stats: SimStats::default(),
+        };
+        assert!(!split.agreement());
+        assert_eq!(split.decided_value(), None);
+        assert!(!split.completed());
+        assert!(!split.valid_for(true));
+    }
+
+    #[test]
+    fn echo_quorum_majorities() {
+        assert_eq!(echo_quorum(4, 1), 3);
+        assert_eq!(echo_quorum(10, 3), 7);
+        assert_eq!(echo_quorum(10, 0), 6);
+        // Two quorums overlap in > f nodes whenever n > 3f.
+        for n in 2..40 {
+            for f in 0..n / 3 {
+                let q = echo_quorum(n, f);
+                assert!(2 * q > n + f, "quorum intersection ≤ f at n={n} f={f}");
+                assert!(
+                    q <= n - f,
+                    "quorum unreachable by honest nodes at n={n} f={f}"
+                );
+            }
+        }
+    }
+}

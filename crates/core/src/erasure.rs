@@ -51,6 +51,9 @@ pub enum ArqPacket {
     Nack,
 }
 
+// Honest payload: every listener hears the same packet.
+impl radio_model::Payload for ArqPacket {}
+
 /// Single-link stop-and-wait node: the sender streams message indices
 /// on even rounds and advances only when the odd feedback slot is
 /// silent; the receiver NACKs whenever its data slot was erased.

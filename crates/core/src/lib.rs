@@ -15,6 +15,7 @@
 //! | [`schedules`] | §5 & Appendix A | Adaptive routing and Reed–Solomon coding schedules for the star, single link, WCT, and the general bipartite pipeline |
 //! | [`traffic`] | §4.2 applied | Continuous-traffic workloads (sequential Decay, Xin–Xia pipeline, generation-batched RLNC) for the injection/drain engine |
 //! | [`erasure`] | DISC 2019 follow-up (arXiv:1805.04165) | Erasure-aware NACK feedback protocols that close the noisy-model log factors |
+//! | [`consensus`] | Byzantine workloads over §3–4 primitives | Bracha reliable broadcast and Ben-Or binary consensus on the noisy gossip transport |
 //! | [`transform`] | §5.2, Lemmas 25–26 | Faultless → sender-fault schedule transformations |
 //!
 //! # Quick start
@@ -37,6 +38,7 @@
 mod error;
 mod outcome;
 
+pub mod consensus;
 pub mod decay;
 pub mod erasure;
 pub mod experimental;

@@ -1,7 +1,7 @@
 //! Outcome summary of a single broadcast execution.
 
 use netgraph::Graph;
-use radio_model::{Channel, LatencyProfile, NodeBehavior, SimStats, Simulator};
+use radio_model::{Channel, LatencyProfile, NodeBehavior, Payload, SimStats, Simulator};
 
 use crate::CoreError;
 
@@ -46,7 +46,7 @@ pub(crate) fn run_profiled_until<P, B>(
     done: impl FnMut(&[B]) -> bool,
 ) -> Result<(BroadcastRun, LatencyProfile), CoreError>
 where
-    P: Clone + Send + Sync,
+    P: Payload + Send + Sync,
     B: NodeBehavior<P> + Send,
 {
     let mut sim = Simulator::new(graph, fault, behaviors, seed)?.with_shards(shards);

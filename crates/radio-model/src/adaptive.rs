@@ -176,7 +176,8 @@ pub fn run_routing(
     knowledge.grant_all(source);
     let mut ctrl_rng = fork_rng(seed, 0);
     let mut fault_rng = fork_rng(seed, 1);
-    let p = channel.fault_probability();
+    let sender_fault = channel.sender_fault();
+    let delivery_fault = channel.delivery_fault();
 
     let mut broadcasts = 0u64;
     let mut fresh = 0u64;
@@ -219,9 +220,10 @@ pub fn run_routing(
                 }
             };
         }
-        // Sender faults: one draw per broadcaster.
+        // Sender faults: one draw per broadcaster (composed channels
+        // contribute their sender-side component).
         let mut sender_ok = vec![true; n];
-        if channel.is_sender() {
+        if let Some(p) = sender_fault {
             for (i, s) in sending.iter().enumerate() {
                 if s.is_some() && fault_rng.gen_bool(p) {
                     sender_ok[i] = false;
@@ -250,7 +252,7 @@ pub fn run_routing(
                 if !sender_ok[s.index()] {
                     continue;
                 }
-                if (channel.is_receiver() || channel.is_erasure()) && fault_rng.gen_bool(p) {
+                if delivery_fault.map_or(false, |p| fault_rng.gen_bool(p)) {
                     continue;
                 }
                 let m = sending[s.index()].expect("sender has a message");

@@ -5,10 +5,15 @@
 //! is an opaque, always-valid description of the loss process the
 //! engine consults per delivery; constructors validate the fault
 //! probability once, so an in-hand `Channel` never needs re-checking.
-//! Keeping the kind private leaves room for composed channels (e.g.
-//! sender faults *and* erasures) without another breaking change.
+//! Keeping the kind private left room for composed channels (e.g.
+//! sender faults *and* erasures) without a breaking change —
+//! [`Channel::compose`] cashes that in: a composed channel carries an
+//! independent sender-side component and one delivery-side component,
+//! and the engine draws each from the same per-node fork streams it
+//! already uses, so the determinism and shard contracts hold.
 
 use std::fmt;
+use std::str::FromStr;
 
 use crate::ModelError;
 
@@ -152,6 +157,14 @@ impl ReceptionKind {
 /// `receiver(p)` and `erasure(p)` drop the same slots under the same
 /// seed (the engine draws from one stream in the same order); they
 /// differ only in what the listener *learns*.
+///
+/// Channels [`compose`](Channel::compose): `sender(a) + erasure(b)` is
+/// a channel where each broadcast turns to noise with probability `a`
+/// *and*, independently, each surviving delivery is erased with
+/// probability `b`. A channel has at most one sender-side and one
+/// delivery-side component; same-side components merge by independent
+/// OR (`1 − (1−a)(1−b)`), and the two delivery presentations (noise
+/// vs detected erasure) cannot be mixed.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Channel {
     kind: Kind,
@@ -169,6 +182,14 @@ enum Kind {
     },
     Erasure {
         p: f64,
+    },
+    /// Independent sender-side and delivery-side loss. `erased`
+    /// selects the delivery presentation ([`Reception::Erased`] vs
+    /// [`Reception::Noise`]).
+    Composed {
+        sender_p: f64,
+        delivery_p: f64,
+        erased: bool,
     },
 }
 
@@ -227,36 +248,146 @@ impl Channel {
         Ok(())
     }
 
-    /// The per-round loss probability `p` (0 for the faultless
-    /// channel).
+    /// Composes two channels into one whose loss processes act
+    /// independently: a sender-side component (one draw per
+    /// broadcaster) and a delivery-side component (one draw per
+    /// would-be delivery). Same-side components merge by independent
+    /// OR: `compose(sender(a), sender(b)) = sender(1 − (1−a)(1−b))`.
+    /// `faultless` is the identity. The engine draws each component
+    /// from the per-node fork streams it already uses (sender faults
+    /// from the broadcaster's stream in the act sweep, delivery losses
+    /// from the listener's stream in the receive sweep), so composed
+    /// channels inherit the determinism and shard contracts unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::IncompatibleChannels`] when the two delivery
+    /// presentations differ — `receiver(p)` losses present as
+    /// undetected [`Reception::Noise`] while `erasure(p)` losses
+    /// present as detected [`Reception::Erased`], and one listener
+    /// draw cannot present both ways.
+    pub fn compose(self, other: Channel) -> Result<Channel, ModelError> {
+        let (s1, d1) = self.components();
+        let (s2, d2) = other.components();
+        let delivery = match (d1, d2) {
+            (None, d) | (d, None) => d,
+            (Some((a, ea)), Some((b, eb))) => {
+                if ea != eb {
+                    return Err(ModelError::IncompatibleChannels {
+                        left: self.to_string(),
+                        right: other.to_string(),
+                    });
+                }
+                Some((independent_or(a, b), ea))
+            }
+        };
+        let sender = match (s1, s2) {
+            (None, s) | (s, None) => s,
+            (Some(a), Some(b)) => Some(independent_or(a, b)),
+        };
+        Ok(Channel {
+            kind: match (sender, delivery) {
+                (None, None) => Kind::Faultless,
+                (Some(p), None) => Kind::Sender { p },
+                (None, Some((p, false))) => Kind::Receiver { p },
+                (None, Some((p, true))) => Kind::Erasure { p },
+                (Some(sender_p), Some((delivery_p, erased))) => Kind::Composed {
+                    sender_p,
+                    delivery_p,
+                    erased,
+                },
+            },
+        })
+    }
+
+    /// Structural components: the sender-side fault probability (if
+    /// that component is present) and the delivery-side `(p, erased)`
+    /// pair. Presence is structural, not numeric — `sender(0.0)` has a
+    /// sender component (the engine still consumes one draw per
+    /// broadcaster for it), `faultless` has none.
+    fn components(&self) -> (Option<f64>, Option<(f64, bool)>) {
+        match self.kind {
+            Kind::Faultless => (None, None),
+            Kind::Sender { p } => (Some(p), None),
+            Kind::Receiver { p } => (None, Some((p, false))),
+            Kind::Erasure { p } => (None, Some((p, true))),
+            Kind::Composed {
+                sender_p,
+                delivery_p,
+                erased,
+            } => (Some(sender_p), Some((delivery_p, erased))),
+        }
+    }
+
+    /// The overall per-delivery loss probability: the chance that a
+    /// sole-broadcaster slot fails to deliver a packet. For simple
+    /// channels this is the constructor's `p`; for composed channels
+    /// the components are independent, so it is `1 − (1−s)(1−d)`.
     pub fn fault_probability(&self) -> f64 {
         match self.kind {
             Kind::Faultless => 0.0,
             Kind::Sender { p } | Kind::Receiver { p } | Kind::Erasure { p } => p,
+            Kind::Composed {
+                sender_p,
+                delivery_p,
+                ..
+            } => independent_or(sender_p, delivery_p),
         }
     }
 
-    /// Whether losses strike at the sender side (one draw per
+    /// The sender-side fault probability, if a sender component is
+    /// present (one draw per broadcaster, shared by all listeners).
+    /// Presence is structural: `sender(0.0)` returns `Some(0.0)`.
+    pub fn sender_fault(&self) -> Option<f64> {
+        self.components().0
+    }
+
+    /// The delivery-side loss probability, if a delivery component is
+    /// present (one draw per would-be delivery, in the listener's
+    /// stream).
+    pub fn delivery_fault(&self) -> Option<f64> {
+        self.components().1.map(|(p, _)| p)
+    }
+
+    /// Whether delivery-side losses present as detected
+    /// [`Reception::Erased`] rather than [`Reception::Noise`].
+    pub fn delivery_presents_erasure(&self) -> bool {
+        matches!(self.components().1, Some((_, true)))
+    }
+
+    /// Whether losses strike *only* at the sender side (one draw per
     /// broadcaster, shared by all its listeners).
     pub fn is_sender(&self) -> bool {
         matches!(self.kind, Kind::Sender { .. })
     }
 
-    /// Whether losses strike per delivery and present as noise.
+    /// Whether losses strike *only* per delivery and present as noise.
     pub fn is_receiver(&self) -> bool {
         matches!(self.kind, Kind::Receiver { .. })
     }
 
-    /// Whether losses strike per delivery and present as detected
-    /// erasures.
+    /// Whether losses strike *only* per delivery and present as
+    /// detected erasures.
     pub fn is_erasure(&self) -> bool {
         matches!(self.kind, Kind::Erasure { .. })
+    }
+
+    /// Whether this channel carries both a sender-side and a
+    /// delivery-side component.
+    pub fn is_composed(&self) -> bool {
+        matches!(self.kind, Kind::Composed { .. })
     }
 
     /// Whether this channel never loses anything.
     pub fn is_faultless(&self) -> bool {
         matches!(self.kind, Kind::Faultless)
     }
+}
+
+/// `1 − (1−a)(1−b)`: the loss probability of two independent loss
+/// processes in series. Both inputs in `[0, 1)` keep the result there.
+fn independent_or(a: f64, b: f64) -> f64 {
+    1.0 - (1.0 - a) * (1.0 - b)
 }
 
 impl fmt::Display for Channel {
@@ -266,7 +397,55 @@ impl fmt::Display for Channel {
             Kind::Sender { p } => write!(f, "sender(p={p})"),
             Kind::Receiver { p } => write!(f, "receiver(p={p})"),
             Kind::Erasure { p } => write!(f, "erasure(p={p})"),
+            Kind::Composed {
+                sender_p,
+                delivery_p,
+                erased,
+            } => {
+                let delivery = if erased { "erasure" } else { "receiver" };
+                write!(f, "sender(p={sender_p})+{delivery}(p={delivery_p})")
+            }
         }
+    }
+}
+
+impl FromStr for Channel {
+    type Err = ModelError;
+
+    /// Parses a channel spec: `faultless`, `sender:P`, `receiver:P`,
+    /// `erasure:P`, or a `+`-joined composition of those
+    /// (`sender:0.1+erasure:0.3`). The `Display` form
+    /// (`sender(p=0.1)`) is accepted too, so rendered labels round-trip.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        fn term(t: &str) -> Result<Channel, ModelError> {
+            let t = t.trim();
+            if t == "faultless" {
+                return Ok(Channel::faultless());
+            }
+            let (kind, p) = if let Some((kind, rest)) = t.split_once(':') {
+                (kind, rest)
+            } else if let Some((kind, rest)) = t.split_once("(p=") {
+                (kind, rest.strip_suffix(')').unwrap_or(rest))
+            } else {
+                return Err(ModelError::InvalidChannelSpec { spec: t.into() });
+            };
+            let p: f64 = p
+                .trim()
+                .parse()
+                .map_err(|_| ModelError::InvalidChannelSpec { spec: t.into() })?;
+            match kind.trim() {
+                "sender" => Channel::sender(p),
+                "receiver" => Channel::receiver(p),
+                "erasure" => Channel::erasure(p),
+                _ => Err(ModelError::InvalidChannelSpec { spec: t.into() }),
+            }
+        }
+        if spec.trim().is_empty() {
+            return Err(ModelError::InvalidChannelSpec { spec: spec.into() });
+        }
+        spec.split('+')
+            .map(term)
+            .try_fold(Channel::faultless(), |acc, c| acc.compose(c?))
     }
 }
 
@@ -311,6 +490,130 @@ mod tests {
             Channel::erasure(0.125).unwrap().to_string(),
             "erasure(p=0.125)"
         );
+    }
+
+    #[test]
+    fn compose_rules() {
+        let s = Channel::sender(0.5).unwrap();
+        let r = Channel::receiver(0.5).unwrap();
+        let e = Channel::erasure(0.5).unwrap();
+        let id = Channel::faultless();
+
+        // Faultless is the identity, including on the structural level.
+        assert_eq!(id.compose(s).unwrap(), s);
+        assert_eq!(s.compose(id).unwrap(), s);
+        assert_eq!(id.compose(id).unwrap(), id);
+        let s0 = Channel::sender(0.0).unwrap();
+        assert!(
+            id.compose(s0).unwrap().is_sender(),
+            "sender(0) is structural"
+        );
+
+        // Same-side components merge by independent OR.
+        assert_eq!(s.compose(s).unwrap(), Channel::sender(0.75).unwrap());
+        assert_eq!(r.compose(r).unwrap(), Channel::receiver(0.75).unwrap());
+        assert_eq!(e.compose(e).unwrap(), Channel::erasure(0.75).unwrap());
+
+        // Sender + delivery yields a composed channel.
+        let c = s.compose(e).unwrap();
+        assert!(c.is_composed() && !c.is_sender() && !c.is_erasure());
+        assert_eq!(c.sender_fault(), Some(0.5));
+        assert_eq!(c.delivery_fault(), Some(0.5));
+        assert!(c.delivery_presents_erasure());
+        assert_eq!(c.fault_probability(), 0.75);
+        // Order does not matter.
+        assert_eq!(e.compose(s).unwrap(), c);
+        // Composed channels compose further, per side.
+        let cc = c.compose(s).unwrap();
+        assert_eq!(cc.sender_fault(), Some(0.75));
+        assert_eq!(cc.delivery_fault(), Some(0.5));
+
+        let cr = s.compose(r).unwrap();
+        assert!(cr.is_composed() && !cr.delivery_presents_erasure());
+
+        // The two delivery presentations cannot be mixed.
+        assert!(matches!(
+            r.compose(e),
+            Err(ModelError::IncompatibleChannels { .. })
+        ));
+        assert!(matches!(
+            cr.compose(e),
+            Err(ModelError::IncompatibleChannels { .. })
+        ));
+    }
+
+    #[test]
+    fn component_accessors_on_simple_kinds() {
+        assert_eq!(Channel::faultless().sender_fault(), None);
+        assert_eq!(Channel::faultless().delivery_fault(), None);
+        let s = Channel::sender(0.3).unwrap();
+        assert_eq!(s.sender_fault(), Some(0.3));
+        assert_eq!(s.delivery_fault(), None);
+        let r = Channel::receiver(0.3).unwrap();
+        assert_eq!(r.sender_fault(), None);
+        assert_eq!(r.delivery_fault(), Some(0.3));
+        assert!(!r.delivery_presents_erasure());
+        let e = Channel::erasure(0.3).unwrap();
+        assert_eq!(e.delivery_fault(), Some(0.3));
+        assert!(e.delivery_presents_erasure());
+    }
+
+    #[test]
+    fn composed_display() {
+        let c = Channel::sender(0.1)
+            .unwrap()
+            .compose(Channel::erasure(0.3).unwrap())
+            .unwrap();
+        assert_eq!(c.to_string(), "sender(p=0.1)+erasure(p=0.3)");
+        let c = Channel::receiver(0.25)
+            .unwrap()
+            .compose(Channel::sender(0.5).unwrap())
+            .unwrap();
+        assert_eq!(c.to_string(), "sender(p=0.5)+receiver(p=0.25)");
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(
+            "faultless".parse::<Channel>().unwrap(),
+            Channel::faultless()
+        );
+        assert_eq!(
+            "receiver:0.3".parse::<Channel>().unwrap(),
+            Channel::receiver(0.3).unwrap()
+        );
+        assert_eq!(
+            "sender:0.1+erasure:0.3".parse::<Channel>().unwrap(),
+            Channel::sender(0.1)
+                .unwrap()
+                .compose(Channel::erasure(0.3).unwrap())
+                .unwrap()
+        );
+        // Display output round-trips through the parser.
+        for ch in [
+            Channel::faultless(),
+            Channel::sender(0.5).unwrap(),
+            Channel::erasure(0.125).unwrap(),
+            Channel::sender(0.1)
+                .unwrap()
+                .compose(Channel::receiver(0.25).unwrap())
+                .unwrap(),
+        ] {
+            assert_eq!(ch.to_string().parse::<Channel>().unwrap(), ch);
+        }
+        assert!(matches!(
+            "garbage".parse::<Channel>(),
+            Err(ModelError::InvalidChannelSpec { .. })
+        ));
+        assert!(matches!(
+            "sender:2.0".parse::<Channel>(),
+            Err(ModelError::InvalidFaultProbability { .. })
+        ));
+        assert!(matches!(
+            "receiver:0.1+erasure:0.2".parse::<Channel>(),
+            Err(ModelError::IncompatibleChannels { .. })
+        ));
+        assert!("".parse::<Channel>().is_err());
     }
 
     #[test]

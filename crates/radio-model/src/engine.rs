@@ -20,7 +20,7 @@ use rand::Rng;
 
 use crate::latency::LatencyProfile;
 use crate::rng::fork_rng;
-use crate::{Action, Channel, ModelError, Reception};
+use crate::{Action, Channel, ModelError, Payload, Reception};
 
 /// Fork-index base of the per-node channel-loss streams: node `i`
 /// draws its sender-fault / receiver-fault / erasure randomness from
@@ -239,7 +239,7 @@ impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
     }
 }
 
-impl<'g, P: Clone, B: NodeBehavior<P>> Simulator<'g, P, B> {
+impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
     /// Creates a simulator over `graph` with one behavior per node.
     ///
     /// `seed` drives all randomness: per-node behavior RNGs and the
@@ -591,7 +591,7 @@ struct RecvPart {
 /// occupies the channel). All slice parameters are the shard's chunk
 /// of the per-node buffers; `range` supplies the global indices.
 #[allow(clippy::too_many_arguments)]
-fn act_range<P: Clone, B: NodeBehavior<P>>(
+fn act_range<P: Payload, B: NodeBehavior<P>>(
     graph: &Graph,
     channel: Channel,
     round: u64,
@@ -604,8 +604,10 @@ fn act_range<P: Clone, B: NodeBehavior<P>>(
     sender_ok: &mut [bool],
     traced: bool,
 ) -> ActPart {
-    let p = channel.fault_probability();
-    let sender_channel = channel.is_sender();
+    // Composed channels contribute their sender-side component here;
+    // presence is structural, so `sender(0.0)` consumes the same draws
+    // as before composition existed.
+    let sender_fault = channel.sender_fault();
     let mut part = ActPart {
         traced_broadcasters: traced.then(Vec::new),
         ..ActPart::default()
@@ -624,7 +626,7 @@ fn act_range<P: Clone, B: NodeBehavior<P>>(
         sender_ok[local] = true;
         if broadcasting {
             part.broadcasters += 1;
-            if sender_channel && fault_rngs[local].gen_bool(p) {
+            if sender_fault.map_or(false, |p| fault_rngs[local].gen_bool(p)) {
                 sender_ok[local] = false;
                 part.sender_faults += 1;
             }
@@ -643,7 +645,7 @@ fn act_range<P: Clone, B: NodeBehavior<P>>(
 /// are the shard's chunks; `actions`/`is_broadcasting`/`sender_ok` are
 /// the **full** per-node buffers (senders may live in other shards).
 #[allow(clippy::too_many_arguments)]
-fn receive_range<P: Clone, B: NodeBehavior<P>>(
+fn receive_range<P: Payload, B: NodeBehavior<P>>(
     graph: &Graph,
     channel: Channel,
     round: u64,
@@ -658,11 +660,13 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
     sender_ok: &[bool],
     traced: bool,
 ) -> RecvPart {
-    let p = channel.fault_probability();
     // receiver(p) and erasure(p) draw from the same per-node streams
     // in the same order, so they lose identical slots under one seed.
-    let per_delivery_loss = channel.is_receiver() || channel.is_erasure();
-    let is_erasure = channel.is_erasure();
+    // Composed channels contribute their delivery-side component here
+    // (the sender side was drawn in the act sweep, from the
+    // broadcaster's stream — the two components never share a draw).
+    let delivery_fault = channel.delivery_fault();
+    let presents_erasure = channel.delivery_presents_erasure();
     let mut part = RecvPart {
         traced: traced.then(TracePart::default),
         ..RecvPart::default()
@@ -701,8 +705,8 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
                     // The sender transmitted noise; every listener of
                     // this broadcaster hears noise.
                     Reception::Noise
-                } else if per_delivery_loss && fault_rngs[local].gen_bool(p) {
-                    if is_erasure {
+                } else if delivery_fault.map_or(false, |p| fault_rngs[local].gen_bool(p)) {
+                    if presents_erasure {
                         part.erasures += 1;
                         if let Some(t) = part.traced.as_mut() {
                             t.erased.push(node);
@@ -713,10 +717,14 @@ fn receive_range<P: Clone, B: NodeBehavior<P>>(
                         Reception::Noise
                     }
                 } else {
+                    // The delivery site asks the payload for this
+                    // listener's copy: honest payloads clone, while
+                    // equivocating payloads split the audience (see
+                    // the `Payload` trait).
                     let packet = actions[s.index()]
                         .payload()
                         .expect("broadcasting sender has a payload")
-                        .clone();
+                        .for_listener(node);
                     part.deliveries += 1;
                     if first_packet[local].is_none() {
                         first_packet[local] = Some(round);
@@ -811,7 +819,7 @@ fn run_sharded_step<P, B>(
     trace: Option<&mut RoundTrace>,
 ) -> RoundReport
 where
-    P: Clone + Send + Sync,
+    P: Payload + Send + Sync,
     B: NodeBehavior<P> + Send,
 {
     let ranges = &sim.shard_ranges;

@@ -27,6 +27,19 @@ pub enum ModelError {
         /// Nodes in the graph.
         expected: usize,
     },
+    /// Two channels whose delivery-side presentations differ
+    /// (`receiver` noise vs `erasure` detection) cannot be composed.
+    IncompatibleChannels {
+        /// Rendered left channel.
+        left: String,
+        /// Rendered right channel.
+        right: String,
+    },
+    /// A channel spec string that does not parse.
+    InvalidChannelSpec {
+        /// The offending spec (or term of a composed spec).
+        spec: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -45,6 +58,19 @@ impl fmt::Display for ModelError {
                 write!(
                     f,
                     "controller returned {supplied} actions for a graph of {expected} nodes"
+                )
+            }
+            ModelError::IncompatibleChannels { left, right } => {
+                write!(
+                    f,
+                    "cannot compose {left} with {right}: their delivery presentations differ"
+                )
+            }
+            ModelError::InvalidChannelSpec { spec } => {
+                write!(
+                    f,
+                    "invalid channel spec {spec:?} (expected faultless, sender:P, \
+                     receiver:P, erasure:P, or a `+`-joined composition)"
                 )
             }
         }
@@ -79,6 +105,20 @@ mod tests {
             .to_string(),
             "controller returned 5 actions for a graph of 4 nodes"
         );
+        assert_eq!(
+            ModelError::IncompatibleChannels {
+                left: "receiver(p=0.1)".into(),
+                right: "erasure(p=0.2)".into()
+            }
+            .to_string(),
+            "cannot compose receiver(p=0.1) with erasure(p=0.2): \
+             their delivery presentations differ"
+        );
+        assert!(ModelError::InvalidChannelSpec {
+            spec: "bogus".into()
+        }
+        .to_string()
+        .contains("bogus"));
     }
 
     #[test]

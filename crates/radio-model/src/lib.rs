@@ -114,15 +114,19 @@ mod channel;
 mod engine;
 mod error;
 mod latency;
+mod payload;
 mod rng;
 
 pub mod adaptive;
+pub mod adversary;
 pub mod recorder;
 
 pub use action::Action;
+pub use adversary::{Adversary, ByzantineNode, Misbehavior};
 pub use bitmat::BitMatrix;
 pub use channel::{Channel, Reception, ReceptionKind};
 pub use engine::{Ctx, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator};
 pub use error::ModelError;
 pub use latency::LatencyProfile;
+pub use payload::{AdversarialPayload, Payload};
 pub use rng::{fork_rng, fork_seed};

@@ -60,7 +60,7 @@ pub struct History {
 
 impl History {
     /// Steps `sim` for `rounds` rounds, recording each.
-    pub fn record<P: Clone, B: NodeBehavior<P>>(
+    pub fn record<P: crate::Payload, B: NodeBehavior<P>>(
         sim: &mut Simulator<'_, P, B>,
         rounds: u64,
     ) -> Self {
@@ -93,7 +93,7 @@ impl History {
     /// Steps `sim` until `done` or the `max_rounds` budget runs out,
     /// recording each round. Returns the rounds executed when `done`
     /// fired (as in [`Simulator::run_until`]).
-    pub fn record_until<P: Clone, B: NodeBehavior<P>>(
+    pub fn record_until<P: crate::Payload, B: NodeBehavior<P>>(
         sim: &mut Simulator<'_, P, B>,
         max_rounds: u64,
         mut done: impl FnMut(&[B]) -> bool,

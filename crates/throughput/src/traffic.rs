@@ -49,7 +49,9 @@
 use std::ops::Range;
 
 use netgraph::Graph;
-use radio_model::{Channel, LatencyProfile, ModelError, NodeBehavior, RoundTrace, Simulator};
+use radio_model::{
+    Channel, LatencyProfile, ModelError, NodeBehavior, Payload, RoundTrace, Simulator,
+};
 
 use crate::latency::LatencySummary;
 
@@ -164,7 +166,7 @@ impl TrafficSource {
 ///   never repeat across calls.
 pub trait TrafficWorkload {
     /// The packet type the protocol broadcasts.
-    type Packet: Clone + Send + Sync;
+    type Packet: Payload + Send + Sync;
     /// The per-node behavior.
     type Node: NodeBehavior<Self::Packet> + Send;
 

@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use noisy_radio::core::consensus::{BenOr, Brb, ConsensusRun};
 use noisy_radio::core::decay::Decay;
 use noisy_radio::core::experimental::StreamingRlnc;
 use noisy_radio::core::fastbc::FastbcSchedule;
@@ -22,7 +23,7 @@ use noisy_radio::core::schedules::latency::XinXiaSchedule;
 use noisy_radio::core::schedules::star::{star_coding_sharded, star_routing};
 use noisy_radio::core::traffic::{run_decay_traffic, run_rlnc_traffic, run_xin_xia_traffic};
 use noisy_radio::gbst::Gbst;
-use noisy_radio::model::Channel;
+use noisy_radio::model::{Adversary, Channel, Misbehavior, ModelError};
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
 use noisy_radio::sweep::{run_cells, SweepConfig};
 use noisy_radio::throughput::traffic::{ThroughputRun, TrafficConfig};
@@ -42,6 +43,8 @@ COMMANDS:
   traffic     continuous traffic at rate λ; prints throughput, latency,
               queue peaks, and whether the run drained or saturated
   gap         star coding-vs-routing throughput gap (Theorem 17)
+  consensus   Byzantine consensus (BRB / Ben-Or) gossiped over the
+              noisy radio; prints decisions, agreement, and rounds
   topo        print topology statistics and GBST structure
   help        this message
 
@@ -50,7 +53,8 @@ COMMON OPTIONS:
                     tree:ARITY:DEPTH | gnp:N:P | hypercube:D |
                     caterpillar:SPINE:LEGS | spider:LEGS:LEN | udg:N:R
                     (default path:128)
-  --fault SPEC      faultless | receiver:P | sender:P | erasure:P
+  --fault SPEC      faultless | receiver:P | sender:P | erasure:P, or a
+                    `+`-joined composition like sender:0.1+erasure:0.3
                     (default receiver:0.3)
   --seed N          RNG seed (default 42)
   --trials N        independent trials (default 3)
@@ -76,6 +80,14 @@ traffic:
 gap:
   --leaves N        star size (default 1024)
   --k N             messages (default 16)
+consensus:
+  --algo NAME       brb | ben-or (default brb); BRB broadcasts `true`
+                    from node 0, Ben-Or proposes by node parity
+  --faulty F        Byzantine nodes (default 0 = all honest); also the
+                    assumed tolerance sizing the quorums (needs F < n/3)
+  --adversary KIND  crash[:ROUND] | equivocate | jam (default crash,
+                    crashing at round 10); node 0 is always spared
+  --max-rounds N    round cap per trial (default 100000)
 ";
 
 fn main() -> ExitCode {
@@ -105,6 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "multicast" => cmd_multicast(&opts),
         "traffic" => cmd_traffic(&opts),
         "gap" => cmd_gap(&opts),
+        "consensus" => cmd_consensus(&opts),
         "topo" => cmd_topo(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -125,6 +138,8 @@ struct Options {
     messages: u64,
     max_rounds: u64,
     gen: usize,
+    faulty: usize,
+    adversary: String,
 }
 
 impl Options {
@@ -149,6 +164,8 @@ impl Options {
             messages: 32,
             max_rounds: 100_000,
             gen: 16,
+            faulty: 0,
+            adversary: "crash".into(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -192,6 +209,10 @@ impl Options {
                         .map_err(|e| format!("bad --max-rounds: {e}"))?
                 }
                 "--gen" => opts.gen = value()?.parse().map_err(|e| format!("bad --gen: {e}"))?,
+                "--faulty" => {
+                    opts.faulty = value()?.parse().map_err(|e| format!("bad --faulty: {e}"))?
+                }
+                "--adversary" => opts.adversary = value()?,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -202,21 +223,31 @@ impl Options {
     }
 }
 
+/// Delegates to [`Channel`]'s own parser, so every spec the model
+/// understands — including composed ones like `sender:0.1+erasure:0.3`
+/// — is accepted anywhere a channel is parsed.
 fn parse_fault(spec: &str) -> Result<Channel, String> {
-    if spec == "faultless" {
-        return Ok(Channel::faultless());
-    }
-    let (kind, p) = spec.split_once(':').ok_or_else(|| {
-        format!("bad fault spec `{spec}` (want receiver:P, sender:P or erasure:P)")
-    })?;
-    let p: f64 = p
-        .parse()
-        .map_err(|e| format!("bad fault probability: {e}"))?;
-    match kind {
-        "receiver" => Channel::receiver(p).map_err(|e| e.to_string()),
-        "sender" => Channel::sender(p).map_err(|e| e.to_string()),
-        "erasure" => Channel::erasure(p).map_err(|e| e.to_string()),
-        other => Err(format!("unknown fault kind `{other}`")),
+    spec.parse().map_err(|e: ModelError| e.to_string())
+}
+
+/// Parses an adversary spec: `crash` (round 10), `crash:R`,
+/// `equivocate`, or `jam`.
+fn parse_adversary(spec: &str) -> Result<Misbehavior, String> {
+    match spec.split_once(':') {
+        Some(("crash", round)) => Ok(Misbehavior::Crash {
+            round: round.parse().map_err(|e| format!("bad crash round: {e}"))?,
+        }),
+        None => match spec {
+            "crash" => Ok(Misbehavior::Crash { round: 10 }),
+            "equivocate" => Ok(Misbehavior::Equivocate),
+            "jam" => Ok(Misbehavior::Jam),
+            other => Err(format!(
+                "unknown adversary `{other}` (want crash[:R], equivocate, or jam)"
+            )),
+        },
+        Some((other, _)) => Err(format!(
+            "unknown adversary `{other}` (want crash[:R], equivocate, or jam)"
+        )),
     }
 }
 
@@ -497,6 +528,88 @@ fn cmd_gap(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_consensus(opts: &Options) -> Result<(), String> {
+    let g = parse_topology(&opts.topology, opts.seed)?;
+    let n = g.node_count();
+    let algo = opts.algo.as_deref().unwrap_or("brb");
+    if !matches!(algo, "brb" | "ben-or") {
+        return Err(format!("unknown consensus algo `{algo}`"));
+    }
+    let f = opts.faulty;
+    // Node 0 (the BRB source) is always spared; the selection is
+    // seeded from --seed, so reruns corrupt the same nodes.
+    let adversary = if f == 0 {
+        Adversary::honest(n)
+    } else {
+        Adversary::seeded(
+            n,
+            f,
+            parse_adversary(&opts.adversary)?,
+            opts.seed,
+            &[NodeId::new(0)],
+        )
+        .map_err(|e| e.to_string())?
+    };
+    println!(
+        "topology {} ({n} nodes), fault {}, algo {algo}, f = {f} ({})",
+        opts.topology,
+        opts.fault,
+        if f == 0 {
+            "all honest".to_string()
+        } else {
+            format!("adversary {}", opts.adversary)
+        }
+    );
+    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let cfg = opts.sweep();
+    let per_trial: Vec<Result<ConsensusRun, String>> =
+        run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
+            match algo {
+                "brb" => Brb::new().with_shards(opts.shards).run(
+                    &g,
+                    NodeId::new(0),
+                    true,
+                    f,
+                    opts.fault,
+                    &adversary,
+                    ctx.seed,
+                    opts.max_rounds,
+                ),
+                _ => BenOr::new().with_shards(opts.shards).run(
+                    &g,
+                    &inputs,
+                    f,
+                    opts.fault,
+                    &adversary,
+                    ctx.seed,
+                    opts.max_rounds,
+                ),
+            }
+            .map_err(|e| e.to_string())
+        });
+    for (t, trial) in per_trial.into_iter().enumerate() {
+        let run = trial?;
+        let rounds = match run.rounds {
+            Some(r) => format!("{r} rounds"),
+            None => format!("DID NOT TERMINATE within {} rounds", opts.max_rounds),
+        };
+        let decision = match run.decided_value() {
+            Some(v) => format!("decided {v}"),
+            None if run.agreement() => "no decision yet".to_string(),
+            None => "DISAGREEMENT".to_string(),
+        };
+        println!(
+            "  trial {t}: {rounds}, {}/{} honest decided, {decision}",
+            run.decided_count(),
+            run.honest_count(),
+        );
+        if !run.agreement() {
+            return Err("honest nodes disagreed".into());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_topo(opts: &Options) -> Result<(), String> {
     let g = parse_topology(&opts.topology, opts.seed)?;
     println!("topology {}", opts.topology);
@@ -545,9 +658,55 @@ mod tests {
             parse_fault("erasure:0.5").unwrap(),
             Channel::erasure(0.5).unwrap()
         );
+        // Composed specs work everywhere a channel spec is parsed, and
+        // the Display form round-trips back through the same parser.
+        let composed = parse_fault("sender:0.1+erasure:0.3").unwrap();
+        assert_eq!(
+            composed,
+            Channel::sender(0.1)
+                .unwrap()
+                .compose(Channel::erasure(0.3).unwrap())
+                .unwrap()
+        );
+        assert_eq!(parse_fault(&composed.to_string()).unwrap(), composed);
         assert!(parse_fault("receiver").is_err());
         assert!(parse_fault("gamma:0.5").is_err());
         assert!(parse_fault("receiver:1.5").is_err());
+        // Mixed delivery presentations cannot compose.
+        assert!(parse_fault("receiver:0.1+erasure:0.1").is_err());
+    }
+
+    #[test]
+    fn adversary_specs() {
+        assert_eq!(
+            parse_adversary("crash").unwrap(),
+            Misbehavior::Crash { round: 10 }
+        );
+        assert_eq!(
+            parse_adversary("crash:25").unwrap(),
+            Misbehavior::Crash { round: 25 }
+        );
+        assert_eq!(
+            parse_adversary("equivocate").unwrap(),
+            Misbehavior::Equivocate
+        );
+        assert_eq!(parse_adversary("jam").unwrap(), Misbehavior::Jam);
+        assert!(parse_adversary("crash:soon").is_err());
+        assert!(parse_adversary("bribe").is_err());
+    }
+
+    #[test]
+    fn consensus_flag_parsing() {
+        let args: Vec<String> = ["--faulty", "2", "--adversary", "jam"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.faulty, 2);
+        assert_eq!(o.adversary, "jam");
+        let d = Options::parse(&[]).unwrap();
+        assert_eq!(d.faulty, 0);
+        assert_eq!(d.adversary, "crash");
     }
 
     #[test]
