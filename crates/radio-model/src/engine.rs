@@ -431,7 +431,7 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
     fn step_sequential(&mut self, trace: Option<&mut RoundTrace>) -> RoundReport {
         let n = self.graph.node_count();
         let traced = trace.is_some();
-        let act = act_range(
+        let mut act = act_range(
             self.graph,
             self.channel,
             self.round,
@@ -444,7 +444,7 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             &mut self.sender_ok,
             traced,
         );
-        let recv = receive_range(
+        let mut recv = receive_range(
             self.graph,
             self.channel,
             self.round,
@@ -459,28 +459,34 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             &self.sender_ok,
             traced,
         );
-        self.finish_round(trace, vec![act], vec![recv])
+        self.finish_round(
+            trace,
+            std::slice::from_mut(&mut act),
+            std::slice::from_mut(&mut recv),
+        )
     }
 
     /// Merges per-shard partial tallies (in shard order, which is node
     /// order because shards are contiguous ascending ranges) into the
     /// round report, the aggregate stats, and the optional trace, then
-    /// advances the round counter.
+    /// advances the round counter. Takes the parts by mutable slice —
+    /// trace fragments are drained in place — so the single-part
+    /// sequential path needs no per-round heap allocation.
     fn finish_round(
         &mut self,
         trace: Option<&mut RoundTrace>,
-        act_parts: Vec<ActPart>,
-        recv_parts: Vec<RecvPart>,
+        act_parts: &mut [ActPart],
+        recv_parts: &mut [RecvPart],
     ) -> RoundReport {
         let mut report = RoundReport {
             round: self.round,
             ..RoundReport::default()
         };
-        for part in &act_parts {
+        for part in act_parts.iter() {
             report.broadcasters += part.broadcasters;
             report.sender_faults += part.sender_faults;
         }
-        for part in &recv_parts {
+        for part in recv_parts.iter() {
             report.deliveries += part.deliveries;
             report.collisions += part.collisions;
             report.receiver_faults += part.receiver_faults;
@@ -490,13 +496,13 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             report.queued += part.queued;
         }
         if let Some(t) = trace {
-            for part in act_parts {
-                if let Some(bs) = part.traced_broadcasters {
+            for part in act_parts.iter_mut() {
+                if let Some(bs) = part.traced_broadcasters.take() {
                     t.broadcasters.extend(bs);
                 }
             }
-            for part in recv_parts {
-                if let Some(tp) = part.traced {
+            for part in recv_parts.iter_mut() {
+                if let Some(tp) = part.traced.take() {
                     t.deliveries.extend(tp.deliveries);
                     t.collided_listeners.extend(tp.collided);
                     t.erased_listeners.extend(tp.erased);
@@ -831,7 +837,7 @@ where
     let round = sim.round;
     let traced = trace.is_some();
 
-    let act_parts: Vec<ActPart> = {
+    let mut act_parts: Vec<ActPart> = {
         let behaviors = split_ranges(&mut sim.behaviors, &ranges);
         let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
         let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
@@ -858,7 +864,7 @@ where
         })
     };
 
-    let recv_parts: Vec<RecvPart> = {
+    let mut recv_parts: Vec<RecvPart> = {
         let behaviors = split_ranges(&mut sim.behaviors, &ranges);
         let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
         let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
@@ -900,7 +906,7 @@ where
         })
     };
 
-    sim.finish_round(trace, act_parts, recv_parts)
+    sim.finish_round(trace, &mut act_parts, &mut recv_parts)
 }
 
 /// Joins one shard worker, propagating its panic to the caller.
