@@ -2,11 +2,15 @@
 //! `--markdown` for EXPERIMENTS.md fragments).
 //!
 //! ```text
-//! experiments [--quick|--full] [--markdown] [--jobs N] [--shards K]
-//!             [--seed S] [--json PATH] [IDS...]
+//! experiments [--quick|--full|--smoke] [--markdown] [--jobs N]
+//!             [--shards K] [--seed S] [--json PATH] [IDS...]
 //! experiments --list
 //! experiments --diff OLD.json NEW.json
 //! ```
+//!
+//! `--smoke` selects the large-`n` CI gate grids (currently E8 at
+//! 2¹⁷ leaves); drivers without a dedicated smoke grid run their
+//! quick one.
 //!
 //! `IDS` filters by experiment id (e.g. `E8 E10`); default runs all.
 //! `--list` prints the registry (one `id  description` line per
@@ -60,6 +64,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
+            "--smoke" => scale = Scale::Smoke,
             "--markdown" => markdown = true,
             "--list" => {
                 print!("{}", experiments::render_registry());

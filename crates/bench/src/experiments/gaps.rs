@@ -17,16 +17,23 @@ const MAX_ROUNDS: u64 = 200_000_000;
 /// `Θ(log n)` (Theorem 17): the ratio should grow linearly in
 /// `log₂ n`.
 pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
-    // Full grid extended two doublings past 16384 (the n ≥ 10⁵-regime
-    // ROADMAP item: 32768- and 65536-leaf stars, i.e. log₂ n up to 16).
-    // The coding arm runs the engine over `cfg.shards` CSR shards —
-    // bit-identical results for any shard count (§4c); the routing arm
-    // is the centralized adaptive controller, which is not a
-    // `Simulator` and stays sequential.
-    let sizes: &[usize] = scale.pick(
-        &[64, 256, 1024],
-        &[64, 256, 1024, 4096, 16384, 32768, 65536],
-    );
+    // Full grid extended into the n ≥ 10⁵ regime (the ROADMAP
+    // million-node item: up to 262144-leaf stars, i.e. log₂ n up to
+    // 18) — tractable since the sparse engine sweeps only the active
+    // CSR ranges. The coding arm runs the engine over `cfg.shards` CSR
+    // shards — bit-identical results for any shard count (§4c); the
+    // routing arm is the centralized adaptive controller, which is not
+    // a `Simulator` and stays sequential.
+    // `--smoke` gates the sparse engine in CI at a single 2¹⁷-leaf
+    // point — big enough that a dense-sweep regression is obvious,
+    // small enough to run a --jobs × --shards byte-identity matrix.
+    let sizes: &[usize] = match scale {
+        Scale::Smoke => &[131072],
+        _ => scale.pick(
+            &[64, 256, 1024],
+            &[64, 256, 1024, 4096, 16384, 32768, 65536, 131072, 262144],
+        ),
+    };
     let k = scale.pick(16, 32);
     let trials = scale.pick(2, 5);
     let p = 0.5;
@@ -80,7 +87,6 @@ pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         ]);
         gap_curve.push((log_n, gap));
     }
-    let fit = linear_fit(&gap_curve);
     let mut report = ExperimentReport {
         id: "E8",
         claim: "Theorem 17: Θ(log n) coding gap on the star with receiver faults",
@@ -88,19 +94,29 @@ pub fn e8_star_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         findings: Vec::new(),
         cell_ms: res.cell_ms().to_vec(),
     };
-    report.check(
-        fit.slope > 0.1 && fit.r2 > 0.8,
-        format!(
-            "gap grows linearly in log n (slope {:.2}/bit, R² = {:.3})",
-            fit.slope, fit.r2
-        ),
-    );
     let first = gap_curve.first().expect("nonempty").1;
     let last = gap_curve.last().expect("nonempty").1;
-    report.check(
-        last > first && first > 1.0,
-        format!("coding wins everywhere and the gap grows: {first:.2} → {last:.2}"),
-    );
+    if gap_curve.len() > 1 {
+        let fit = linear_fit(&gap_curve);
+        report.check(
+            fit.slope > 0.1 && fit.r2 > 0.8,
+            format!(
+                "gap grows linearly in log n (slope {:.2}/bit, R² = {:.3})",
+                fit.slope, fit.r2
+            ),
+        );
+        report.check(
+            last > first && first > 1.0,
+            format!("coding wins everywhere and the gap grows: {first:.2} → {last:.2}"),
+        );
+    } else {
+        // Smoke scale runs a single point — growth is unobservable, so
+        // the gate is just "coding wins at 2¹⁷ leaves".
+        report.check(
+            first > 1.0,
+            format!("coding wins at the smoke point (gap {first:.2})"),
+        );
+    }
     report
 }
 
@@ -237,7 +253,7 @@ pub fn e10_wct_gap(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Theorem 24: Θ(log n) worst-case topology gap with receiver faults",
         table,
         findings: Vec::new(),
-        cell_ms: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         first > 1.0,

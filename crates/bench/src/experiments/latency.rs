@@ -193,8 +193,7 @@ pub fn e14_latency_sweep(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                     pooled.extend(&t.latencies);
                 }
                 let rounds_mean = rounds_sum / completed.max(1) as f64;
-                let lat = LatencySummary::from_rounds(&pooled)
-                    .expect("completed runs always deliver to someone");
+                let lat = LatencySummary::from_rounds(&pooled);
                 let mut row = vec![
                     grid.to_string(),
                     n.to_string(),
@@ -202,7 +201,7 @@ pub fn e14_latency_sweep(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                     channel.to_string(),
                     format!("{rounds_mean:.0}"),
                 ];
-                row.extend(lat.cells(1));
+                row.extend(LatencySummary::cells_or_dash(lat.as_ref(), 1));
                 table.row_owned(row);
                 if grid == "path" && channel.is_receiver() {
                     if !path_race.iter().any(|&(m, _, _)| m == n) {
@@ -219,11 +218,11 @@ pub fn e14_latency_sweep(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
                         .expect("slot");
                     match algo {
                         Algo::Decay => {
-                            race.1 = lat.mean;
+                            race.1 = lat.map_or(f64::NAN, |l| l.mean);
                             rounds_race.1 = rounds_mean;
                         }
                         Algo::XinXia => {
-                            race.2 = lat.mean;
+                            race.2 = lat.map_or(f64::NAN, |l| l.mean);
                             rounds_race.2 = rounds_mean;
                         }
                         Algo::RobustFastbc => {}

@@ -78,7 +78,7 @@ pub fn e1_decay_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Lemma 6: faultless Decay broadcasts in O(D log n + log² n)",
         table,
         findings: Vec::new(),
-        cell_ms: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         (0.85..1.15).contains(&fit.slope),
@@ -168,7 +168,7 @@ pub fn e2_fastbc_faultless(scale: Scale, cfg: &SweepConfig) -> ExperimentReport 
         claim: "Lemma 8: faultless FASTBC broadcasts in D + O(log² n) — diameter-linear",
         table,
         findings: Vec::new(),
-        cell_ms: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         (0.9..1.1).contains(&fit.slope),
@@ -251,7 +251,7 @@ pub fn e3_decay_noisy(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Lemma 9: Decay under faults needs O((log n/(1−p))(D + log n)) rounds",
         table,
         findings: Vec::new(),
-        cell_ms: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         spread < 0.8,
@@ -357,7 +357,7 @@ pub fn e4_fastbc_degradation(scale: Scale, cfg: &SweepConfig) -> ExperimentRepor
         claim: "Lemma 10: faulty FASTBC pays Θ(p·log n) per hop; Robust FASTBC pays O(1)",
         table,
         findings: Vec::new(),
-        cell_ms: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     // The ratio grows like log n, so the expected growth across the
     // sweep is log(n_max)/log(n_min): ≈ 1.29 for the quick grid
@@ -475,7 +475,7 @@ pub fn e5_robust_fastbc(scale: Scale, cfg: &SweepConfig) -> ExperimentReport {
         claim: "Theorem 11: Robust FASTBC broadcasts in O(D + polylog) under faults",
         table,
         findings: Vec::new(),
-        cell_ms: Vec::new(),
+        cell_ms: res.cell_ms().to_vec(),
     };
     report.check(
         (0.85..1.15).contains(&fit.slope),

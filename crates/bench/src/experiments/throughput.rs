@@ -314,10 +314,7 @@ pub fn e15_saturation_sweep(scale: Scale, cfg: &SweepConfig) -> ExperimentReport
                 if row.run.drained() { "yes" } else { "SAT" }.to_string(),
                 row.run.peak_queued.to_string(),
             ];
-            match lat {
-                Some(lat) => cells.extend(lat.cells(1)),
-                None => cells.extend((0..4).map(|_| "-".to_string())),
-            }
+            cells.extend(LatencySummary::cells_or_dash(lat.as_ref(), 1));
             table.row_owned(cells);
             if row.label == "2.00" {
                 overload_ok &= row.run.saturated

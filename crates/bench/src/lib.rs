@@ -29,13 +29,19 @@ pub enum Scale {
     Quick,
     /// Report-sized sweeps (minutes).
     Full,
+    /// A single large-`n` gate point per driver that opts in (CI
+    /// byte-identity smoke for the sparse engine); drivers without a
+    /// dedicated smoke grid fall back to their quick one.
+    Smoke,
 }
 
 impl Scale {
-    /// Picks `quick` or `full` by variant.
+    /// Picks `quick` or `full` by variant ([`Scale::Smoke`] picks
+    /// `quick`; drivers with a dedicated smoke grid match on the
+    /// variant directly).
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
-            Scale::Quick => quick,
+            Scale::Quick | Scale::Smoke => quick,
             Scale::Full => full,
         }
     }
@@ -45,6 +51,7 @@ impl Scale {
         match self {
             Scale::Quick => "quick",
             Scale::Full => "full",
+            Scale::Smoke => "smoke",
         }
     }
 }

@@ -208,8 +208,7 @@ impl Gossip {
         if self.known.is_empty() {
             return Action::Listen;
         }
-        let p = DecayNode::broadcast_probability(self.phase_len, ctx.round);
-        if rand::Rng::gen_bool(ctx.rng, p) {
+        if DecayNode::draw_broadcast(self.phase_len, ctx.round, ctx.rng) {
             let bundle = self
                 .cache
                 .get_or_insert_with(|| Arc::new(self.known.clone()))

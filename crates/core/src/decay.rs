@@ -119,15 +119,7 @@ impl Decay {
                 phase_len,
             })
             .collect();
-        crate::outcome::run_profiled_until(
-            graph,
-            fault,
-            behaviors,
-            seed,
-            max_rounds,
-            self.shards,
-            |bs| bs.iter().all(|b| b.informed),
-        )
+        crate::outcome::run_profiled_decoded(graph, fault, behaviors, seed, max_rounds, self.shards)
     }
 
     /// Runs Decay for exactly `budget` rounds and reports whether the
@@ -180,6 +172,43 @@ pub fn default_phase_len(n: usize) -> u32 {
     (usize::BITS - (n.max(2) - 1).leading_zeros()) + 1
 }
 
+/// `⌈2⁶⁴/L⌉` for `L` in `2..=64`, indexed by `L`: the magic
+/// reciprocals behind [`phase_step`]'s division-free modulo. Built at
+/// compile time; entries 0 and 1 are unused padding (`⌈2⁶⁴/1⌉`
+/// overflows, and `step mod 1` needs no reciprocal).
+const PHASE_RECIP: [u64; 65] = {
+    let mut t = [0u64; 65];
+    let mut l = 2u64;
+    while l <= 64 {
+        // ⌈2⁶⁴/l⌉ without 128-bit arithmetic: ⌊(2⁶⁴−1)/l⌋ + 1 (equal
+        // whether or not l divides 2⁶⁴, since only powers of two do
+        // and for those ⌊(2⁶⁴−1)/l⌋ = 2⁶⁴/l − 1).
+        t[l as usize] = u64::MAX / l + 1;
+        l += 1;
+    }
+    t
+};
+
+/// `step mod phase_len`, division-free for the phase lengths that
+/// occur in practice (`⌈log₂ n⌉ + 1 ≤ 64` up to astronomical n).
+///
+/// Every informed node evaluates this each round, and a runtime `u64`
+/// modulo is the single most expensive instruction on that path. The
+/// multiply-shift `⌊step·⌈2⁶⁴/L⌉ / 2⁶⁴⌋ = ⌊step/L⌋` is exact whenever
+/// `step·(L·⌈2⁶⁴/L⌉ − 2⁶⁴) < 2⁶⁴`, which holds comfortably for every
+/// reachable round count (`step < 2⁵⁷` suffices for `L ≤ 64`).
+#[inline]
+fn phase_step(phase_len: u32, step: u64) -> u64 {
+    let l = u64::from(phase_len);
+    if !(2..PHASE_RECIP.len()).contains(&(phase_len as usize)) || step >= 1 << 57 {
+        return step % l;
+    }
+    let q = ((u128::from(step) * u128::from(PHASE_RECIP[phase_len as usize])) >> 64) as u64;
+    let r = step - q * l;
+    debug_assert_eq!(r, step % l);
+    r
+}
+
 /// Per-node Decay state machine. Exposed so other algorithms (FASTBC's
 /// slow rounds) and the multi-message variants can reuse the step rule.
 #[derive(Debug, Clone)]
@@ -194,8 +223,40 @@ impl DecayNode {
     /// The Decay broadcast probability for (0-based) `step` within the
     /// phase structure: `2^{-((step mod L) + 1)}`.
     pub fn broadcast_probability(phase_len: u32, step: u64) -> f64 {
-        let i = (step % u64::from(phase_len)) + 1;
-        0.5f64.powi(i as i32)
+        let i = phase_step(phase_len, step) + 1;
+        // 2^-i built directly as an IEEE-754 exponent: every informed
+        // node evaluates this each round, and `powi` compiles to a
+        // multiplication loop. Exact powers of two, so bit-identical
+        // to `0.5f64.powi(i)` (both are exact for i ≤ 1022; phases are
+        // orders of magnitude shorter).
+        debug_assert!(i <= 1022, "phase step would denormalize 2^-i");
+        f64::from_bits((1023 - i) << 52)
+    }
+
+    /// Performs the Decay coin flip for `step`: bit-identical to
+    /// `gen_bool(broadcast_probability(phase_len, step))`, as a single
+    /// integer comparison.
+    ///
+    /// `gen_bool(p)` samples an `f64` as `(next_u64() >> 11)·2⁻⁵³` and
+    /// compares it against `p`; for `p = 2⁻ⁱ` with `1 ≤ i ≤ 53` both
+    /// sides are exact, so the comparison is precisely
+    /// `(next_u64() >> 11) < 2^(53−i)`. Same stream consumption, same
+    /// outcome, no float traffic — this is the hottest line of every
+    /// Decay-family sweep.
+    pub fn draw_broadcast<R: rand::RngCore>(phase_len: u32, step: u64, rng: &mut R) -> bool {
+        // One predictable guard covers the reciprocal table, the
+        // multiply-shift exactness bound, and the i ≤ 53 threshold
+        // exactness all at once (L ≤ 54 ⇒ i ≤ 54 needs the extra
+        // check only at the boundary).
+        if (2..=53).contains(&phase_len) && step < 1 << 57 {
+            let l = u64::from(phase_len);
+            let q = ((u128::from(step) * u128::from(PHASE_RECIP[phase_len as usize])) >> 64) as u64;
+            let i = step - q * l + 1;
+            debug_assert_eq!(i, step % l + 1);
+            (rng.next_u64() >> 11) < (1u64 << (53 - i))
+        } else {
+            rand::Rng::gen_bool(rng, Self::broadcast_probability(phase_len, step))
+        }
     }
 }
 
@@ -204,8 +265,7 @@ impl NodeBehavior<()> for DecayNode {
         if !self.informed {
             return Action::Listen;
         }
-        let p = Self::broadcast_probability(self.phase_len, ctx.round);
-        if rand::Rng::gen_bool(ctx.rng, p) {
+        if Self::draw_broadcast(self.phase_len, ctx.round, ctx.rng) {
             Action::Broadcast(())
         } else {
             Action::Listen
@@ -221,12 +281,70 @@ impl NodeBehavior<()> for DecayNode {
     fn decoded(&self) -> bool {
         self.informed
     }
+
+    // Quiescence opt-in: an uninformed Decay node listens without
+    // drawing (see `act`) and ignores silence, so the engine may skip
+    // it until the message reaches it.
+    fn wants_poll(&self) -> bool {
+        self.informed
+    }
+
+    // Silence never changes a Decay node (see `receive`), `act` only
+    // touches the RNG, and there is no queue: the engine may settle
+    // silent and broadcasting Decay nodes word-at-a-time.
+    const SILENCE_TRANSPARENT: bool = true;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use netgraph::generators;
+
+    #[test]
+    fn phase_step_matches_modulo() {
+        for l in 1u32..=64 {
+            for step in (0..200).chain([u64::MAX, (1 << 57) - 1, 1 << 57, 199_999_999]) {
+                assert_eq!(
+                    phase_step(l, step),
+                    step % u64::from(l),
+                    "L {l} step {step}"
+                );
+            }
+        }
+        // Oversized phase lengths fall back to the hardware modulo.
+        assert_eq!(phase_step(65, 1_000), 1_000 % 65);
+        assert_eq!(phase_step(u32::MAX, 7), 7);
+    }
+
+    #[test]
+    fn draw_broadcast_matches_gen_bool() {
+        use rand::{RngCore, SeedableRng};
+        let mut a = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut b = a.clone();
+        for phase_len in [2u32, 13, 53, 54, 64] {
+            for step in 0..u64::from(phase_len) * 4 {
+                let fast = DecayNode::draw_broadcast(phase_len, step, &mut a);
+                let p = DecayNode::broadcast_probability(phase_len, step);
+                let slow = rand::Rng::gen_bool(&mut b, p);
+                assert_eq!(fast, slow, "phase_len {phase_len} step {step}");
+                assert_eq!(a.next_u64(), b.next_u64(), "streams diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_probability_matches_powi() {
+        for phase_len in [2u32, 5, 11, 21, 64] {
+            for step in 0..u64::from(phase_len) * 3 {
+                let i = (step % u64::from(phase_len)) + 1;
+                assert_eq!(
+                    DecayNode::broadcast_probability(phase_len, step).to_bits(),
+                    0.5f64.powi(i as i32).to_bits(),
+                    "phase_len {phase_len} step {step}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn default_phase_len_values() {

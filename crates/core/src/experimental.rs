@@ -125,8 +125,7 @@ impl NodeBehavior<CodedPacket<Gf256>> for StreamingNode {
             self.stream_slot == Some(ctx.round % 3)
         } else {
             let t = (ctx.round - 1) / 2;
-            let p = DecayNode::broadcast_probability(self.phase_len, t);
-            rand::Rng::gen_bool(ctx.rng, p)
+            DecayNode::draw_broadcast(self.phase_len, t, ctx.rng)
         };
         if wants_slot {
             match self.state.random_combination(ctx.rng) {

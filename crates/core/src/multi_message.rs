@@ -244,8 +244,7 @@ struct RlncDecayNode {
 
 impl NodeBehavior<CodedPacket<Gf256>> for RlncDecayNode {
     fn act(&mut self, ctx: &mut Ctx<'_>) -> Action<CodedPacket<Gf256>> {
-        let p = DecayNode::broadcast_probability(self.phase_len, ctx.round);
-        if rand::Rng::gen_bool(ctx.rng, p) {
+        if DecayNode::draw_broadcast(self.phase_len, ctx.round, ctx.rng) {
             match self.state.random_combination(ctx.rng) {
                 Some(packet) => Action::Broadcast(packet),
                 None => Action::Listen,
@@ -381,8 +380,7 @@ impl NodeBehavior<CodedPacket<Gf256>> for RlncRobustNode {
             matches!(self.slot, Some(slot) if slot.matches(ctx.round))
         } else {
             let t = (ctx.round - 1) / 2;
-            let p = DecayNode::broadcast_probability(self.phase_len, t);
-            rand::Rng::gen_bool(ctx.rng, p)
+            DecayNode::draw_broadcast(self.phase_len, t, ctx.rng)
         };
         if wants_slot {
             match self.state.random_combination(ctx.rng) {

@@ -34,23 +34,30 @@ impl BroadcastRun {
 
 /// The shared profiled-run body of every single-message schedule
 /// (`Decay`, `FastbcSchedule`, `RobustFastbcSchedule`,
-/// `XinXiaSchedule`): build the simulator, shard it, run until `done`
-/// or `max_rounds`, and return the outcome with its latency profile.
-pub(crate) fn run_profiled_until<P, B>(
+/// `XinXiaSchedule`): build the simulator, shard it, run until every
+/// node's decode is complete or `max_rounds`, and return the outcome
+/// with its latency profile.
+///
+/// The completion check is the engine's O(1)
+/// [`Simulator::run_until_decoded`] tally — equivalent to an
+/// all-`informed` behavior scan for these schedules (their
+/// [`NodeBehavior::decoded`] *is* `informed`), but it keeps the
+/// per-round cost proportional to the sparse active set instead of
+/// the node count.
+pub(crate) fn run_profiled_decoded<P, B>(
     graph: &Graph,
     fault: Channel,
     behaviors: Vec<B>,
     seed: u64,
     max_rounds: u64,
     shards: usize,
-    done: impl FnMut(&[B]) -> bool,
 ) -> Result<(BroadcastRun, LatencyProfile), CoreError>
 where
     P: Payload + Send + Sync,
     B: NodeBehavior<P> + Send,
 {
     let mut sim = Simulator::new(graph, fault, behaviors, seed)?.with_shards(shards);
-    let rounds = sim.run_until(max_rounds, done);
+    let rounds = sim.run_until_decoded(max_rounds);
     Ok((
         BroadcastRun {
             rounds,

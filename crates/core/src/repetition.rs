@@ -174,8 +174,7 @@ impl NodeBehavior<()> for DilatedFastbcNode {
             }
         } else {
             let t = (base - 1) / 2;
-            let p = DecayNode::broadcast_probability(self.phase_len, t);
-            if rand::Rng::gen_bool(ctx.rng, p) {
+            if DecayNode::draw_broadcast(self.phase_len, t, ctx.rng) {
                 Action::Broadcast(())
             } else {
                 Action::Listen

@@ -234,14 +234,13 @@ impl<'g> RobustFastbcSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<(BroadcastRun, LatencyProfile), CoreError> {
-        crate::outcome::run_profiled_until(
+        crate::outcome::run_profiled_decoded(
             self.graph,
             fault,
             self.behaviors(),
             seed,
             max_rounds,
             self.shards,
-            |bs| bs.iter().all(|b| b.informed),
         )
     }
 
@@ -325,8 +324,7 @@ impl NodeBehavior<()> for RobustFastbcNode {
             }
         } else {
             let t = (ctx.round - 1) / 2;
-            let p = DecayNode::broadcast_probability(self.phase_len, t);
-            if rand::Rng::gen_bool(ctx.rng, p) {
+            if DecayNode::draw_broadcast(self.phase_len, t, ctx.rng) {
                 Action::Broadcast(())
             } else {
                 Action::Listen
@@ -343,6 +341,17 @@ impl NodeBehavior<()> for RobustFastbcNode {
     fn decoded(&self) -> bool {
         self.informed
     }
+
+    // Quiescence opt-in: an uninformed robust-FASTBC node listens
+    // without drawing in both block halves, so the engine may skip it
+    // until the message reaches it.
+    fn wants_poll(&self) -> bool {
+        self.informed
+    }
+
+    // Silence never changes a robust-FASTBC node (see `receive`),
+    // `act` only reads state and draws, and there is no queue.
+    const SILENCE_TRANSPARENT: bool = true;
 }
 
 #[cfg(test)]

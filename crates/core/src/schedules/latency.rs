@@ -175,14 +175,13 @@ impl<'g> XinXiaSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<(BroadcastRun, LatencyProfile), CoreError> {
-        crate::outcome::run_profiled_until(
+        crate::outcome::run_profiled_decoded(
             self.graph,
             fault,
             self.behaviors(),
             seed,
             max_rounds,
             self.shards,
-            |bs| bs.iter().all(|b| b.informed),
         )
     }
 }
@@ -238,6 +237,17 @@ impl NodeBehavior<()> for XinXiaNode {
     fn decoded(&self) -> bool {
         self.informed
     }
+
+    // Quiescence opt-in: an uninformed Xin–Xia node listens without
+    // drawing (informed nodes still act — their slot gating is
+    // round-dependent, which this hook cannot express).
+    fn wants_poll(&self) -> bool {
+        self.informed
+    }
+
+    // Silence never changes a Xin–Xia node (see `receive`), `act`
+    // only reads the slot gate and draws, and there is no queue.
+    const SILENCE_TRANSPARENT: bool = true;
 }
 
 /// The oblivious Xin–Xia pipeline as a faultless [`BaseSchedule`]:

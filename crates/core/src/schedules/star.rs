@@ -77,6 +77,13 @@ impl NodeBehavior<u64> for CodingNode {
             *received += 1;
         }
     }
+
+    // Quiescence opt-in: leaves never broadcast and only count
+    // packets, so the act sweep can skip them every round — the
+    // engine's reach set still delivers the center's broadcasts.
+    fn wants_poll(&self) -> bool {
+        matches!(self, CodingNode::Center)
+    }
 }
 
 /// Runs the Lemma 16 Reed–Solomon coding schedule on a star until

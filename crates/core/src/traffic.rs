@@ -125,8 +125,7 @@ impl NodeBehavior<u64> for DecayTrafficNode {
         if !self.informed {
             return Action::Listen;
         }
-        let p = DecayNode::broadcast_probability(self.phase_len, ctx.round);
-        if rand::Rng::gen_bool(ctx.rng, p) {
+        if DecayNode::draw_broadcast(self.phase_len, ctx.round, ctx.rng) {
             Action::Broadcast(0)
         } else {
             Action::Listen
@@ -140,6 +139,14 @@ impl NodeBehavior<u64> for DecayTrafficNode {
     }
 
     fn decoded(&self) -> bool {
+        self.informed
+    }
+
+    // Quiescence opt-in, as for `DecayNode`: uninformed nodes listen
+    // without drawing. The source additionally stays swept through its
+    // `queued` backlog, and every injection goes through
+    // `Simulator::behaviors_mut`, which re-activates it regardless.
+    fn wants_poll(&self) -> bool {
         self.informed
     }
 
@@ -315,6 +322,13 @@ impl NodeBehavior<u64> for XinXiaTrafficNode {
         !self.has.is_empty()
     }
 
+    // Quiescence opt-in: with an empty relay queue the slot-gated
+    // `act` neither draws nor mutates (it only cycles a non-empty
+    // queue), and only packets change state.
+    fn wants_poll(&self) -> bool {
+        !self.relay.is_empty()
+    }
+
     fn queued(&self) -> u64 {
         self.outstanding
     }
@@ -444,8 +458,7 @@ impl NodeBehavior<(u64, CodedPacket<Gf256>)> for RlncTrafficNode {
         let Some(state) = &self.state else {
             return Action::Listen;
         };
-        let p = DecayNode::broadcast_probability(self.phase_len, ctx.round);
-        if rand::Rng::gen_bool(ctx.rng, p) {
+        if DecayNode::draw_broadcast(self.phase_len, ctx.round, ctx.rng) {
             match state.random_combination(ctx.rng) {
                 Some(packet) => Action::Broadcast((self.generation, packet)),
                 None => Action::Listen,
@@ -467,6 +480,14 @@ impl NodeBehavior<(u64, CodedPacket<Gf256>)> for RlncTrafficNode {
 
     fn decoded(&self) -> bool {
         self.state.as_ref().is_some_and(|s| s.can_decode())
+    }
+
+    // Quiescence opt-in: between generations (`state == None`) the
+    // node listens without drawing and discards every reception, so
+    // the engine may skip it until `drain` starts the next generation
+    // (which runs under `Simulator::behaviors_mut` and re-activates).
+    fn wants_poll(&self) -> bool {
+        self.state.is_some()
     }
 
     fn queued(&self) -> u64 {

@@ -7,6 +7,8 @@
 //!   (compressed sparse row) form, built through [`GraphBuilder`];
 //! * [`bfs`] — breadth-first layering, distances, and parent forests,
 //!   the backbone of every known-topology broadcast algorithm;
+//! * [`Bitset`] — word-parallel index sets with ascending range
+//!   iteration, the storage behind the engine's sparse round loop;
 //! * [`metrics`] — eccentricity, diameter, connectivity, and degree
 //!   statistics;
 //! * [`generators`] — deterministic and seeded random topology
@@ -52,12 +54,14 @@ mod graph;
 mod node;
 
 pub mod bfs;
+pub mod bitset;
 pub mod collision;
 pub mod dot;
 pub mod generators;
 pub mod metrics;
 pub mod wct;
 
+pub use bitset::Bitset;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph};

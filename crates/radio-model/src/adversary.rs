@@ -241,6 +241,17 @@ where
             0
         }
     }
+
+    fn wants_poll(&self) -> bool {
+        match self.role {
+            // Jammers draw their coin every round, forever.
+            Some(Misbehavior::Jam) => true,
+            // Crashed and equivocating nodes delegate `act` to (or
+            // silence) the inner behavior, so its quiescence promise
+            // carries over unchanged.
+            _ => self.inner.wants_poll(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,20 +1,39 @@
 //! The behavior-driven simulation engine.
 //!
+//! # Sparse round loop
+//!
+//! The engine does not visit every node every round. It keeps an
+//! **active set** (a word-parallel [`Bitset`]): the act sweep runs
+//! only over active nodes, and the receive sweep only over the active
+//! set united with the **reach set** — the neighbors of this round's
+//! broadcasters, recomputed each round, which is exactly the set of
+//! nodes that hear something other than silence. A node leaves the
+//! active set when its behavior reports [`NodeBehavior::wants_poll`]`
+//! = false` with no queued traffic (a quiescence promise: acting and
+//! hearing silence are no-ops for it), and re-enters it the moment a
+//! broadcast reaches it. Dense execution is therefore reproduced
+//! bit-for-bit — skipped nodes are precisely those for which the
+//! dense sweeps would have drawn nothing and changed nothing —
+//! and [`Simulator::with_dense_sweeps`] forces the dense reference
+//! behavior for differential tests.
+//!
 //! # Intra-run sharding
 //!
 //! [`Simulator::with_shards`] splits each round's work — the `act`
 //! sweep and the delivery/`receive` sweep — across contiguous CSR node
-//! ranges ([`Graph::shard_ranges`]) evaluated on scoped threads. The
-//! results are **bit-identical for every shard count** (see
-//! `DESIGN.md` §4c): all randomness is drawn from *per-node* streams
-//! forked from the master seed via [`crate::fork_seed`] — behavior
-//! streams at index `i`, channel-loss streams at
-//! `FAULT_STREAM_BASE + i` — so no draw depends on how nodes are
-//! partitioned or on cross-node evaluation order.
+//! ranges ([`Graph::shard_ranges`], word-aligned so each shard owns
+//! whole bitset words) evaluated on scoped threads. The results are
+//! **bit-identical for every shard count** (see `DESIGN.md` §4c): all
+//! randomness is drawn from *per-node* streams forked from the master
+//! seed via [`crate::fork_seed`] — behavior streams at index `i`,
+//! channel-loss streams at `FAULT_STREAM_BASE + i` — so no draw
+//! depends on how nodes are partitioned or on cross-node evaluation
+//! order.
 
 use std::ops::Range;
 
-use netgraph::{Graph, NodeId};
+use netgraph::bitset::BitsetSliceMut;
+use netgraph::{Bitset, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -37,8 +56,17 @@ pub struct Ctx<'a> {
     pub round: u64,
     /// The node's private RNG stream (deterministic per master seed).
     pub rng: &'a mut SmallRng,
-    /// The node's degree in the network.
-    pub degree: usize,
+    /// The network, for topology queries such as [`Ctx::degree`].
+    pub graph: &'a Graph,
+}
+
+impl Ctx<'_> {
+    /// The node's degree in the network. Computed on demand: the CSR
+    /// offset loads would otherwise tax every sweep iteration of every
+    /// behavior, degree-aware or not.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
 }
 
 /// A distributed per-node protocol: decides an action each round and
@@ -90,6 +118,57 @@ pub trait NodeBehavior<P> {
     fn queued(&self) -> u64 {
         0
     }
+
+    /// Whether the engine must keep sweeping this node while nothing
+    /// reaches it.
+    ///
+    /// Returning `false` is a **quiescence promise**: until this node
+    /// next hears a non-[`Reception::Silence`] reception, (a) its
+    /// [`NodeBehavior::act`] returns [`Action::Listen`] without
+    /// drawing from the node's RNG or mutating state, (b) its
+    /// [`NodeBehavior::receive`] of [`Reception::Silence`] is a no-op,
+    /// and (c) its [`NodeBehavior::decoded`] and
+    /// [`NodeBehavior::queued`] answers are frozen. The engine then
+    /// drops the node from the active set and skips it entirely —
+    /// which is observationally identical to sweeping it, by the
+    /// promise — until a neighbor's broadcast reaches it (any packet,
+    /// noise, or erasure re-wakes it) or the driver touches state via
+    /// [`Simulator::behaviors_mut`]. A node with
+    /// [`NodeBehavior::queued`]` > 0` stays active regardless of this
+    /// answer.
+    ///
+    /// The engine re-polls this after every sweep in which the node
+    /// participated, so the answer may change with state (e.g. an
+    /// uninformed Decay node answers `false`, then `true` from the
+    /// round it first hears the message). The default `true` keeps a
+    /// behavior swept every round — always safe.
+    fn wants_poll(&self) -> bool {
+        true
+    }
+
+    /// Whether this behavior is **silence-transparent**: a compile-time
+    /// promise, for every node and every state, that
+    ///
+    /// 1. [`NodeBehavior::receive`] of [`Reception::Silence`] is a
+    ///    no-op,
+    /// 2. [`NodeBehavior::act`] never changes the answers of
+    ///    [`NodeBehavior::decoded`], [`NodeBehavior::queued`], or
+    ///    [`NodeBehavior::wants_poll`] (only non-silent receptions
+    ///    can), and
+    /// 3. [`NodeBehavior::queued`] is identically `0`.
+    ///
+    /// Under this promise a round's silent listeners and broadcasters
+    /// are observationally inert in the delivery sweep — no silence to
+    /// deliver, no decode or queue transition to record — so the
+    /// engine resolves only the **reached** listeners per-node and
+    /// carries everyone else's activity bits forward a whole word at a
+    /// time. Observables are bit-identical either way; the promise
+    /// merely licenses skipping work the contract makes vacuous.
+    ///
+    /// The default `false` keeps every swept node's silence delivery
+    /// and end-of-round poll — always safe. Behaviors that queue
+    /// traffic or react to quiet slots must not opt in.
+    const SILENCE_TRANSPARENT: bool = false;
 }
 
 /// Aggregate statistics over an entire simulation, with one counter
@@ -220,11 +299,27 @@ pub struct Simulator<'g, P, B> {
     first_packet: Vec<Option<u64>>,
     /// Per-node decode-completion rounds (see [`NodeBehavior::decoded`]).
     decode_round: Vec<Option<u64>>,
-    // Reusable per-round buffers, one slot per node, fully rewritten
-    // by every round's act sweep.
+    // Reusable per-round scratch, allocated once. `actions[i]` and
+    // `sender_ok[i]` are written only when node `i` broadcasts; stale
+    // entries are never read because every read is guarded by the
+    // `broadcasting` bit, which is rebuilt every round.
     actions: Vec<Action<P>>,
-    is_broadcasting: Vec<bool>,
+    broadcasting: Bitset,
     sender_ok: Vec<bool>,
+    /// Nodes swept by this round's act sweep (see the module docs).
+    active: Bitset,
+    /// The active set being accumulated for the next round.
+    next_active: Bitset,
+    /// Neighbors of this round's broadcasters: the nodes that hear
+    /// something other than silence. The receive sweep's domain is
+    /// `active ∪ reach`, unioned word-by-word on the fly.
+    reach: Bitset,
+    /// Set by [`Simulator::behaviors_mut`]: behavior state may have
+    /// changed outside a sweep, so the active set must be rebuilt from
+    /// `wants_poll`/`queued` before the next round.
+    stale: bool,
+    /// Forces full sweeps every round (the dense reference mode).
+    dense: bool,
 }
 
 impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
@@ -288,8 +383,15 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             first_packet: vec![None; n],
             decode_round,
             actions: (0..n).map(|_| Action::Listen).collect(),
-            is_broadcasting: vec![false; n],
+            broadcasting: Bitset::new(n),
             sender_ok: vec![true; n],
+            active: Bitset::new(n),
+            next_active: Bitset::new(n),
+            reach: Bitset::new(n),
+            // The first round's active set is built from the
+            // constructed behaviors' own answers.
+            stale: true,
+            dense: false,
         })
     }
 
@@ -327,11 +429,25 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
         };
         self.shards = requested.min(self.graph.node_count().max(1));
         self.shard_ranges = if self.shards > 1 {
-            self.graph.shard_ranges(self.shards)
+            // Word-align the interior boundaries so each shard owns
+            // whole words of the broadcaster/active bitsets. Changing
+            // the partition is observationally free by the invariant
+            // below.
+            align_word_ranges(self.graph.shard_ranges(self.shards))
         } else {
             Vec::new()
         };
         self.sharded_step = Some(run_sharded_step::<P, B>);
+        self
+    }
+
+    /// Forces the dense reference mode: every round sweeps every node,
+    /// as if every behavior answered [`NodeBehavior::wants_poll`]` =
+    /// true`. By the quiescence contract this is bit-identical to the
+    /// default sparse mode — differential tests use it as the oracle;
+    /// there is no other reason to turn it on.
+    pub fn with_dense_sweeps(mut self, dense: bool) -> Self {
+        self.dense = dense;
         self
     }
 
@@ -392,6 +508,9 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
     /// randomness — to preserve the seed/shard/jobs reproducibility
     /// contract.
     pub fn behaviors_mut(&mut self) -> &mut [B] {
+        // Mutations may wake quiescent nodes (e.g. traffic injection),
+        // so the next round rebuilds the active set from scratch.
+        self.stale = true;
         &mut self.behaviors
     }
 
@@ -427,36 +546,75 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.step_sequential(trace)
     }
 
+    /// Prepares the round's scratch sets: rebuilds the active set when
+    /// it is stale (or forced dense), and clears the per-round
+    /// broadcaster and next-active accumulators.
+    fn begin_round(&mut self) {
+        if self.dense {
+            self.active.insert_all();
+            self.stale = false;
+        } else if self.stale {
+            self.active.clear();
+            for (i, b) in self.behaviors.iter().enumerate() {
+                if b.wants_poll() || b.queued() > 0 {
+                    self.active.insert(i);
+                }
+            }
+            self.stale = false;
+        }
+        self.broadcasting.clear();
+        self.next_active.clear();
+    }
+
+    /// Computes the reach set — every neighbor of every broadcaster,
+    /// i.e. exactly the nodes whose slot resolves to something other
+    /// than silence. Runs after the act sweep (sequentially: the bits
+    /// it writes span arbitrary shards).
+    fn compute_reach(&mut self) {
+        self.reach.clear();
+        for s in self.broadcasting.ones() {
+            for &u in self.graph.neighbors(NodeId::from_index(s)) {
+                self.reach.insert(u.index());
+            }
+        }
+    }
+
     /// The sequential path: the whole node range as one shard.
     fn step_sequential(&mut self, trace: Option<&mut RoundTrace>) -> RoundReport {
         let n = self.graph.node_count();
         let traced = trace.is_some();
+        self.begin_round();
         let mut act = act_range(
             self.graph,
             self.channel,
             self.round,
             0..n,
+            &self.active,
             &mut self.behaviors,
             &mut self.node_rngs,
             &mut self.fault_rngs,
             &mut self.actions,
-            &mut self.is_broadcasting,
+            self.broadcasting.slice_mut(),
             &mut self.sender_ok,
             traced,
         );
+        self.compute_reach();
         let mut recv = receive_range(
             self.graph,
             self.channel,
             self.round,
             0..n,
+            &self.active,
+            &self.broadcasting,
+            &self.reach,
             &mut self.behaviors,
             &mut self.node_rngs,
             &mut self.fault_rngs,
             &mut self.first_packet,
             &mut self.decode_round,
             &self.actions,
-            &self.is_broadcasting,
             &self.sender_ok,
+            self.next_active.slice_mut(),
             traced,
         );
         self.finish_round(
@@ -512,6 +670,11 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
                 }
             }
         }
+        // The accumulated next-active set becomes the coming round's
+        // active set (dense mode rebuilds it wholesale instead).
+        if !self.dense {
+            std::mem::swap(&mut self.active, &mut self.next_active);
+        }
         self.round += 1;
         self.stats.rounds += 1;
         self.stats.broadcasts += report.broadcasters;
@@ -555,6 +718,53 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             self.step();
         }
     }
+
+    /// Runs until every node's decode is complete (per
+    /// [`NodeBehavior::decoded`], checked before every round) or
+    /// `max_rounds` rounds have executed.
+    ///
+    /// Equivalent to [`Simulator::run_until`] with an all-decoded
+    /// predicate, but the check is O(1) — it reads the running
+    /// [`SimStats::decoded_nodes`] tally instead of scanning every
+    /// behavior — so the per-round cost stays proportional to the
+    /// active set, not the node count. Returns the rounds executed
+    /// when the last node decoded, or `None` if the bound was
+    /// exhausted first.
+    pub fn run_until_decoded(&mut self, max_rounds: u64) -> Option<u64> {
+        let n = self.graph.node_count() as u64;
+        let start = self.round;
+        loop {
+            if self.stats.decoded_nodes >= n {
+                return Some(self.round - start);
+            }
+            if self.round - start >= max_rounds {
+                return None;
+            }
+            self.step();
+        }
+    }
+}
+
+/// Rounds the interior boundaries of a contiguous shard partition down
+/// to multiples of 64 (bitset word size), dropping ranges that become
+/// empty. The final boundary (the node count) is kept as-is; the last
+/// shard owns the partial tail word.
+fn align_word_ranges(ranges: Vec<Range<usize>>) -> Vec<Range<usize>> {
+    let total_end = ranges.last().map_or(0, |r| r.end);
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut start = 0;
+    for r in &ranges {
+        let end = if r.end == total_end {
+            total_end
+        } else {
+            r.end & !63
+        };
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    out
 }
 
 /// Partial tallies of one shard's act sweep.
@@ -591,22 +801,30 @@ struct RecvPart {
     traced: Option<TracePart>,
 }
 
-/// Phase 1+2 over the nodes of `range`: collect actions, mark
-/// broadcasters, and sample sender faults (one draw per broadcaster,
-/// from the broadcaster's own channel stream — a faulted sender still
-/// occupies the channel). All slice parameters are the shard's chunk
-/// of the per-node buffers; `range` supplies the global indices.
+/// Phase 1+2 over the **active** nodes of `range`: collect actions,
+/// mark broadcasters, and sample sender faults (one draw per
+/// broadcaster, from the broadcaster's own channel stream — a faulted
+/// sender still occupies the channel). Inactive nodes are skipped
+/// entirely: by the [`NodeBehavior::wants_poll`] contract their `act`
+/// would return [`Action::Listen`] without drawing or mutating.
+///
+/// `behaviors`/`node_rngs`/`fault_rngs`/`actions`/`sender_ok` are the
+/// shard's chunks; `range` supplies the global indices; `broadcasting`
+/// is the shard's word range of the broadcaster bitset. `actions` and
+/// `sender_ok` entries are written only for broadcasters — every read
+/// of either is guarded by the broadcaster bit.
 #[allow(clippy::too_many_arguments)]
 fn act_range<P: Payload, B: NodeBehavior<P>>(
     graph: &Graph,
     channel: Channel,
     round: u64,
     range: Range<usize>,
+    active: &Bitset,
     behaviors: &mut [B],
     node_rngs: &mut [SmallRng],
     fault_rngs: &mut [SmallRng],
     actions: &mut [Action<P>],
-    is_broadcasting: &mut [bool],
+    mut broadcasting: BitsetSliceMut<'_>,
     sender_ok: &mut [bool],
     traced: bool,
 ) -> ActPart {
@@ -618,52 +836,90 @@ fn act_range<P: Payload, B: NodeBehavior<P>>(
         traced_broadcasters: traced.then(Vec::new),
         ..ActPart::default()
     };
-    for (local, i) in range.enumerate() {
-        let node = NodeId::from_index(i);
-        let mut ctx = Ctx {
-            node,
-            round,
-            rng: &mut node_rngs[local],
-            degree: graph.degree(node),
-        };
-        let action = behaviors[local].act(&mut ctx);
-        let broadcasting = action.is_broadcast();
-        is_broadcasting[local] = broadcasting;
-        sender_ok[local] = true;
-        if broadcasting {
-            part.broadcasters += 1;
-            if sender_fault.map_or(false, |p| fault_rngs[local].gen_bool(p)) {
-                sender_ok[local] = false;
-                part.sender_faults += 1;
-            }
-            if let Some(t) = part.traced_broadcasters.as_mut() {
-                t.push(node);
+    // Word-at-a-time sweep: shard range starts are word-aligned (see
+    // `align_word_ranges`), zero words are skipped wholesale, and each
+    // word's broadcaster bits accumulate in a register with a single
+    // store at the end. Re-slicing every per-node chunk to the exact
+    // range length lets the optimizer fold their bounds checks into
+    // one; the word slice is consumed by iterator for the same reason.
+    let n_local = range.end - range.start;
+    let behaviors = &mut behaviors[..n_local];
+    let node_rngs = &mut node_rngs[..n_local];
+    let fault_rngs = &mut fault_rngs[..n_local];
+    let actions = &mut actions[..n_local];
+    let sender_ok = &mut sender_ok[..n_local];
+    let w0 = range.start / 64;
+    let words = &active.words()[w0..range.end.div_ceil(64)];
+    for (k, &mw) in words.iter().enumerate() {
+        let w = w0 + k;
+        let mut m = mw;
+        if m == 0 {
+            continue;
+        }
+        let mut b_word = 0u64;
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let i = w * 64 + bit;
+            let local = i - range.start;
+            let node = NodeId::from_index(i);
+            let mut ctx = Ctx {
+                node,
+                round,
+                rng: &mut node_rngs[local],
+                graph,
+            };
+            let action = behaviors[local].act(&mut ctx);
+            if action.is_broadcast() {
+                b_word |= 1 << bit;
+                part.broadcasters += 1;
+                sender_ok[local] = true;
+                if sender_fault.map_or(false, |p| fault_rngs[local].gen_bool(p)) {
+                    sender_ok[local] = false;
+                    part.sender_faults += 1;
+                }
+                if let Some(t) = part.traced_broadcasters.as_mut() {
+                    t.push(node);
+                }
+                actions[local] = action;
             }
         }
-        actions[local] = action;
+        if b_word != 0 {
+            broadcasting.or_word(w, b_word);
+        }
     }
     part
 }
 
-/// Phase 3 over the listeners of `range`: resolve every listener's
-/// slot outcome and deliver it, then poll every node's decode state.
+/// Phase 3 over `(active ∪ reach) ∩ range` — the shard's active and
+/// reached nodes: resolve every listener's slot outcome and deliver
+/// it, then poll each swept node's decode and queue state and decide
+/// its next-round activity. Skipped nodes would have heard silence
+/// and, by the [`NodeBehavior::wants_poll`] contract, ignored it with
+/// frozen observables.
+///
 /// `behaviors`/`node_rngs`/`fault_rngs`/`first_packet`/`decode_round`
-/// are the shard's chunks; `actions`/`is_broadcasting`/`sender_ok` are
-/// the **full** per-node buffers (senders may live in other shards).
+/// are the shard's chunks; `actions`/`sender_ok` and the bitsets are
+/// the **full** per-node structures (senders may live in other
+/// shards); `next_active` is the shard's word range of the next
+/// round's active set.
 #[allow(clippy::too_many_arguments)]
 fn receive_range<P: Payload, B: NodeBehavior<P>>(
     graph: &Graph,
     channel: Channel,
     round: u64,
     range: Range<usize>,
+    active: &Bitset,
+    broadcasting: &Bitset,
+    reach: &Bitset,
     behaviors: &mut [B],
     node_rngs: &mut [SmallRng],
     fault_rngs: &mut [SmallRng],
     first_packet: &mut [Option<u64>],
     decode_round: &mut [Option<u64>],
     actions: &[Action<P>],
-    is_broadcasting: &[bool],
     sender_ok: &[bool],
+    mut next_active: BitsetSliceMut<'_>,
     traced: bool,
 ) -> RecvPart {
     // receiver(p) and erasure(p) draw from the same per-node streams
@@ -677,12 +933,143 @@ fn receive_range<P: Payload, B: NodeBehavior<P>>(
         traced: traced.then(TracePart::default),
         ..RecvPart::default()
     };
-    for (local, i) in range.enumerate() {
-        let node = NodeId::from_index(i);
-        if is_broadcasting[i] {
-            // Broadcasters do not receive (half-duplex), but their
-            // decode and queue state is still polled below.
-            poll_node(
+    // Word-at-a-time sweep over active ∪ reach, unioned on the fly:
+    // the three per-node classifications (broadcaster / reached /
+    // silent) are single register bit tests, and each word's
+    // next-active bits accumulate in a register with one store. For
+    // silence-transparent behaviors the silent and broadcaster bits
+    // are settled wholesale — their per-node processing is vacuous by
+    // the [`NodeBehavior::SILENCE_TRANSPARENT`] promise — and only the
+    // reached listeners enter the per-node loop.
+    let n_local = range.end - range.start;
+    let behaviors = &mut behaviors[..n_local];
+    let node_rngs = &mut node_rngs[..n_local];
+    let fault_rngs = &mut fault_rngs[..n_local];
+    let first_packet = &mut first_packet[..n_local];
+    let decode_round = &mut decode_round[..n_local];
+    let w0 = range.start / 64;
+    let wend = range.end.div_ceil(64);
+    let active_words = &active.words()[w0..wend];
+    let reach_words = &reach.words()[w0..wend];
+    let bcast_words = &broadcasting.words()[w0..wend];
+    for (k, ((&aw, &rw), &bw)) in active_words
+        .iter()
+        .zip(reach_words)
+        .zip(bcast_words)
+        .enumerate()
+    {
+        let w = w0 + k;
+        if aw | rw == 0 {
+            continue;
+        }
+        let mut m;
+        let mut na_word;
+        if B::SILENCE_TRANSPARENT {
+            // Broadcasters and silent actives keep their activity bits
+            // verbatim (nothing about them can change this sweep);
+            // reached listeners are re-decided per node below.
+            na_word = aw & !(rw & !bw);
+            m = rw & !bw;
+        } else {
+            m = aw | rw;
+            na_word = 0u64;
+        }
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            let mask = 1u64 << bit;
+            m &= m - 1;
+            let i = w * 64 + bit;
+            let local = i - range.start;
+            let node = NodeId::from_index(i);
+            if !B::SILENCE_TRANSPARENT && bw & mask != 0 {
+                // Broadcasters do not receive (half-duplex), but their
+                // decode and queue state is still polled, and having
+                // just acted they stay active for the coming round.
+                poll_node(
+                    &behaviors[local],
+                    local,
+                    node,
+                    round,
+                    decode_round,
+                    &mut part,
+                );
+                na_word |= mask;
+                continue;
+            }
+            let rx: Reception<P> = if !B::SILENCE_TRANSPARENT && rw & mask == 0 {
+                // Active but out of every broadcaster's reach: the
+                // slot is silent, no channel randomness is drawn.
+                Reception::Silence
+            } else {
+                // Reached: ≥ 1 broadcasting neighbor, so the slot
+                // resolves to a packet, noise, or an erasure — never
+                // silence.
+                let mut sender: Option<NodeId> = None;
+                let mut count = 0usize;
+                for &u in graph.neighbors(node) {
+                    if broadcasting.contains(u.index()) {
+                        count += 1;
+                        if count > 1 {
+                            break;
+                        }
+                        sender = Some(u);
+                    }
+                }
+                if count > 1 {
+                    part.collisions += 1;
+                    if let Some(t) = part.traced.as_mut() {
+                        t.collided.push(node);
+                    }
+                    Reception::Noise
+                } else {
+                    let s = sender.expect("reached listener has a broadcasting neighbor");
+                    if !sender_ok[s.index()] {
+                        // The sender transmitted noise; every listener
+                        // of this broadcaster hears noise.
+                        Reception::Noise
+                    } else if delivery_fault.map_or(false, |p| fault_rngs[local].gen_bool(p)) {
+                        if presents_erasure {
+                            part.erasures += 1;
+                            if let Some(t) = part.traced.as_mut() {
+                                t.erased.push(node);
+                            }
+                            Reception::Erased
+                        } else {
+                            part.receiver_faults += 1;
+                            Reception::Noise
+                        }
+                    } else {
+                        // The delivery site asks the payload for this
+                        // listener's copy: honest payloads clone,
+                        // while equivocating payloads split the
+                        // audience (see the `Payload` trait).
+                        let packet = actions[s.index()]
+                            .payload()
+                            .expect("broadcasting sender has a payload")
+                            .for_listener(node);
+                        part.deliveries += 1;
+                        if first_packet[local].is_none() {
+                            first_packet[local] = Some(round);
+                            part.first_deliveries += 1;
+                            if let Some(t) = part.traced.as_mut() {
+                                t.first_packets.push(node);
+                            }
+                        }
+                        if let Some(t) = part.traced.as_mut() {
+                            t.deliveries.push((s, node));
+                        }
+                        Reception::Packet(packet)
+                    }
+                }
+            };
+            let mut ctx = Ctx {
+                node,
+                round,
+                rng: &mut node_rngs[local],
+                graph,
+            };
+            behaviors[local].receive(&mut ctx, rx);
+            let depth = poll_node(
                 &behaviors[local],
                 local,
                 node,
@@ -690,92 +1077,28 @@ fn receive_range<P: Payload, B: NodeBehavior<P>>(
                 decode_round,
                 &mut part,
             );
-            continue;
-        }
-        let mut sender: Option<NodeId> = None;
-        let mut count = 0usize;
-        for &u in graph.neighbors(node) {
-            if is_broadcasting[u.index()] {
-                count += 1;
-                if count > 1 {
-                    break;
-                }
-                sender = Some(u);
+            // Re-polled *after* the reception: a node stays active
+            // exactly while its (possibly just-updated) state asks for
+            // sweeping. Nodes that go quiescent here are re-woken
+            // through the reach set the next time a broadcast arrives.
+            if depth > 0 || behaviors[local].wants_poll() {
+                na_word |= mask;
             }
         }
-        let rx: Reception<P> = match count {
-            0 => Reception::Silence,
-            1 => {
-                let s = sender.expect("count == 1 implies a sender");
-                if !sender_ok[s.index()] {
-                    // The sender transmitted noise; every listener of
-                    // this broadcaster hears noise.
-                    Reception::Noise
-                } else if delivery_fault.map_or(false, |p| fault_rngs[local].gen_bool(p)) {
-                    if presents_erasure {
-                        part.erasures += 1;
-                        if let Some(t) = part.traced.as_mut() {
-                            t.erased.push(node);
-                        }
-                        Reception::Erased
-                    } else {
-                        part.receiver_faults += 1;
-                        Reception::Noise
-                    }
-                } else {
-                    // The delivery site asks the payload for this
-                    // listener's copy: honest payloads clone, while
-                    // equivocating payloads split the audience (see
-                    // the `Payload` trait).
-                    let packet = actions[s.index()]
-                        .payload()
-                        .expect("broadcasting sender has a payload")
-                        .for_listener(node);
-                    part.deliveries += 1;
-                    if first_packet[local].is_none() {
-                        first_packet[local] = Some(round);
-                        part.first_deliveries += 1;
-                        if let Some(t) = part.traced.as_mut() {
-                            t.first_packets.push(node);
-                        }
-                    }
-                    if let Some(t) = part.traced.as_mut() {
-                        t.deliveries.push((s, node));
-                    }
-                    Reception::Packet(packet)
-                }
-            }
-            _ => {
-                part.collisions += 1;
-                if let Some(t) = part.traced.as_mut() {
-                    t.collided.push(node);
-                }
-                Reception::Noise
-            }
-        };
-        let mut ctx = Ctx {
-            node,
-            round,
-            rng: &mut node_rngs[local],
-            degree: graph.degree(node),
-        };
-        behaviors[local].receive(&mut ctx, rx);
-        poll_node(
-            &behaviors[local],
-            local,
-            node,
-            round,
-            decode_round,
-            &mut part,
-        );
+        if na_word != 0 {
+            next_active.or_word(w, na_word);
+        }
     }
     part
 }
 
-/// End-of-round poll for one node: records the first round in which
-/// [`NodeBehavior::decoded`] reports `true`, and tallies the node's
-/// [`NodeBehavior::queued`] depth. `decode_round` is the shard's
-/// chunk, `local` the node's index within it.
+/// End-of-round poll for one swept node: records the first round in
+/// which [`NodeBehavior::decoded`] reports `true`, and tallies the
+/// node's [`NodeBehavior::queued`] depth (returned for the caller's
+/// activity decision). `decode_round` is the shard's chunk, `local`
+/// the node's index within it. Unswept nodes need no poll: their
+/// observables are frozen by the quiescence contract, and a queued
+/// depth > 0 keeps a node swept.
 fn poll_node<P, B: NodeBehavior<P>>(
     behavior: &B,
     local: usize,
@@ -783,7 +1106,7 @@ fn poll_node<P, B: NodeBehavior<P>>(
     round: u64,
     decode_round: &mut [Option<u64>],
     part: &mut RecvPart,
-) {
+) -> u64 {
     if decode_round[local].is_none() && behavior.decoded() {
         decode_round[local] = Some(round);
         part.decodes += 1;
@@ -798,6 +1121,7 @@ fn poll_node<P, B: NodeBehavior<P>>(
             t.queued.push((node, depth));
         }
     }
+    depth
 }
 
 /// Splits a per-node buffer into the chunks matching contiguous
@@ -816,10 +1140,12 @@ fn split_ranges<'a, T>(mut items: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&
 }
 
 /// The sharded round step stored behind [`Simulator::with_shards`]:
-/// two scoped-thread sweeps (act, then deliver/receive) over the CSR
-/// shard ranges, with a barrier between them — sender-fault flags must
-/// be globally known before any listener resolves its slot — and a
-/// shard-order merge at the end.
+/// two scoped-thread sweeps (act, then deliver/receive) over the
+/// word-aligned CSR shard ranges. Between them, the main thread
+/// computes the reach set — broadcaster bits (and sender-fault flags)
+/// must be globally known before any listener resolves its slot, and
+/// a broadcaster's neighbors span arbitrary shards — then the
+/// per-shard reports and traces are merged in shard (= node) order.
 fn run_sharded_step<P, B>(
     sim: &mut Simulator<'_, P, B>,
     trace: Option<&mut RoundTrace>,
@@ -828,22 +1154,24 @@ where
     P: Payload + Send + Sync,
     B: NodeBehavior<P> + Send,
 {
-    let ranges = &sim.shard_ranges;
-    if ranges.len() <= 1 {
+    if sim.shard_ranges.len() <= 1 {
         return sim.step_sequential(trace);
     }
+    sim.begin_round();
+    let ranges = &sim.shard_ranges;
     let graph = sim.graph;
     let channel = sim.channel;
     let round = sim.round;
     let traced = trace.is_some();
 
     let mut act_parts: Vec<ActPart> = {
-        let behaviors = split_ranges(&mut sim.behaviors, &ranges);
-        let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
-        let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
-        let actions = split_ranges(&mut sim.actions, &ranges);
-        let is_broadcasting = split_ranges(&mut sim.is_broadcasting, &ranges);
-        let sender_ok = split_ranges(&mut sim.sender_ok, &ranges);
+        let behaviors = split_ranges(&mut sim.behaviors, ranges);
+        let node_rngs = split_ranges(&mut sim.node_rngs, ranges);
+        let fault_rngs = split_ranges(&mut sim.fault_rngs, ranges);
+        let actions = split_ranges(&mut sim.actions, ranges);
+        let broadcasting = sim.broadcasting.split_mut(ranges);
+        let sender_ok = split_ranges(&mut sim.sender_ok, ranges);
+        let active = &sim.active;
         std::thread::scope(|s| {
             let handles: Vec<_> = ranges
                 .iter()
@@ -852,11 +1180,13 @@ where
                 .zip(node_rngs)
                 .zip(fault_rngs)
                 .zip(actions)
-                .zip(is_broadcasting)
+                .zip(broadcasting)
                 .zip(sender_ok)
-                .map(|((((((range, b), nr), fr), ac), ib), so)| {
+                .map(|((((((range, b), nr), fr), ac), bc), so)| {
                     s.spawn(move || {
-                        act_range(graph, channel, round, range, b, nr, fr, ac, ib, so, traced)
+                        act_range(
+                            graph, channel, round, range, active, b, nr, fr, ac, bc, so, traced,
+                        )
                     })
                 })
                 .collect();
@@ -864,15 +1194,21 @@ where
         })
     };
 
+    sim.compute_reach();
+
     let mut recv_parts: Vec<RecvPart> = {
-        let behaviors = split_ranges(&mut sim.behaviors, &ranges);
-        let node_rngs = split_ranges(&mut sim.node_rngs, &ranges);
-        let fault_rngs = split_ranges(&mut sim.fault_rngs, &ranges);
-        let first_packet = split_ranges(&mut sim.first_packet, &ranges);
-        let decode_round = split_ranges(&mut sim.decode_round, &ranges);
+        let ranges = &sim.shard_ranges;
+        let behaviors = split_ranges(&mut sim.behaviors, ranges);
+        let node_rngs = split_ranges(&mut sim.node_rngs, ranges);
+        let fault_rngs = split_ranges(&mut sim.fault_rngs, ranges);
+        let first_packet = split_ranges(&mut sim.first_packet, ranges);
+        let decode_round = split_ranges(&mut sim.decode_round, ranges);
+        let next_active = sim.next_active.split_mut(ranges);
         let actions = &sim.actions;
-        let is_broadcasting = &sim.is_broadcasting;
         let sender_ok = &sim.sender_ok;
+        let active = &sim.active;
+        let broadcasting = &sim.broadcasting;
+        let reach = &sim.reach;
         std::thread::scope(|s| {
             let handles: Vec<_> = ranges
                 .iter()
@@ -882,21 +1218,25 @@ where
                 .zip(fault_rngs)
                 .zip(first_packet)
                 .zip(decode_round)
-                .map(|(((((range, b), nr), fr), fp), dr)| {
+                .zip(next_active)
+                .map(|((((((range, b), nr), fr), fp), dr), na)| {
                     s.spawn(move || {
                         receive_range(
                             graph,
                             channel,
                             round,
                             range,
+                            active,
+                            broadcasting,
+                            reach,
                             b,
                             nr,
                             fr,
                             fp,
                             dr,
                             actions,
-                            is_broadcasting,
                             sender_ok,
+                            na,
                             traced,
                         )
                     })

@@ -12,7 +12,7 @@ use radio_model::{
 
 /// Behavior that broadcasts with a fixed per-node probability — a
 /// generic random traffic source that tallies every reception kind.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct RandomChatter {
     probability: f64,
     packets: u64,
@@ -74,13 +74,18 @@ fn chatter(n: usize, prob: f64) -> Vec<RandomChatter> {
 
 /// Flooding behavior with a decode notion, for the latency-profile
 /// laws: informed nodes broadcast every round, packets inform, and
-/// `decoded()` reports the informed flag.
-#[derive(Debug, Clone)]
+/// `decoded()` reports the informed flag. It is quiescent until
+/// informed and silence-transparent, so the sparse engine may skip it
+/// entirely while it sleeps — the differential tests below check that
+/// this changes no observable.
+#[derive(Debug, Clone, PartialEq)]
 struct Flood {
     informed: bool,
 }
 
 impl NodeBehavior<()> for Flood {
+    const SILENCE_TRANSPARENT: bool = true;
+
     fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
         if self.informed {
             Action::Broadcast(())
@@ -94,6 +99,9 @@ impl NodeBehavior<()> for Flood {
         }
     }
     fn decoded(&self) -> bool {
+        self.informed
+    }
+    fn wants_poll(&self) -> bool {
         self.informed
     }
 }
@@ -160,8 +168,84 @@ fn traced_run_sharded(
     (traces, reports, stats, profile)
 }
 
+/// Everything a run can show: per-round traces and reports, final
+/// stats, the latency profile, and the behavior states themselves.
+type Observables<B> = (
+    Vec<RoundTrace>,
+    Vec<radio_model::RoundReport>,
+    SimStats,
+    LatencyProfile,
+    Vec<B>,
+);
+
+/// Runs `rounds` rounds over `shards` shards in either the default
+/// sparse mode or the dense reference mode, capturing the full
+/// observable surface for the sparse ≡ dense differential tests.
+fn modal_run<P, B>(
+    g: &Graph,
+    channel: Channel,
+    behaviors: &[B],
+    seed: u64,
+    rounds: u64,
+    shards: usize,
+    dense: bool,
+) -> Observables<B>
+where
+    P: radio_model::Payload + Send + Sync,
+    B: NodeBehavior<P> + Clone + Send,
+{
+    let mut sim = Simulator::new(g, channel, behaviors.to_vec(), seed)
+        .unwrap()
+        .with_shards(shards)
+        .with_dense_sweeps(dense);
+    let mut traces = Vec::new();
+    let mut reports = Vec::new();
+    for _ in 0..rounds {
+        let mut t = RoundTrace::default();
+        reports.push(sim.step_traced(&mut t));
+        traces.push(t);
+    }
+    let stats = *sim.stats();
+    let profile = sim.latency_profile();
+    (traces, reports, stats, profile, sim.into_behaviors())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_is_bit_identical_to_dense(
+        g in arb_graph(),
+        channel in arb_channel(),
+        seed in any::<u64>(),
+        prob in 0.05..0.9f64,
+        shards in 1usize..5,
+    ) {
+        // The sparse-engine contract: for any (graph, channel, seed,
+        // shard count), the default sparse round loop is bit-identical
+        // to the dense reference mode over the full observable surface
+        // — traces, reports, stats, latency profile, and behavior
+        // state.
+        //
+        // Chatter nodes keep the default `wants_poll = true`, so every
+        // node stays in the active set; this pins the always-active
+        // path.
+        let chatter = chatter(g.node_count(), prob);
+        let sparse = modal_run(&g, channel, &chatter, seed, 20, shards, false);
+        let dense = modal_run(&g, channel, &chatter, seed, 20, shards, true);
+        prop_assert_eq!(sparse, dense);
+
+        // Flood nodes are quiescent until informed and
+        // silence-transparent, so the sparse engine genuinely skips
+        // them (act draws and Silence receptions elided); the skip
+        // must still be unobservable.
+        let floods: Vec<Flood> = (0..g.node_count())
+            .map(|i| Flood { informed: i == 0 })
+            .collect();
+        let sparse = modal_run(&g, channel, &floods, seed, 25, shards, false);
+        let dense = modal_run(&g, channel, &floods, seed, 25, shards, true);
+        prop_assert_eq!(sparse, dense);
+    }
 
     #[test]
     fn traced_rounds_satisfy_radio_semantics(
@@ -500,4 +584,126 @@ fn every_reception_kind_is_observable() {
     );
     assert_eq!(b[4].counts, [0, 0, 0, 60], "node 4 hears only silence");
     assert_eq!(sim.stats().erasures, b[3].counts[2]);
+}
+
+/// Behavior that reports `wants_poll = false` while listening and
+/// counts every `act`/`receive` call it gets — it makes the sparse
+/// engine's sweep-skipping directly visible. (It deliberately keeps
+/// observable state in calls the quiescence contract lets the engine
+/// elide, so it is only valid for observing *which* calls happen.)
+#[derive(Debug, Clone, PartialEq)]
+struct SleepCounter {
+    broadcast: bool,
+    acts: u64,
+    receptions: u64,
+}
+
+impl SleepCounter {
+    fn new(broadcast: bool) -> Self {
+        SleepCounter {
+            broadcast,
+            acts: 0,
+            receptions: 0,
+        }
+    }
+}
+
+impl NodeBehavior<()> for SleepCounter {
+    fn act(&mut self, _ctx: &mut Ctx<'_>) -> Action<()> {
+        self.acts += 1;
+        if self.broadcast {
+            Action::Broadcast(())
+        } else {
+            Action::Listen
+        }
+    }
+    fn receive(&mut self, _ctx: &mut Ctx<'_>, _rx: Reception<()>) {
+        self.receptions += 1;
+    }
+    fn wants_poll(&self) -> bool {
+        self.broadcast
+    }
+}
+
+/// A quiescent node outside every broadcaster's reach is never swept:
+/// on 0—1 plus isolated node 2, with only node 0 broadcasting, node 1
+/// is reached every round (receives, never acts) and node 2 sees no
+/// calls at all.
+#[test]
+fn sparse_engine_never_sweeps_isolated_quiescent_nodes() {
+    let g = Graph::from_edges(3, [(NodeId::new(0), NodeId::new(1))]).unwrap();
+    let behaviors = vec![
+        SleepCounter::new(true),
+        SleepCounter::new(false),
+        SleepCounter::new(false),
+    ];
+    let mut sim = Simulator::new(&g, Channel::faultless(), behaviors, 7).unwrap();
+    sim.run(10);
+    assert_eq!(sim.stats().broadcasts, 10);
+    assert_eq!(sim.stats().deliveries, 10);
+    let b = sim.behaviors();
+    assert_eq!(
+        (b[0].acts, b[0].receptions),
+        (10, 0),
+        "broadcaster acts only"
+    );
+    assert_eq!(
+        (b[1].acts, b[1].receptions),
+        (0, 10),
+        "reached node receives only"
+    );
+    assert_eq!(
+        (b[2].acts, b[2].receptions),
+        (0, 0),
+        "isolated node never swept"
+    );
+}
+
+/// With every node quiescent, rounds still advance and count but no
+/// behavior is ever polled — and the dense oracle agrees on every
+/// engine-level observable.
+#[test]
+fn fully_quiescent_rounds_poll_nobody() {
+    let g = generators::path(50);
+    let sleepers: Vec<SleepCounter> = (0..50).map(|_| SleepCounter::new(false)).collect();
+    let mut sim = Simulator::new(&g, Channel::faultless(), sleepers.clone(), 3).unwrap();
+    sim.run(40);
+    assert_eq!(sim.stats().rounds, 40);
+    assert_eq!(sim.stats().broadcasts, 0);
+    assert!(sim
+        .behaviors()
+        .iter()
+        .all(|b| b.acts == 0 && b.receptions == 0));
+    let mut dense = Simulator::new(&g, Channel::faultless(), sleepers, 3)
+        .unwrap()
+        .with_dense_sweeps(true);
+    dense.run(40);
+    assert_eq!(sim.stats(), dense.stats());
+}
+
+/// `behaviors_mut` marks the active set stale, so state injected
+/// between rounds re-activates a fully quiescent simulation: after 5
+/// silent rounds node 0 is switched to broadcasting and its neighbor
+/// starts hearing packets, while the far end of the path stays
+/// unswept.
+#[test]
+fn behaviors_mut_reactivates_quiescent_nodes() {
+    let g = generators::path(3);
+    let sleepers: Vec<SleepCounter> = (0..3).map(|_| SleepCounter::new(false)).collect();
+    let mut sim = Simulator::new(&g, Channel::faultless(), sleepers, 11).unwrap();
+    sim.run(5);
+    assert_eq!(sim.stats().broadcasts, 0);
+    sim.behaviors_mut()[0].broadcast = true;
+    sim.run(5);
+    assert_eq!(sim.stats().rounds, 10);
+    assert_eq!(sim.stats().broadcasts, 5);
+    assert_eq!(sim.stats().deliveries, 5);
+    let b = sim.behaviors();
+    assert_eq!(b[0].acts, 5, "woken broadcaster acts from round 6 on");
+    assert_eq!(b[1].receptions, 5, "neighbor hears every post-wake round");
+    assert_eq!(
+        (b[2].acts, b[2].receptions),
+        (0, 0),
+        "far node stays asleep"
+    );
 }

@@ -68,6 +68,43 @@ impl LatencySummary {
             .map(|v| format!("{v:.precision$}"))
             .collect()
     }
+
+    /// The four table cells for an *optional* summary: a run that
+    /// delivered nothing has no latency distribution and renders `-`
+    /// in every column. This is the single place that decides how an
+    /// empty sample set looks, so the cli, E14, and E15 tables all
+    /// agree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use radio_throughput::LatencySummary;
+    ///
+    /// assert_eq!(
+    ///     LatencySummary::cells_or_dash(None, 1),
+    ///     vec!["-", "-", "-", "-"]
+    /// );
+    /// ```
+    pub fn cells_or_dash(summary: Option<&Self>, precision: usize) -> Vec<String> {
+        match summary {
+            Some(s) => s.cells(precision),
+            None => LATENCY_HEADERS.iter().map(|_| "-".to_string()).collect(),
+        }
+    }
+
+    /// One-line `mean … / p50 … / p99 … / max …` rendering for prose
+    /// output (the cli's per-trial and per-run latency lines); an
+    /// empty sample set renders every figure as `-`, matching
+    /// [`LatencySummary::cells_or_dash`].
+    pub fn inline_or_dash(summary: Option<&Self>) -> String {
+        match summary {
+            Some(s) => format!(
+                "mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0}",
+                s.mean, s.p50, s.p99, s.max
+            ),
+            None => "mean - / p50 - / p99 - / max -".to_string(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +139,26 @@ mod tests {
         let cells = s.cells(1);
         assert_eq!(cells.len(), LATENCY_HEADERS.len());
         assert_eq!(cells, vec!["2.0", "2.0", "3.0", "3.0"]);
+    }
+
+    #[test]
+    fn empty_sample_set_renders_dashes_everywhere() {
+        assert_eq!(
+            LatencySummary::cells_or_dash(None, 1),
+            vec!["-", "-", "-", "-"]
+        );
+        assert_eq!(
+            LatencySummary::inline_or_dash(None),
+            "mean - / p50 - / p99 - / max -"
+        );
+        let s = LatencySummary::from_rounds(&[1, 3]);
+        assert_eq!(
+            LatencySummary::cells_or_dash(s.as_ref(), 1),
+            vec!["2.0", "2.0", "3.0", "3.0"]
+        );
+        assert_eq!(
+            LatencySummary::inline_or_dash(s.as_ref()),
+            "mean 2.0 / p50 2 / p99 3 / max 3"
+        );
     }
 }

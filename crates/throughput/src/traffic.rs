@@ -96,6 +96,14 @@ impl From<ModelError> for TrafficError {
 /// saturation bisection meaningful — the load curve is held fixed
 /// while the service process varies.
 ///
+/// The floor is computed with exact integer arithmetic against the
+/// rate's exact binary value (`λ = mant · 2^exp` from the `f64` bit
+/// pattern), never with float division: `⌊m / λ⌋` is therefore exactly
+/// right and nondecreasing in `m` for every representable rate and
+/// every `m: u64` — float division loses both properties once `m / λ`
+/// outgrows the 53-bit mantissa. Rounds beyond `u64::MAX` (tiny rates
+/// at huge ids) saturate to `u64::MAX`, unreachable by any run cap.
+///
 /// # Examples
 ///
 /// ```
@@ -111,10 +119,16 @@ impl From<ModelError> for TrafficError {
 ///     (0..4).map(|m| burst.arrival_round(m)).collect::<Vec<_>>(),
 ///     vec![0, 0, 1, 1]
 /// );
+/// let third = TrafficSource::new(3.0).unwrap();
+/// assert_eq!(third.arrival_round(u64::MAX), u64::MAX / 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficSource {
     rate: f64,
+    /// The exact decomposition `rate = mant · 2^exp` (`mant ≥ 1`),
+    /// read off the IEEE-754 bit pattern at construction.
+    mant: u64,
+    exp: i32,
 }
 
 impl TrafficSource {
@@ -128,7 +142,19 @@ impl TrafficSource {
         if !rate.is_finite() || rate <= 0.0 {
             return Err(TrafficError::InvalidRate { rate });
         }
-        Ok(TrafficSource { rate })
+        // rate > 0 and finite, so the sign bit is clear and the
+        // exponent field is below 0x7ff.
+        let bits = rate.to_bits();
+        let frac = bits & ((1u64 << 52) - 1);
+        let biased = (bits >> 52) as i32;
+        let (mant, exp) = if biased == 0 {
+            // Subnormal: no implicit leading bit, fixed exponent.
+            (frac, -1074)
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        debug_assert!(mant >= 1);
+        Ok(TrafficSource { rate, mant, exp })
     }
 
     /// The arrival rate `λ`.
@@ -136,9 +162,42 @@ impl TrafficSource {
         self.rate
     }
 
-    /// The round at which message `m` arrives at the source.
+    /// The round at which message `m` arrives at the source:
+    /// exactly `⌊m / λ⌋`, nondecreasing in `m`, saturating at
+    /// `u64::MAX`.
     pub fn arrival_round(&self, m: u64) -> u64 {
-        (m as f64 / self.rate).floor() as u64
+        if m == 0 {
+            return 0;
+        }
+        let mant = u128::from(self.mant);
+        if self.exp >= 0 {
+            // λ = mant · 2^exp ≥ 2^52: arrivals collapse toward 0.
+            if self.exp >= 64 {
+                return 0; // denominator exceeds any u64 numerator
+            }
+            return ((u128::from(m)) / (mant << self.exp)) as u64;
+        }
+        // λ = mant / 2^s: ⌊m · 2^s / mant⌋, split s so every
+        // intermediate fits in u128. First ⌊m·2^s1/mant⌋ exactly …
+        let s = (-self.exp) as u32;
+        let s1 = s.min(64);
+        let s2 = s - s1;
+        let num = u128::from(m) << s1;
+        let q1 = num / mant;
+        let r1 = num % mant;
+        if s2 == 0 {
+            return q1.min(u128::from(u64::MAX)) as u64;
+        }
+        // … then scale by the remaining 2^s2:
+        // ⌊m·2^s/mant⌋ = q1·2^s2 + ⌊r1·2^s2/mant⌋. Saturate as soon
+        // as the high part leaves u64 (q1 ≥ 2^11 here, so a
+        // non-saturating s2 is ≤ 53 and r1·2^s2 < 2^106 fits).
+        if s2 >= 64 || q1 > (u128::from(u64::MAX) >> s2) {
+            return u64::MAX;
+        }
+        let hi = q1 << s2;
+        let lo = (r1 << s2) / mant;
+        (hi + lo).min(u128::from(u64::MAX)) as u64
     }
 }
 
@@ -294,11 +353,10 @@ fn run_traffic_inner<W: TrafficWorkload>(
     let source = TrafficSource::new(config.rate)?;
     let total = config.messages;
     let mut completed_at: Vec<Option<u64>> = vec![None; total as usize];
-    let mut arrivals: Vec<u64> = (0..total).map(|m| source.arrival_round(m)).collect();
-    // ⌊m/λ⌋ is already nondecreasing in m; keep the explicit sort as a
-    // guard against float edge cases so the injection scan below is
-    // correct by construction.
-    arrivals.sort_unstable();
+    let arrivals: Vec<u64> = (0..total).map(|m| source.arrival_round(m)).collect();
+    // ⌊m/λ⌋ is exactly nondecreasing in m (integer arithmetic in
+    // `arrival_round`), which the injection scan below relies on.
+    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
 
     let mut next: u64 = 0; // next message id to inject
     let mut delivered: u64 = 0;
@@ -512,6 +570,112 @@ mod tests {
         assert_eq!(unit.arrival_round(7), 7);
     }
 
+    /// Exactness oracle for `arrival_round`: with `λ = mant · 2^exp`
+    /// read off the float's bits, `a = ⌊m/λ⌋` must satisfy
+    /// `λ·a ≤ m < λ·(a+1)`, i.e. (for `exp = -s < 0`)
+    /// `mant·a ≤ m·2^s < mant·(a+1)` in exact integer arithmetic.
+    fn assert_exact_floor(rate: f64, m: u64) {
+        let s_ = TrafficSource::new(rate).unwrap();
+        let a = s_.arrival_round(m);
+        let bits = rate.to_bits();
+        let frac = bits & ((1u64 << 52) - 1);
+        let biased = (bits >> 52) as i32;
+        let (mant, exp) = if biased == 0 {
+            (frac, -1074i32)
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        if exp > 0 || exp < -63 || a == u64::MAX {
+            // Outside the range where both sides of the oracle fit in
+            // u128 without case analysis; covered by the saturation
+            // and huge-rate tests instead.
+            return;
+        }
+        let s = (-exp) as u32;
+        let lhs = u128::from(mant) * u128::from(a);
+        let mid = u128::from(m) << s;
+        let rhs = u128::from(mant) * (u128::from(a) + 1);
+        assert!(
+            lhs <= mid && mid < rhs,
+            "arrival_round({m}) = {a} is not ⌊m/λ⌋ for λ = {rate}"
+        );
+    }
+
+    #[test]
+    fn arrival_round_is_exact_at_large_ids_and_awkward_rates() {
+        // Rates whose binary expansions make float division round the
+        // wrong way somewhere; ids straddling the 53-bit float cliff
+        // and the top of u64.
+        let rates = [0.1, 0.07, 1.0 / 3.0, 0.3, 3.0, 1e-9, 0.875, 1.5];
+        let ids = [
+            0,
+            1,
+            7,
+            1 << 20,
+            (1 << 53) - 1,
+            1 << 53,
+            (1 << 53) + 1,
+            u64::MAX / 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &rate in &rates {
+            for &m in &ids {
+                assert_exact_floor(rate, m);
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_round_is_monotone_in_m() {
+        // The old float path was non-monotone for large ids; the
+        // integer path must never regress. Scan dense windows at the
+        // float cliff and the u64 ceiling for pathological rates.
+        for rate in [0.1, 0.07, 1.0 / 3.0, 3.0, 0.9999999999999999] {
+            let s = TrafficSource::new(rate).unwrap();
+            let windows = [0u64..2_000, (1 << 53) - 500..(1 << 53) + 500];
+            for w in windows {
+                let mut prev = 0;
+                for m in w {
+                    let a = s.arrival_round(m);
+                    assert!(a >= prev, "non-monotone at m = {m}, rate = {rate}");
+                    prev = a;
+                }
+            }
+            let mut prev = 0;
+            for m in (u64::MAX - 1_000)..=u64::MAX {
+                let a = s.arrival_round(m);
+                assert!(a >= prev, "non-monotone at m = {m}, rate = {rate}");
+                prev = a;
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_round_saturates_and_collapses_at_extreme_rates() {
+        // Subnormal λ: every id ≥ 1 arrives beyond u64 range.
+        let tiny = TrafficSource::new(f64::from_bits(1)).unwrap();
+        assert_eq!(tiny.arrival_round(0), 0);
+        assert_eq!(tiny.arrival_round(1), u64::MAX);
+        assert_eq!(tiny.arrival_round(u64::MAX), u64::MAX);
+        // λ = smallest normal: same saturation story.
+        let small = TrafficSource::new(f64::MIN_POSITIVE).unwrap();
+        assert_eq!(small.arrival_round(u64::MAX), u64::MAX);
+        // Huge λ: everything arrives at round 0.
+        for rate in [1e300, 2f64.powi(64)] {
+            let burst = TrafficSource::new(rate).unwrap();
+            assert_eq!(burst.arrival_round(u64::MAX), 0, "rate = {rate}");
+        }
+        // λ = 10^18 (exactly representable): ⌊(2^64−1)/10^18⌋ = 18.
+        let big = TrafficSource::new(1e18).unwrap();
+        assert_eq!(big.arrival_round(u64::MAX), 18);
+        // λ = 2^52 sits exactly on the exp ≥ 0 boundary.
+        let edge = TrafficSource::new(2f64.powi(52)).unwrap();
+        assert_eq!(edge.arrival_round((1 << 52) - 1), 0);
+        assert_eq!(edge.arrival_round(1 << 52), 1);
+        assert_eq!(edge.arrival_round(u64::MAX), (1 << 12) - 1);
+    }
+
     #[test]
     fn light_load_drains_with_idle_system_latencies() {
         let g = generators::path(6);
@@ -520,16 +684,18 @@ mod tests {
         assert!(run.drained());
         assert!(run.conserved, "conservation must hold");
         assert_eq!((run.injected, run.delivered), (4, 4));
-        // Arrivals every 20 rounds, service time 5: each message meets
-        // an idle system.
+        // λ = 0.05's binary value sits just above 1/20, so the exact
+        // floor lands arrivals at rounds 0, 19, 39, 59 (float division
+        // used to round them up to multiples of 20). Service time 5:
+        // each message still meets an idle system.
         assert_eq!(run.latencies, vec![5, 5, 5, 5]);
         assert_eq!(run.peak_queued, 1);
         let s = run.latency_summary().unwrap();
         assert_eq!((s.mean, s.max), (5.0, 5.0));
         // The last completion happens at the last message's arrival
-        // round (60) plus its service time.
-        assert_eq!(run.rounds, 65);
-        assert!((run.achieved_rate() - 4.0 / 65.0).abs() < 1e-12);
+        // round (59) plus its service time.
+        assert_eq!(run.rounds, 64);
+        assert!((run.achieved_rate() - 4.0 / 64.0).abs() < 1e-12);
     }
 
     #[test]

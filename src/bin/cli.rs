@@ -358,25 +358,24 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
     let mut pooled: Vec<u64> = Vec::new();
     for (t, trial) in per_trial.into_iter().enumerate() {
         let (rounds, latencies) = trial?;
-        // A single-node "broadcast" completes without any delivery;
-        // there is no latency distribution to print then.
-        match LatencySummary::from_rounds(&latencies) {
-            Some(lat) => println!(
-                "  trial {t}: {rounds} rounds (latency mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0})",
-                lat.mean, lat.p50, lat.p99, lat.max
-            ),
-            None => println!("  trial {t}: {rounds} rounds"),
-        }
+        // A trial that delivered to nobody (e.g. a single-node
+        // "broadcast") has no latency distribution; `LatencySummary`
+        // renders it as dashes, the same as every table caller.
+        let lat = LatencySummary::from_rounds(&latencies);
+        println!(
+            "  trial {t}: {rounds} rounds (latency {})",
+            LatencySummary::inline_or_dash(lat.as_ref())
+        );
         total += rounds;
         pooled.extend(latencies);
     }
     println!("mean: {:.1} rounds", total as f64 / opts.trials as f64);
-    if let Some(lat) = LatencySummary::from_rounds(&pooled) {
-        println!(
-            "per-node latency over {} samples: mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0} rounds",
-            lat.count, lat.mean, lat.p50, lat.p99, lat.max
-        );
-    }
+    let pooled_lat = LatencySummary::from_rounds(&pooled);
+    println!(
+        "per-node latency over {} samples: {} rounds",
+        pooled.len(),
+        LatencySummary::inline_or_dash(pooled_lat.as_ref())
+    );
     Ok(())
 }
 
@@ -486,13 +485,12 @@ fn cmd_traffic(opts: &Options) -> Result<(), String> {
                 ""
             }
         );
-        match run.latency_summary() {
-            Some(lat) => println!(
-                "    latency over {} delivered: mean {:.1} / p50 {:.0} / p99 {:.0} / max {:.0} rounds",
-                lat.count, lat.mean, lat.p50, lat.p99, lat.max
-            ),
-            None => println!("    latency: no message completed before the cap"),
-        }
+        let lat = run.latency_summary();
+        println!(
+            "    latency over {} delivered: {} rounds",
+            run.delivered,
+            LatencySummary::inline_or_dash(lat.as_ref())
+        );
     }
     Ok(())
 }
