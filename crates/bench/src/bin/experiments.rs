@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! experiments [--quick|--full|--smoke] [--markdown] [--jobs N]
-//!             [--shards K] [--seed S] [--json PATH] [IDS...]
+//!             [--shards K] [--seed S] [--json PATH]
+//!             [--telemetry PATH] [--telemetry-summary] [IDS...]
 //! experiments --list
 //! experiments --diff OLD.json NEW.json
 //! ```
@@ -28,10 +29,22 @@
 //! anything: it prints which findings and table cells moved and exits
 //! non-zero when the artifacts differ, turning the suite into a
 //! measured regression gate.
+//!
+//! `--telemetry PATH` writes a JSONL event log (one
+//! `{"span"|"counter", "value"}` object per line, DESIGN.md §12) of
+//! per-driver and per-cell wall clocks; `--telemetry-summary` prints
+//! the aggregated span/counter tables to stderr. Both are
+//! observational only: reports and the `--json` artifact are
+//! byte-identical with telemetry on or off.
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
-use noisy_radio_bench::{diff_artifact_files, experiments, suite_json_timed, Scale};
+use noisy_radio_bench::{
+    diff_artifact_files, emit_suite_telemetry, experiments, render_suite_summary, suite_json_timed,
+    Scale,
+};
+use radio_obs::{CounterSink, JsonlSink};
 use radio_sweep::SweepConfig;
 
 fn main() -> ExitCode {
@@ -51,6 +64,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut shards: usize = 1;
     let mut master_seed: u64 = 42;
     let mut json_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut telemetry_summary = false;
     let mut diff_paths: Option<(String, String)> = None;
     let mut filter: Vec<String> = Vec::new();
 
@@ -86,6 +101,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 master_seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--json" => json_path = Some(value()?),
+            "--telemetry" => telemetry_path = Some(value()?),
+            "--telemetry-summary" => telemetry_summary = true,
             "--diff" => {
                 let old = value()?;
                 let new = it
@@ -113,7 +130,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     let cfg = SweepConfig::new(jobs, master_seed).with_shards(shards);
     let t0 = std::time::Instant::now();
-    let reports = experiments::run_selected(scale, &cfg, &filter)?;
+    let timed = experiments::run_selected_timed(scale, &cfg, &filter)?;
+    let (reports, driver_ms): (Vec<_>, Vec<f64>) = timed.into_iter().unzip();
 
     let mut failures = 0;
     for report in &reports {
@@ -131,6 +149,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         let doc = suite_json_timed(&reports, scale.name(), master_seed);
         std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("(wrote {path})");
+    }
+    if telemetry_path.is_some() || telemetry_summary {
+        let mut counters = CounterSink::new();
+        emit_suite_telemetry(&mut counters, &reports, &driver_ms);
+        if let Some(path) = &telemetry_path {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut jsonl = JsonlSink::new(BufWriter::new(file));
+            counters.emit_into(&mut jsonl);
+            let lines = jsonl.lines();
+            jsonl
+                .finish()
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("(wrote {path}: {lines} telemetry events)");
+        }
+        if telemetry_summary {
+            eprint!("{}", render_suite_summary(&counters));
+        }
     }
     eprintln!(
         "(completed in {:.1?}; scale: {scale:?}, jobs: {}, shards: {}, seed: {master_seed})",

@@ -180,6 +180,23 @@ pub fn run_selected(
     cfg: &SweepConfig,
     ids: &[String],
 ) -> Result<Vec<ExperimentReport>, String> {
+    run_selected_timed(scale, cfg, ids).map(|reports| reports.into_iter().map(|(r, _)| r).collect())
+}
+
+/// As [`run_selected`], additionally returning each driver's wall-clock
+/// duration in milliseconds.
+///
+/// The timings are observability data only: the reports are
+/// bit-identical to [`run_selected`]'s under the same arguments.
+///
+/// # Errors
+///
+/// Returns the offending id if one matches no registered experiment.
+pub fn run_selected_timed(
+    scale: Scale,
+    cfg: &SweepConfig,
+    ids: &[String],
+) -> Result<Vec<(ExperimentReport, f64)>, String> {
     for id in ids {
         if !EXPERIMENTS.iter().any(|e| e.id.eq_ignore_ascii_case(id)) {
             return Err(format!("unknown experiment id `{id}`"));
@@ -188,7 +205,11 @@ pub fn run_selected(
     Ok(EXPERIMENTS
         .iter()
         .filter(|e| ids.is_empty() || ids.iter().any(|id| e.id.eq_ignore_ascii_case(id)))
-        .map(|e| (e.driver)(scale, cfg))
+        .map(|e| {
+            let start = std::time::Instant::now();
+            let report = (e.driver)(scale, cfg);
+            (report, start.elapsed().as_secs_f64() * 1e3)
+        })
         .collect())
 }
 

@@ -17,9 +17,11 @@
 pub mod diff;
 pub mod experiments;
 mod report;
+pub mod telemetry;
 
 pub use diff::{diff_artifact_files, diff_artifacts, ArtifactDiff};
 pub use report::{suite_json, suite_json_timed, ExperimentReport};
+pub use telemetry::{emit_suite_telemetry, render_suite_summary};
 
 /// Scale knob for experiment drivers: `Quick` keeps every sweep small
 /// enough for CI; `Full` uses the sizes recorded in `EXPERIMENTS.md`.

@@ -1,0 +1,125 @@
+//! Suite-level telemetry emission for the `experiments` binary.
+//!
+//! The sweep drivers already collect per-cell wall-clock timings
+//! (`ExperimentReport::cell_ms`) and [`run_selected_timed`] measures
+//! each driver's total wall clock. This module turns both into
+//! telemetry sink events with the workspace span taxonomy
+//! (`DESIGN.md` §12):
+//!
+//! * `experiment/{id}` — one span per driver, its full wall clock;
+//! * `cell/{id}/{index}` + `cells/{id}` — per-cell spans for drivers
+//!   that record timing, via [`radio_sweep::emit_cell_spans`].
+//!
+//! Telemetry is observational only: emitting changes no report and no
+//! artifact byte.
+//!
+//! [`run_selected_timed`]: crate::experiments::run_selected_timed
+
+use radio_obs::{CounterSink, PhaseSet, TelemetrySink};
+
+use crate::ExperimentReport;
+
+/// Emits the suite's spans and counters into `sink`: one
+/// `experiment/{id}` span per report (from `driver_ms`, the wall-clock
+/// milliseconds returned by
+/// [`run_selected_timed`](crate::experiments::run_selected_timed)) and
+/// per-cell `cell/{id}/{i}` spans for every report that collected
+/// `cell_ms`. A disabled sink returns immediately.
+///
+/// # Panics
+///
+/// Panics if `reports` and `driver_ms` have different lengths.
+pub fn emit_suite_telemetry<S: TelemetrySink>(
+    sink: &mut S,
+    reports: &[ExperimentReport],
+    driver_ms: &[f64],
+) {
+    assert_eq!(
+        reports.len(),
+        driver_ms.len(),
+        "one driver duration per report"
+    );
+    if !sink.enabled() {
+        return;
+    }
+    for (report, &ms) in reports.iter().zip(driver_ms) {
+        let nanos = if ms.is_finite() && ms > 0.0 {
+            (ms * 1e6) as u64
+        } else {
+            0
+        };
+        sink.span(&format!("experiment/{}", report.id), nanos);
+        radio_sweep::emit_cell_spans(sink, report.id, &report.cell_ms);
+    }
+}
+
+/// Renders the human-readable suite telemetry summary printed by
+/// `experiments --telemetry-summary`: a per-experiment wall-clock
+/// table (driver totals from the `experiment/*` spans) followed by the
+/// sink's full span/counter listing.
+pub fn render_suite_summary(counters: &CounterSink) -> String {
+    let mut drivers = PhaseSet::new();
+    for (name, stat) in counters.spans() {
+        if let Some(id) = name.strip_prefix("experiment/") {
+            drivers.add_counted(id, stat.nanos, stat.count);
+        }
+    }
+    let mut out = String::new();
+    if !drivers.is_empty() {
+        out.push_str(&drivers.render_table("experiment wall clock"));
+        out.push('\n');
+    }
+    out.push_str(&counters.render_summary());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_obs::NullSink;
+    use radio_throughput::Table;
+
+    fn report(id: &'static str, cell_ms: Vec<f64>) -> ExperimentReport {
+        ExperimentReport {
+            id,
+            claim: "test",
+            table: Table::new(&["x"]),
+            findings: Vec::new(),
+            cell_ms,
+        }
+    }
+
+    #[test]
+    fn emits_driver_and_cell_spans() {
+        let reports = [report("E8", vec![1.0, 2.0]), report("E12", vec![])];
+        let mut sink = CounterSink::new();
+        emit_suite_telemetry(&mut sink, &reports, &[10.0, 5.0]);
+        assert_eq!(sink.span_nanos("experiment/E8"), Some(10_000_000));
+        assert_eq!(sink.span_nanos("experiment/E12"), Some(5_000_000));
+        assert_eq!(sink.span_nanos("cell/E8/1"), Some(2_000_000));
+        assert_eq!(sink.counter_total("cells/E8"), Some(2));
+        // E12 recorded no cells, so it still gets a (zero) cell count.
+        assert_eq!(sink.counter_total("cells/E12"), Some(0));
+    }
+
+    #[test]
+    fn disabled_sink_is_a_no_op() {
+        emit_suite_telemetry(&mut NullSink, &[report("E1", vec![1.0])], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one driver duration per report")]
+    fn length_mismatch_panics() {
+        emit_suite_telemetry(&mut NullSink, &[report("E1", vec![])], &[]);
+    }
+
+    #[test]
+    fn summary_renders_driver_table_and_counters() {
+        let mut sink = CounterSink::new();
+        emit_suite_telemetry(&mut sink, &[report("E8", vec![3.0])], &[12.0]);
+        let text = render_suite_summary(&sink);
+        assert!(text.contains("experiment wall clock"), "{text}");
+        assert!(text.contains("E8"), "{text}");
+        assert!(text.contains("cells/E8"), "{text}");
+    }
+}

@@ -101,6 +101,33 @@ impl Decay {
         seed: u64,
         max_rounds: u64,
     ) -> Result<(BroadcastRun, LatencyProfile), CoreError> {
+        self.run_telemetry(
+            graph,
+            source,
+            fault,
+            seed,
+            max_rounds,
+            &mut radio_obs::NullSink,
+        )
+    }
+
+    /// As [`Decay::run_profiled`], with per-phase telemetry: emits a
+    /// `schedule/setup` span (behavior construction), a `schedule/run`
+    /// span, and the engine's `engine/*` breakdown into `sink`. The
+    /// returned results are bit-identical whatever sink is attached.
+    ///
+    /// # Errors
+    ///
+    /// As [`Decay::run`].
+    pub fn run_telemetry<S: radio_obs::TelemetrySink>(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+        sink: &mut S,
+    ) -> Result<(BroadcastRun, LatencyProfile), CoreError> {
         let n = graph.node_count();
         if source.index() >= n {
             return Err(CoreError::InvalidParameter {
@@ -113,13 +140,23 @@ impl Decay {
                 reason: "phase length must be ≥ 1".into(),
             });
         }
+        let setup = radio_obs::SpanTimer::start(sink.enabled());
         let behaviors: Vec<DecayNode> = (0..n)
             .map(|i| DecayNode {
                 informed: i == source.index(),
                 phase_len,
             })
             .collect();
-        crate::outcome::run_profiled_decoded(graph, fault, behaviors, seed, max_rounds, self.shards)
+        setup.stop(sink, "schedule/setup");
+        crate::outcome::run_profiled_telemetry(
+            graph,
+            fault,
+            behaviors,
+            seed,
+            max_rounds,
+            self.shards,
+            sink,
+        )
     }
 
     /// Runs Decay for exactly `budget` rounds and reports whether the

@@ -199,13 +199,35 @@ impl<'g> FastbcSchedule<'g> {
         seed: u64,
         max_rounds: u64,
     ) -> Result<(BroadcastRun, radio_model::LatencyProfile), CoreError> {
-        crate::outcome::run_profiled_decoded(
+        self.run_telemetry(fault, seed, max_rounds, &mut radio_obs::NullSink)
+    }
+
+    /// As [`FastbcSchedule::run_profiled`], with per-phase telemetry:
+    /// emits `schedule/setup` (behavior construction), `schedule/run`,
+    /// and the engine's `engine/*` breakdown into `sink`. Results are
+    /// bit-identical whatever sink is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for simulator configuration errors.
+    pub fn run_telemetry<S: radio_obs::TelemetrySink>(
+        &self,
+        fault: Channel,
+        seed: u64,
+        max_rounds: u64,
+        sink: &mut S,
+    ) -> Result<(BroadcastRun, radio_model::LatencyProfile), CoreError> {
+        let setup = radio_obs::SpanTimer::start(sink.enabled());
+        let behaviors = self.behaviors();
+        setup.stop(sink, "schedule/setup");
+        crate::outcome::run_profiled_telemetry(
             self.graph,
             fault,
-            self.behaviors(),
+            behaviors,
             seed,
             max_rounds,
             self.shards,
+            sink,
         )
     }
 

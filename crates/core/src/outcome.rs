@@ -2,6 +2,7 @@
 
 use netgraph::Graph;
 use radio_model::{Channel, LatencyProfile, NodeBehavior, Payload, SimStats, Simulator};
+use radio_obs::{SpanTimer, TelemetrySink};
 
 use crate::CoreError;
 
@@ -44,20 +45,35 @@ impl BroadcastRun {
 /// [`NodeBehavior::decoded`] *is* `informed`), but it keeps the
 /// per-round cost proportional to the sparse active set instead of
 /// the node count.
-pub(crate) fn run_profiled_decoded<P, B>(
+///
+/// The simulator runs with per-phase timing enabled iff `sink` is
+/// enabled, and on completion the engine's `engine/*` spans and
+/// counters plus a `schedule/run` wall-clock span are emitted into
+/// it. The profile-only callers pass [`radio_obs::NullSink`].
+///
+/// Telemetry is observational only: the returned run and profile are
+/// bit-identical under the same arguments whatever sink is attached.
+pub(crate) fn run_profiled_telemetry<P, B, S>(
     graph: &Graph,
     fault: Channel,
     behaviors: Vec<B>,
     seed: u64,
     max_rounds: u64,
     shards: usize,
+    sink: &mut S,
 ) -> Result<(BroadcastRun, LatencyProfile), CoreError>
 where
     P: Payload + Send + Sync,
     B: NodeBehavior<P> + Send,
+    S: TelemetrySink,
 {
-    let mut sim = Simulator::new(graph, fault, behaviors, seed)?.with_shards(shards);
+    let timer = SpanTimer::start(sink.enabled());
+    let mut sim = Simulator::new(graph, fault, behaviors, seed)?
+        .with_shards(shards)
+        .with_telemetry(sink.enabled());
     let rounds = sim.run_until_decoded(max_rounds);
+    timer.stop(sink, "schedule/run");
+    sim.emit_telemetry(sink);
     Ok((
         BroadcastRun {
             rounds,

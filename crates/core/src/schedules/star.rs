@@ -13,8 +13,9 @@
 //! Together: a `Θ(log n)` coding gap on a fixed topology (Theorem 17).
 
 use netgraph::{generators, Graph, NodeId};
-use radio_model::adaptive::{run_routing, RoutingOutcome};
+use radio_model::adaptive::{run_routing, run_routing_telemetry, RoutingOutcome};
 use radio_model::{Action, Channel, Ctx, NodeBehavior, Reception, Simulator};
+use radio_obs::PhaseSet;
 
 use crate::schedules::SequentialSourceController;
 use crate::{BroadcastRun, CoreError};
@@ -38,6 +39,38 @@ pub fn star_routing(
         source: NodeId::new(0),
     };
     Ok(run_routing(
+        &g,
+        fault,
+        NodeId::new(0),
+        k,
+        &mut c,
+        seed,
+        max_rounds,
+    )?)
+}
+
+/// [`star_routing`] with per-phase wall-clock attribution: also
+/// returns the [`PhaseSet`] splitting the run between
+/// `routing/decide` and `routing/resolve` (see
+/// [`run_routing_telemetry`]) — the breakdown that exposes the
+/// routing arm as E8's wall-clock hotspot at large leaf counts. The
+/// outcome is bit-identical to [`star_routing`].
+///
+/// # Errors
+///
+/// As [`star_routing`].
+pub fn star_routing_telemetry(
+    leaves: usize,
+    k: usize,
+    fault: Channel,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<(RoutingOutcome, PhaseSet), CoreError> {
+    let g = generators::star(leaves);
+    let mut c = SequentialSourceController {
+        source: NodeId::new(0),
+    };
+    Ok(run_routing_telemetry(
         &g,
         fault,
         NodeId::new(0),

@@ -14,6 +14,7 @@
 //! the node stays silent instead.
 
 use netgraph::{Graph, NodeId};
+use radio_obs::{PhaseSet, SpanTimer};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -171,6 +172,50 @@ pub fn run_routing(
     seed: u64,
     max_rounds: u64,
 ) -> Result<RoutingOutcome, ModelError> {
+    run_routing_inner(
+        graph, channel, source, k, controller, seed, max_rounds, false,
+    )
+    .map(|(out, _)| out)
+}
+
+/// [`run_routing`] with per-phase wall-clock attribution: returns the
+/// outcome together with a [`PhaseSet`] splitting the run between
+/// `routing/decide` (the controller's decision plus the knows-it
+/// filter — the known E8 hotspot at large leaf counts) and
+/// `routing/resolve` (fault draws and per-listener slot resolution),
+/// one call tallied per round.
+///
+/// Timing is observational only: the outcome is bit-identical to
+/// [`run_routing`] under the same arguments.
+///
+/// # Errors
+///
+/// Same as [`run_routing`].
+pub fn run_routing_telemetry(
+    graph: &Graph,
+    channel: Channel,
+    source: NodeId,
+    k: usize,
+    controller: &mut dyn RoutingController,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<(RoutingOutcome, PhaseSet), ModelError> {
+    run_routing_inner(
+        graph, channel, source, k, controller, seed, max_rounds, true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_routing_inner(
+    graph: &Graph,
+    channel: Channel,
+    source: NodeId,
+    k: usize,
+    controller: &mut dyn RoutingController,
+    seed: u64,
+    max_rounds: u64,
+    timed: bool,
+) -> Result<(RoutingOutcome, PhaseSet), ModelError> {
     let n = graph.node_count();
     let mut knowledge = Knowledge::new(n, k);
     knowledge.grant_all(source);
@@ -183,22 +228,30 @@ pub fn run_routing(
     let mut fresh = 0u64;
     let mut round = 0u64;
     let mut sending: Vec<Option<MsgId>> = vec![None; n];
+    let mut phases = PhaseSet::new();
 
     loop {
         if knowledge.all_complete() {
-            return Ok(RoutingOutcome {
-                rounds: Some(round),
-                broadcasts,
-                fresh_deliveries: fresh,
-            });
+            return Ok((
+                RoutingOutcome {
+                    rounds: Some(round),
+                    broadcasts,
+                    fresh_deliveries: fresh,
+                },
+                phases,
+            ));
         }
         if round >= max_rounds {
-            return Ok(RoutingOutcome {
-                rounds: None,
-                broadcasts,
-                fresh_deliveries: fresh,
-            });
+            return Ok((
+                RoutingOutcome {
+                    rounds: None,
+                    broadcasts,
+                    fresh_deliveries: fresh,
+                },
+                phases,
+            ));
         }
+        let decide_timer = SpanTimer::start(timed);
         let actions = controller.decide(round, &knowledge, &mut ctrl_rng);
         if actions.len() != n {
             return Err(ModelError::ActionCountMismatch {
@@ -220,6 +273,10 @@ pub fn run_routing(
                 }
             };
         }
+        if decide_timer.enabled() {
+            phases.add("routing/decide", decide_timer.elapsed_nanos());
+        }
+        let resolve_timer = SpanTimer::start(timed);
         // Sender faults: one draw per broadcaster (composed channels
         // contribute their sender-side component).
         let mut sender_ok = vec![true; n];
@@ -260,6 +317,9 @@ pub fn run_routing(
                     fresh += 1;
                 }
             }
+        }
+        if resolve_timer.enabled() {
+            phases.add("routing/resolve", resolve_timer.elapsed_nanos());
         }
         round += 1;
     }

@@ -31,9 +31,11 @@
 //! order.
 
 use std::ops::Range;
+use std::time::Instant;
 
 use netgraph::bitset::BitsetSliceMut;
 use netgraph::{Bitset, Graph, NodeId};
+use radio_obs::TelemetrySink;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -264,6 +266,56 @@ pub struct RoundTrace {
     pub queued_nodes: Vec<(NodeId, u64)>,
 }
 
+/// Per-phase engine telemetry accumulated while
+/// [`Simulator::with_telemetry`] is on: wall-clock nanoseconds per
+/// sweep phase (per shard for the threaded sweeps), word-parallel
+/// sweep efficiency (words visited vs skipped wholesale), and
+/// active-set occupancy summed over rounds.
+///
+/// Pure observation: the engine computes every result before touching
+/// these tallies, so enabling telemetry cannot change any artifact —
+/// only wall clock. With telemetry off (the default) the struct stays
+/// at its zero state and the round loop reads no clocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Rounds executed with telemetry enabled.
+    pub rounds: u64,
+    /// Act-sweep nanoseconds, one slot per shard (a single slot on the
+    /// sequential path).
+    pub act_ns: Vec<u64>,
+    /// Delivery/receive-sweep nanoseconds, one slot per shard.
+    pub receive_ns: Vec<u64>,
+    /// Reach-set computation nanoseconds (sequential by design).
+    pub reach_ns: u64,
+    /// Per-round merge/finish nanoseconds (report + stats + trace
+    /// aggregation).
+    pub merge_ns: u64,
+    /// Act-sweep bitset words with at least one active bit (entered
+    /// the per-node loop).
+    pub act_words_visited: u64,
+    /// Act-sweep bitset words skipped wholesale (all-zero).
+    pub act_words_skipped: u64,
+    /// Receive-sweep words with at least one active-or-reached bit.
+    pub recv_words_visited: u64,
+    /// Receive-sweep words skipped wholesale.
+    pub recv_words_skipped: u64,
+    /// Active-set occupancy summed over rounds (node-rounds swept by
+    /// the act sweep).
+    pub active_node_rounds: u64,
+}
+
+impl EngineTelemetry {
+    /// Total act-sweep nanoseconds across shards.
+    pub fn act_total_ns(&self) -> u64 {
+        self.act_ns.iter().sum()
+    }
+
+    /// Total receive-sweep nanoseconds across shards.
+    pub fn receive_total_ns(&self) -> u64 {
+        self.receive_ns.iter().sum()
+    }
+}
+
 /// The round-step entry used when sharding is enabled. Stored as a
 /// higher-ranked fn pointer so [`Simulator::with_shards`] (which
 /// requires `Send`/`Sync` bounds for the scoped threads) can hand the
@@ -320,6 +372,10 @@ pub struct Simulator<'g, P, B> {
     stale: bool,
     /// Forces full sweeps every round (the dense reference mode).
     dense: bool,
+    /// Whether the round loop reads clocks and accumulates
+    /// [`EngineTelemetry`] (see [`Simulator::with_telemetry`]).
+    timed: bool,
+    telemetry: EngineTelemetry,
 }
 
 impl<P, B> std::fmt::Debug for Simulator<'_, P, B> {
@@ -392,6 +448,8 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             // constructed behaviors' own answers.
             stale: true,
             dense: false,
+            timed: false,
+            telemetry: EngineTelemetry::default(),
         })
     }
 
@@ -449,6 +507,85 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
     pub fn with_dense_sweeps(mut self, dense: bool) -> Self {
         self.dense = dense;
         self
+    }
+
+    /// Enables per-phase telemetry: the round loop times the act,
+    /// reach, receive, and merge phases (per shard for the threaded
+    /// sweeps) and tallies word-sweep efficiency and active-set
+    /// occupancy into [`Simulator::telemetry`].
+    ///
+    /// **Determinism contract**: telemetry observes, it never
+    /// influences — no randomness is drawn and no result depends on
+    /// it, so every report, trace, stat, and behavior state is
+    /// bit-identical with telemetry on or off. Off (the default), the
+    /// loop reads no clocks: the only cost is an untaken branch per
+    /// round phase.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.timed = enabled;
+        self
+    }
+
+    /// The per-phase telemetry accumulated so far (all-zero unless
+    /// [`Simulator::with_telemetry`] was enabled).
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
+    /// Emits the run's telemetry into `sink`: `engine/*` phase spans
+    /// (when [`Simulator::with_telemetry`] was on) plus counters for
+    /// the aggregate stats, sweep efficiency, and the *derived* RNG
+    /// draw counts per stream class — sender-stream draws are one per
+    /// broadcast (drawn iff the channel has a sender component) and
+    /// delivery-stream draws one per resolved uncollided delivery
+    /// (iff it has a delivery component), so no hot-loop counting is
+    /// needed.
+    pub fn emit_telemetry<S: TelemetrySink>(&self, sink: &mut S) {
+        if !sink.enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        if t.rounds > 0 {
+            sink.span("engine/act", t.act_total_ns());
+            sink.span("engine/reach", t.reach_ns);
+            sink.span("engine/receive", t.receive_total_ns());
+            sink.span("engine/merge", t.merge_ns);
+            if t.act_ns.len() > 1 {
+                for (i, &ns) in t.act_ns.iter().enumerate() {
+                    sink.span(&format!("engine/act/shard{i}"), ns);
+                }
+                for (i, &ns) in t.receive_ns.iter().enumerate() {
+                    sink.span(&format!("engine/receive/shard{i}"), ns);
+                }
+            }
+            sink.counter("engine/act_words_visited", t.act_words_visited);
+            sink.counter("engine/act_words_skipped", t.act_words_skipped);
+            sink.counter("engine/recv_words_visited", t.recv_words_visited);
+            sink.counter("engine/recv_words_skipped", t.recv_words_skipped);
+            sink.counter("engine/active_node_rounds", t.active_node_rounds);
+        }
+        let s = &self.stats;
+        sink.counter("engine/rounds", s.rounds);
+        sink.counter("engine/broadcasts", s.broadcasts);
+        sink.counter("engine/deliveries", s.deliveries);
+        sink.counter("engine/collisions", s.collisions);
+        sink.counter("engine/sender_faults", s.sender_faults);
+        sink.counter("engine/receiver_faults", s.receiver_faults);
+        sink.counter("engine/erasures", s.erasures);
+        sink.counter("engine/delivered_nodes", s.delivered_nodes);
+        sink.counter("engine/decoded_nodes", s.decoded_nodes);
+        sink.counter("engine/peak_queued", s.peak_queued);
+        let sender_draws = if self.channel.sender_fault().is_some() {
+            s.broadcasts
+        } else {
+            0
+        };
+        let delivery_draws = if self.channel.delivery_fault().is_some() {
+            s.deliveries + s.receiver_faults + s.erasures
+        } else {
+            0
+        };
+        sink.counter("rng/sender_stream_draws", sender_draws);
+        sink.counter("rng/delivery_stream_draws", delivery_draws);
     }
 
     /// The shard count in force (≥ 1, capped at the node count; 1
@@ -571,11 +708,15 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
     /// than silence. Runs after the act sweep (sequentially: the bits
     /// it writes span arbitrary shards).
     fn compute_reach(&mut self) {
+        let t0 = self.timed.then(Instant::now);
         self.reach.clear();
         for s in self.broadcasting.ones() {
             for &u in self.graph.neighbors(NodeId::from_index(s)) {
                 self.reach.insert(u.index());
             }
+        }
+        if let Some(t) = t0 {
+            self.telemetry.reach_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
     }
 
@@ -583,6 +724,7 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
     fn step_sequential(&mut self, trace: Option<&mut RoundTrace>) -> RoundReport {
         let n = self.graph.node_count();
         let traced = trace.is_some();
+        let timed = self.timed;
         self.begin_round();
         let mut act = act_range(
             self.graph,
@@ -597,6 +739,7 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             self.broadcasting.slice_mut(),
             &mut self.sender_ok,
             traced,
+            timed,
         );
         self.compute_reach();
         let mut recv = receive_range(
@@ -616,6 +759,7 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
             &self.sender_ok,
             self.next_active.slice_mut(),
             traced,
+            timed,
         );
         self.finish_round(
             trace,
@@ -636,6 +780,7 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
         act_parts: &mut [ActPart],
         recv_parts: &mut [RecvPart],
     ) -> RoundReport {
+        let t0 = self.timed.then(Instant::now);
         let mut report = RoundReport {
             round: self.round,
             ..RoundReport::default()
@@ -670,6 +815,28 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
                 }
             }
         }
+        if self.timed {
+            // Occupancy reads the *executed* round's active set, so it
+            // must precede the swap below.
+            self.telemetry.rounds += 1;
+            self.telemetry.active_node_rounds += self.active.count_ones() as u64;
+            self.telemetry.act_ns.resize(act_parts.len().max(1), 0);
+            self.telemetry.receive_ns.resize(recv_parts.len().max(1), 0);
+            for (slot, part) in self.telemetry.act_ns.iter_mut().zip(act_parts.iter()) {
+                *slot += part.nanos;
+            }
+            for (slot, part) in self.telemetry.receive_ns.iter_mut().zip(recv_parts.iter()) {
+                *slot += part.nanos;
+            }
+            for part in act_parts.iter() {
+                self.telemetry.act_words_visited += part.words_visited;
+                self.telemetry.act_words_skipped += part.words_skipped;
+            }
+            for part in recv_parts.iter() {
+                self.telemetry.recv_words_visited += part.words_visited;
+                self.telemetry.recv_words_skipped += part.words_skipped;
+            }
+        }
         // The accumulated next-active set becomes the coming round's
         // active set (dense mode rebuilds it wholesale instead).
         if !self.dense {
@@ -686,6 +853,9 @@ impl<'g, P: Payload, B: NodeBehavior<P>> Simulator<'g, P, B> {
         self.stats.delivered_nodes += report.first_deliveries;
         self.stats.decoded_nodes += report.decodes;
         self.stats.peak_queued = self.stats.peak_queued.max(report.queued);
+        if let Some(t) = t0 {
+            self.telemetry.merge_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
         report
     }
 
@@ -772,6 +942,12 @@ fn align_word_ranges(ranges: Vec<Range<usize>>) -> Vec<Range<usize>> {
 struct ActPart {
     broadcasters: u64,
     sender_faults: u64,
+    /// Sweep wall-clock (0 unless the simulator is timed).
+    nanos: u64,
+    /// Bitset words that entered the per-node loop.
+    words_visited: u64,
+    /// Bitset words skipped wholesale (all-zero).
+    words_skipped: u64,
     /// Broadcasters in ascending node order, when tracing.
     traced_broadcasters: Option<Vec<NodeId>>,
 }
@@ -798,6 +974,12 @@ struct RecvPart {
     first_deliveries: u64,
     decodes: u64,
     queued: u64,
+    /// Sweep wall-clock (0 unless the simulator is timed).
+    nanos: u64,
+    /// Bitset words that entered the per-node loop.
+    words_visited: u64,
+    /// Bitset words skipped wholesale (no active or reached bit).
+    words_skipped: u64,
     traced: Option<TracePart>,
 }
 
@@ -827,7 +1009,12 @@ fn act_range<P: Payload, B: NodeBehavior<P>>(
     mut broadcasting: BitsetSliceMut<'_>,
     sender_ok: &mut [bool],
     traced: bool,
+    timed: bool,
 ) -> ActPart {
+    // Telemetry is observational only: the clock is read outside the
+    // sweep and the word tallies are plain register adds, so `timed`
+    // cannot change any draw or result.
+    let t0 = timed.then(Instant::now);
     // Composed channels contribute their sender-side component here;
     // presence is structural, so `sender(0.0)` consumes the same draws
     // as before composition existed.
@@ -856,6 +1043,7 @@ fn act_range<P: Payload, B: NodeBehavior<P>>(
         if m == 0 {
             continue;
         }
+        part.words_visited += 1;
         let mut b_word = 0u64;
         while m != 0 {
             let bit = m.trailing_zeros() as usize;
@@ -887,6 +1075,10 @@ fn act_range<P: Payload, B: NodeBehavior<P>>(
         if b_word != 0 {
             broadcasting.or_word(w, b_word);
         }
+    }
+    part.words_skipped = words.len() as u64 - part.words_visited;
+    if let Some(t) = t0 {
+        part.nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
     part
 }
@@ -921,7 +1113,9 @@ fn receive_range<P: Payload, B: NodeBehavior<P>>(
     sender_ok: &[bool],
     mut next_active: BitsetSliceMut<'_>,
     traced: bool,
+    timed: bool,
 ) -> RecvPart {
+    let t0 = timed.then(Instant::now);
     // receiver(p) and erasure(p) draw from the same per-node streams
     // in the same order, so they lose identical slots under one seed.
     // Composed channels contribute their delivery-side component here
@@ -962,6 +1156,7 @@ fn receive_range<P: Payload, B: NodeBehavior<P>>(
         if aw | rw == 0 {
             continue;
         }
+        part.words_visited += 1;
         let mut m;
         let mut na_word;
         if B::SILENCE_TRANSPARENT {
@@ -1089,6 +1284,10 @@ fn receive_range<P: Payload, B: NodeBehavior<P>>(
             next_active.or_word(w, na_word);
         }
     }
+    part.words_skipped = active_words.len() as u64 - part.words_visited;
+    if let Some(t) = t0 {
+        part.nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
     part
 }
 
@@ -1163,6 +1362,7 @@ where
     let channel = sim.channel;
     let round = sim.round;
     let traced = trace.is_some();
+    let timed = sim.timed;
 
     let mut act_parts: Vec<ActPart> = {
         let behaviors = split_ranges(&mut sim.behaviors, ranges);
@@ -1186,6 +1386,7 @@ where
                     s.spawn(move || {
                         act_range(
                             graph, channel, round, range, active, b, nr, fr, ac, bc, so, traced,
+                            timed,
                         )
                     })
                 })
@@ -1238,6 +1439,7 @@ where
                             sender_ok,
                             na,
                             traced,
+                            timed,
                         )
                     })
                 })

@@ -125,7 +125,9 @@ pub use action::Action;
 pub use adversary::{Adversary, ByzantineNode, Misbehavior};
 pub use bitmat::BitMatrix;
 pub use channel::{Channel, Reception, ReceptionKind};
-pub use engine::{Ctx, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator};
+pub use engine::{
+    Ctx, EngineTelemetry, NodeBehavior, RoundReport, RoundTrace, SimStats, Simulator,
+};
 pub use error::ModelError;
 pub use latency::LatencyProfile;
 pub use payload::{AdversarialPayload, Payload};

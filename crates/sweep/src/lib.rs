@@ -50,4 +50,4 @@ pub mod runner;
 
 pub use json::Json;
 pub use plan::{Handle, Plan, Resolved, TrialResult};
-pub use runner::{run_cells, run_cells_timed, CellCtx, SweepConfig};
+pub use runner::{emit_cell_spans, run_cells, run_cells_timed, CellCtx, SweepConfig};

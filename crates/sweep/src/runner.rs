@@ -237,6 +237,40 @@ where
     .unzip()
 }
 
+/// Emits per-cell wall-clock spans (as produced by [`run_cells_timed`])
+/// into a telemetry sink.
+///
+/// Each cell becomes a span named `cell/{scope}/{index}` whose value is
+/// the cell's duration in nanoseconds, plus one `cells/{scope}` counter
+/// holding the cell count. A disabled sink returns immediately.
+///
+/// # Examples
+///
+/// ```
+/// use radio_obs::CounterSink;
+/// use radio_sweep::{emit_cell_spans, run_cells_timed};
+///
+/// let (_, ms) = run_cells_timed(2, 42, 3, |ctx| ctx.index);
+/// let mut sink = CounterSink::new();
+/// emit_cell_spans(&mut sink, "E8", &ms);
+/// assert_eq!(sink.counter_total("cells/E8"), Some(3));
+/// assert!(sink.span_nanos("cell/E8/0").is_some());
+/// ```
+pub fn emit_cell_spans<S: radio_obs::TelemetrySink>(sink: &mut S, scope: &str, cell_ms: &[f64]) {
+    if !sink.enabled() {
+        return;
+    }
+    for (i, &ms) in cell_ms.iter().enumerate() {
+        let nanos = if ms.is_finite() && ms > 0.0 {
+            (ms * 1e6) as u64
+        } else {
+            0
+        };
+        sink.span(&format!("cell/{scope}/{i}"), nanos);
+    }
+    sink.counter(&format!("cells/{scope}"), cell_ms.len() as u64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +324,20 @@ mod tests {
         assert_eq!(plain, timed);
         assert_eq!(ms.len(), 6);
         assert!(ms.iter().all(|&m| m.is_finite() && m >= 0.0));
+    }
+
+    #[test]
+    fn emit_cell_spans_shapes_names_and_skips_disabled() {
+        use radio_obs::{CounterSink, NullSink};
+        let ms = [1.5, 0.0, 2.25];
+        let mut sink = CounterSink::new();
+        emit_cell_spans(&mut sink, "E8", &ms);
+        assert_eq!(sink.span_nanos("cell/E8/0"), Some(1_500_000));
+        assert_eq!(sink.span_nanos("cell/E8/1"), Some(0));
+        assert_eq!(sink.span_nanos("cell/E8/2"), Some(2_250_000));
+        assert_eq!(sink.counter_total("cells/E8"), Some(3));
+        // A disabled sink is a no-op (and must not panic).
+        emit_cell_spans(&mut NullSink, "E8", &ms);
     }
 
     #[test]

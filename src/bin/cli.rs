@@ -20,11 +20,14 @@ use noisy_radio::core::fastbc::FastbcSchedule;
 use noisy_radio::core::multi_message::{DecayRlnc, RobustFastbcRlnc};
 use noisy_radio::core::robust_fastbc::RobustFastbcSchedule;
 use noisy_radio::core::schedules::latency::XinXiaSchedule;
-use noisy_radio::core::schedules::star::{star_coding_sharded, star_routing};
+use noisy_radio::core::schedules::star::{
+    star_coding_sharded, star_routing, star_routing_telemetry,
+};
 use noisy_radio::core::traffic::{run_decay_traffic, run_rlnc_traffic, run_xin_xia_traffic};
 use noisy_radio::gbst::Gbst;
 use noisy_radio::model::{Adversary, Channel, Misbehavior, ModelError};
 use noisy_radio::netgraph::{generators, metrics, Graph, NodeId};
+use noisy_radio::obs::{CounterSink, JsonlSink, NullSink, TelemetrySink};
 use noisy_radio::sweep::{run_cells, SweepConfig};
 use noisy_radio::throughput::traffic::{ThroughputRun, TrafficConfig};
 use noisy_radio::throughput::LatencySummary;
@@ -62,6 +65,10 @@ COMMON OPTIONS:
                     parallelism); results are identical for any N
   --shards K        engine shards inside each run (default 1, 0 = auto);
                     results are identical for any K — use for large n
+  --telemetry PATH  write a JSONL telemetry event log (one span/counter
+                    object per line); never changes the measured output
+  --telemetry-summary
+                    print aggregated telemetry tables to stderr
 
 broadcast:
   --algo NAME       decay | fastbc | robust-fastbc | xin-xia
@@ -140,6 +147,8 @@ struct Options {
     gen: usize,
     faulty: usize,
     adversary: String,
+    telemetry: Option<String>,
+    telemetry_summary: bool,
 }
 
 impl Options {
@@ -147,6 +156,33 @@ impl Options {
     /// (or all available), seeds forked from `--seed` per trial.
     fn sweep(&self) -> SweepConfig {
         SweepConfig::new(self.jobs, self.seed)
+    }
+
+    /// Whether any telemetry output was requested.
+    fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some() || self.telemetry_summary
+    }
+
+    /// Writes/prints the collected telemetry: `--telemetry` gets the
+    /// JSONL event log, `--telemetry-summary` the aggregated tables on
+    /// stderr. Telemetry is observational only — the measured output
+    /// above is byte-identical with or without it.
+    fn finish_telemetry(&self, counters: &CounterSink) -> Result<(), String> {
+        if let Some(path) = &self.telemetry {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+            counters.emit_into(&mut jsonl);
+            let lines = jsonl.lines();
+            jsonl
+                .finish()
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("(wrote {path}: {lines} telemetry events)");
+        }
+        if self.telemetry_summary {
+            eprint!("{}", counters.render_summary());
+        }
+        Ok(())
     }
 
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -166,6 +202,8 @@ impl Options {
             gen: 16,
             faulty: 0,
             adversary: "crash".into(),
+            telemetry: None,
+            telemetry_summary: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -213,6 +251,8 @@ impl Options {
                     opts.faulty = value()?.parse().map_err(|e| format!("bad --faulty: {e}"))?
                 }
                 "--adversary" => opts.adversary = value()?,
+                "--telemetry" => opts.telemetry = Some(value()?),
+                "--telemetry-summary" => opts.telemetry_summary = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -332,42 +372,62 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
         other => return Err(format!("unknown broadcast algo `{other}`")),
     };
     let cfg = opts.sweep();
-    let per_trial: Vec<Result<(u64, Vec<u64>), String>> =
+    let telemetry_on = opts.telemetry_enabled();
+    let per_trial: Vec<Result<(u64, Vec<u64>, f64, CounterSink), String>> =
         run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
+            // Each trial collects its engine telemetry into its own
+            // CounterSink (merged after the ordered join); with
+            // telemetry off the engine sees the disabled NullSink.
+            let mut counter = CounterSink::new();
+            let mut null = NullSink;
+            let mut sink: &mut dyn TelemetrySink = if telemetry_on {
+                &mut counter
+            } else {
+                &mut null
+            };
+            let t0 = std::time::Instant::now();
             let (run, profile) = match &algo {
                 Algo::Decay => Decay::new()
                     .with_shards(opts.shards)
-                    .run_profiled(&g, source, opts.fault, ctx.seed, MAX_ROUNDS)
+                    .run_telemetry(&g, source, opts.fault, ctx.seed, MAX_ROUNDS, &mut sink)
                     .map_err(|e| e.to_string())?,
                 Algo::Fastbc(sched) => sched
-                    .run_profiled(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .run_telemetry(opts.fault, ctx.seed, MAX_ROUNDS, &mut sink)
                     .map_err(|e| e.to_string())?,
                 Algo::Robust(sched) => sched
-                    .run_profiled(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .run_telemetry(opts.fault, ctx.seed, MAX_ROUNDS, &mut sink)
                     .map_err(|e| e.to_string())?,
                 Algo::XinXia(sched) => sched
-                    .run_profiled(opts.fault, ctx.seed, MAX_ROUNDS)
+                    .run_telemetry(opts.fault, ctx.seed, MAX_ROUNDS, &mut sink)
                     .map_err(|e| e.to_string())?,
             };
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
             Ok((
                 run.rounds_used(),
                 profile.delivery_latencies_excluding(source),
+                ms,
+                counter,
             ))
         });
     let mut total = 0u64;
     let mut pooled: Vec<u64> = Vec::new();
+    let mut aggregate = CounterSink::new();
     for (t, trial) in per_trial.into_iter().enumerate() {
-        let (rounds, latencies) = trial?;
+        let (rounds, latencies, ms, counters) = trial?;
         // A trial that delivered to nobody (e.g. a single-node
         // "broadcast") has no latency distribution; `LatencySummary`
         // renders it as dashes, the same as every table caller.
         let lat = LatencySummary::from_rounds(&latencies);
         println!(
-            "  trial {t}: {rounds} rounds (latency {})",
+            "  trial {t}: {rounds} rounds (latency {}, {ms:.1} ms)",
             LatencySummary::inline_or_dash(lat.as_ref())
         );
         total += rounds;
         pooled.extend(latencies);
+        if telemetry_on {
+            aggregate.span(&format!("trial/{t}"), (ms * 1e6) as u64);
+            aggregate.merge(&counters);
+        }
     }
     println!("mean: {:.1} rounds", total as f64 / opts.trials as f64);
     let pooled_lat = LatencySummary::from_rounds(&pooled);
@@ -376,6 +436,9 @@ fn cmd_broadcast(opts: &Options) -> Result<(), String> {
         pooled.len(),
         LatencySummary::inline_or_dash(pooled_lat.as_ref())
     );
+    if telemetry_on {
+        opts.finish_telemetry(&aggregate)?;
+    }
     Ok(())
 }
 
@@ -460,20 +523,23 @@ fn cmd_traffic(opts: &Options) -> Result<(), String> {
         opts.rate, opts.messages, opts.max_rounds
     );
     let cfg = opts.sweep();
-    let per_trial: Vec<Result<ThroughputRun, String>> =
+    let per_trial: Vec<Result<(ThroughputRun, f64), String>> =
         run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
-            match algo {
+            let t0 = std::time::Instant::now();
+            let run = match algo {
                 "decay" => run_decay_traffic(&g, source, opts.fault, &config, ctx.seed),
                 "xin-xia" => run_xin_xia_traffic(&g, source, opts.fault, &config, ctx.seed),
                 _ => run_rlnc_traffic(&g, source, opts.gen, opts.fault, &config, ctx.seed),
             }
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string())?;
+            Ok((run, t0.elapsed().as_secs_f64() * 1e3))
         });
+    let mut aggregate = CounterSink::new();
     for (t, trial) in per_trial.into_iter().enumerate() {
-        let run = trial?;
+        let (run, ms) = trial?;
         println!(
             "  trial {t}: {} rounds, {}/{} delivered, throughput {:.4} msg/round, \
-             peak queue {}{}",
+             peak queue {} ({ms:.1} ms){}",
             run.rounds,
             run.delivered,
             run.injected,
@@ -491,6 +557,15 @@ fn cmd_traffic(opts: &Options) -> Result<(), String> {
             run.delivered,
             LatencySummary::inline_or_dash(lat.as_ref())
         );
+        if opts.telemetry_enabled() {
+            aggregate.span(&format!("trial/{t}"), (ms * 1e6) as u64);
+            aggregate.counter("traffic/delivered", run.delivered);
+            aggregate.counter("traffic/injected", run.injected);
+            aggregate.counter("traffic/peak_queued", run.peak_queued);
+        }
+    }
+    if opts.telemetry_enabled() {
+        opts.finish_telemetry(&aggregate)?;
     }
     Ok(())
 }
@@ -500,10 +575,20 @@ fn cmd_gap(opts: &Options) -> Result<(), String> {
         "star with {} leaves, k = {}, fault {} (Theorem 17 setting)",
         opts.leaves, opts.k, opts.fault
     );
-    let routing = star_routing(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
-        .map_err(|e| e.to_string())?
-        .rounds
-        .ok_or("routing did not finish")?;
+    // With telemetry requested, the routing run additionally
+    // attributes wall clock to its decide/resolve phases (the E8
+    // hotspot); results are identical either way.
+    let (routing_out, phases) = if opts.telemetry_enabled() {
+        let (out, phases) =
+            star_routing_telemetry(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
+                .map_err(|e| e.to_string())?;
+        (out, Some(phases))
+    } else {
+        let out = star_routing(opts.leaves, opts.k, opts.fault, opts.seed, MAX_ROUNDS)
+            .map_err(|e| e.to_string())?;
+        (out, None)
+    };
+    let routing = routing_out.rounds.ok_or("routing did not finish")?;
     let coding = star_coding_sharded(
         opts.leaves,
         opts.k,
@@ -523,6 +608,12 @@ fn cmd_gap(opts: &Options) -> Result<(), String> {
         opts.k as f64 / coding as f64
     );
     println!("  coding gap:       {:.2}×", routing as f64 / coding as f64);
+    if let Some(phases) = phases {
+        eprint!("{}", phases.render_table("routing phase breakdown"));
+        let mut counters = CounterSink::new();
+        phases.emit(&mut counters, "");
+        opts.finish_telemetry(&counters)?;
+    }
     Ok(())
 }
 
@@ -560,8 +651,9 @@ fn cmd_consensus(opts: &Options) -> Result<(), String> {
     );
     let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
     let cfg = opts.sweep();
-    let per_trial: Vec<Result<ConsensusRun, String>> =
+    let per_trial: Vec<Result<(ConsensusRun, f64), String>> =
         run_cells(cfg.jobs, cfg.master_seed, opts.trials as usize, |ctx| {
+            let t0 = std::time::Instant::now();
             match algo {
                 "brb" => Brb::new().with_shards(opts.shards).run(
                     &g,
@@ -584,9 +676,11 @@ fn cmd_consensus(opts: &Options) -> Result<(), String> {
                 ),
             }
             .map_err(|e| e.to_string())
+            .map(|run| (run, t0.elapsed().as_secs_f64() * 1e3))
         });
+    let mut aggregate = CounterSink::new();
     for (t, trial) in per_trial.into_iter().enumerate() {
-        let run = trial?;
+        let (run, ms) = trial?;
         let rounds = match run.rounds {
             Some(r) => format!("{r} rounds"),
             None => format!("DID NOT TERMINATE within {} rounds", opts.max_rounds),
@@ -597,13 +691,20 @@ fn cmd_consensus(opts: &Options) -> Result<(), String> {
             None => "DISAGREEMENT".to_string(),
         };
         println!(
-            "  trial {t}: {rounds}, {}/{} honest decided, {decision}",
+            "  trial {t}: {rounds}, {}/{} honest decided, {decision} ({ms:.1} ms)",
             run.decided_count(),
             run.honest_count(),
         );
         if !run.agreement() {
             return Err("honest nodes disagreed".into());
         }
+        if opts.telemetry_enabled() {
+            aggregate.span(&format!("trial/{t}"), (ms * 1e6) as u64);
+            aggregate.counter("consensus/decided", run.decided_count() as u64);
+        }
+    }
+    if opts.telemetry_enabled() {
+        opts.finish_telemetry(&aggregate)?;
     }
     Ok(())
 }
@@ -757,6 +858,20 @@ mod tests {
         assert_eq!(o.gen, 8);
         let bad: Vec<String> = ["--rate", "fast"].iter().map(|s| s.to_string()).collect();
         assert!(Options::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn telemetry_flag_parsing() {
+        let args: Vec<String> = ["--telemetry", "out.jsonl", "--telemetry-summary"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.telemetry.as_deref(), Some("out.jsonl"));
+        assert!(o.telemetry_summary);
+        assert!(o.telemetry_enabled());
+        let d = Options::parse(&[]).unwrap();
+        assert!(!d.telemetry_enabled());
     }
 
     #[test]

@@ -13,5 +13,6 @@ pub use netgraph;
 pub use noisy_radio_core as core;
 pub use radio_coding as coding;
 pub use radio_model as model;
+pub use radio_obs as obs;
 pub use radio_sweep as sweep;
 pub use radio_throughput as throughput;
